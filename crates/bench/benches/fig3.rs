@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 3**: CFCC `C(S)` versus `k` on four large graphs
+//! (no Exact — infeasible), quality evaluated with conjugate gradients as
+//! in the paper's §V-B2.
+//!
+//! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench fig3`
+
+use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
+use cfcc_core::{cfcc, forest_cfcm::forest_cfcm, heuristics, schur_cfcm::schur_cfcm, Selection};
+use cfcc_graph::Graph;
+use cfcc_util::table::Table;
+
+const KS: [usize; 5] = [4, 8, 12, 16, 20];
+
+fn eval(g: &Graph, nodes: &[u32], params: &cfcc_core::CfcmParams) -> f64 {
+    if g.num_nodes() <= 3_000 {
+        cfcc::cfcc_group_exact(g, nodes)
+    } else {
+        // Hutchinson+CG keeps evaluation nearly linear on large graphs.
+        cfcc::cfcc_group_hutchinson(g, nodes, 48, params).expect("hutchinson evaluation")
+    }
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    banner("fig3", "Fig. 3 (effectiveness vs k on large graphs, CG-evaluated)", preset);
+    let threads = harness_threads();
+    let params = params_for(0.2, threads);
+    let k_max = *KS.last().unwrap();
+
+    let names: &[&str] = match preset {
+        Preset::Smoke => &["livemocha"],
+        _ => &cfcc_datasets::suites::FIG3,
+    };
+    let cap = match preset {
+        Preset::Smoke => 4_000,
+        Preset::Paper => 25_000,
+        Preset::Full => 120_000,
+    };
+
+    for name in names {
+        let spec = cfcc_datasets::spec(name).expect("dataset");
+        let (g, scale) = load(spec, preset, cap);
+        println!(
+            "\n--- {name} (n={}, m={}, scale {scale:.4}; paper n={}) ---",
+            g.num_nodes(),
+            g.num_edges(),
+            spec.paper_nodes
+        );
+        let topc = heuristics::top_cfcc_sampled(&g, k_max, &params).expect("top-cfcc");
+        let degree = heuristics::degree_baseline(&g, k_max).expect("degree");
+        let forest = forest_cfcm(&g, k_max, &params).expect("forest");
+        let schur = schur_cfcm(&g, k_max, &params).expect("schur");
+
+        let mut table = Table::new(["algorithm", "k=4", "k=8", "k=12", "k=16", "k=20"]);
+        let rows: Vec<(&str, &Selection)> = vec![
+            ("Top-CFCC", &topc),
+            ("Degree", &degree),
+            ("Forest", &forest),
+            ("Schur", &schur),
+        ];
+        for (alg, sel) in rows {
+            let mut row = vec![alg.to_string()];
+            for &k in &KS {
+                row.push(format!("{:.4}", eval(&g, sel.prefix(k), &params)));
+            }
+            table.row(row);
+        }
+        println!("{table}");
+    }
+    println!("Shape check vs paper: Schur delivers the best C(S) at every k; Degree/Top-CFCC");
+    println!("saturate early — single-node rankings cannot capture group effects (Fig. 3).");
+}

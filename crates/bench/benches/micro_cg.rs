@@ -1,0 +1,37 @@
+//! Criterion microbenchmark: preconditioned-CG solve cost on a scale-free
+//! vs a road-like Laplacian of equal size — the conditioning gap that
+//! makes the ApproxGreedy baseline degrade on high-diameter graphs
+//! (DESIGN.md §6 substitution note).
+
+use cfcc_linalg::cg::{solve_grounded, CgConfig};
+use cfcc_linalg::LaplacianSubmatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_cg(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 5_000;
+    let scale_free = cfcc_graph::generators::scale_free_with_edges(n, 20_000, &mut rng);
+    let road = cfcc_graph::generators::geometric_with_edges(n, 6_500, &mut rng);
+    let mut group = c.benchmark_group("pcg_solve");
+    group.sample_size(10);
+    for (name, g) in [("scale_free", &scale_free), ("road", &road)] {
+        let mut in_s = vec![false; g.num_nodes()];
+        in_s[g.max_degree_node().unwrap() as usize] = true;
+        let op = LaplacianSubmatrix::new(g, &in_s);
+        let b: Vec<f64> = (0..op.dim()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cfg = CgConfig::with_tol(1e-8);
+        group.bench_function(name, |bch| {
+            let mut x = vec![0.0; op.dim()];
+            bch.iter(|| {
+                x.fill(0.0);
+                solve_grounded(&op, &b, &mut x, &cfg).iterations
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenchmark: one marginal-gain estimation round —
+//! ForestDelta vs SchurDelta at a fixed forest budget, isolating the
+//! per-iteration cost difference of the two algorithms.
+
+use cfcc_core::params::{t_star, top_degree_nodes};
+use cfcc_core::{forest_delta::forest_delta, schur_delta::schur_delta, CfcmParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_delta(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = cfcc_graph::generators::scale_free_with_edges(2_000, 16_000, &mut rng);
+    let n = g.num_nodes();
+    let mut in_s = vec![false; n];
+    in_s[g.max_degree_node().unwrap() as usize] = true;
+    let mut params = CfcmParams::with_epsilon(0.3).seed(9);
+    // Fixed budget so criterion measures comparable work.
+    params.min_batch = 256;
+    params.max_forests = 256;
+
+    let c_star = t_star(&g);
+    let t_nodes: Vec<u32> = top_degree_nodes(&g, c_star + 1)
+        .into_iter()
+        .filter(|&t| !in_s[t as usize])
+        .take(c_star)
+        .collect();
+
+    let mut group = c.benchmark_group("delta_round");
+    group.sample_size(10);
+    group.bench_function("forest_delta", |b| {
+        b.iter(|| forest_delta(&g, &in_s, &params, 1).best);
+    });
+    group.bench_function("schur_delta", |b| {
+        b.iter(|| schur_delta(&g, &in_s, &t_nodes, &params, 1).unwrap().best);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

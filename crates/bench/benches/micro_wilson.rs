@@ -1,0 +1,39 @@
+//! Criterion microbenchmark: Wilson forest-sampling throughput as the root
+//! set grows — the mechanism behind SchurCFCM's speed-up (Lemma 3.7: cost
+//! is the mean absorption time onto the root set).
+
+use cfcc_forest::wilson::sample_forest_into;
+use cfcc_forest::Forest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_wilson(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = cfcc_graph::generators::scale_free_with_edges(10_000, 40_000, &mut rng);
+    let by_degree = g.nodes_by_degree_desc();
+    let mut group = c.benchmark_group("wilson_sampling");
+    group.sample_size(10);
+    for &roots in &[1usize, 8, 64, 256] {
+        let mut in_root = vec![false; g.num_nodes()];
+        for &h in by_degree.iter().take(roots) {
+            in_root[h as usize] = true;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("hub_roots", roots),
+            &in_root,
+            |b, in_root| {
+                let mut forest = Forest::default();
+                let mut rng = SmallRng::seed_from_u64(2);
+                b.iter(|| {
+                    sample_forest_into(&g, in_root, &mut rng, &mut forest);
+                    forest.walk_steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wilson);
+criterion_main!(benches);

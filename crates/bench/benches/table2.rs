@@ -1,0 +1,123 @@
+//! Regenerates **Table II**: running time (seconds) of EXACT, APPROX
+//! (ApproxGreedy), FORESTCFCM and SCHURCFCM with various ε on the dataset
+//! ladder, plus the per-graph statistics columns (n, m, τ, |T*|).
+//!
+//! Paper reference: Xia & Zhang, ICDE 2025, Table II (k = |S| = 20).
+//! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench table2`
+
+use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
+use cfcc_core::{approx_greedy::approx_greedy, exact::exact_greedy, forest_cfcm::forest_cfcm,
+    params::t_star, schur_cfcm::schur_cfcm};
+use cfcc_graph::diameter::diameter;
+use cfcc_util::table::Table;
+use cfcc_util::timing::fmt_seconds;
+use cfcc_util::Stopwatch;
+
+fn main() {
+    let preset = Preset::from_env();
+    banner("table2", "Table II (running times, k=20)", preset);
+    let k = preset.k();
+    let threads = harness_threads();
+    let eps_grid = preset.epsilons();
+
+    let names: Vec<&str> = match preset {
+        Preset::Smoke => vec!["euroroads", "hamsterster", "gr-qc", "web-epa"],
+        Preset::Paper => {
+            let mut v = cfcc_datasets::suites::TABLE2_SMALL.to_vec();
+            v.extend_from_slice(&cfcc_datasets::suites::TABLE2_MEDIUM);
+            v
+        }
+        Preset::Full => {
+            let mut v = cfcc_datasets::suites::TABLE2_SMALL.to_vec();
+            v.extend_from_slice(&cfcc_datasets::suites::TABLE2_MEDIUM);
+            v.extend_from_slice(&cfcc_datasets::suites::TABLE2_LARGE);
+            v
+        }
+    };
+
+    let mut header: Vec<String> = vec![
+        "Network".into(),
+        "Node".into(),
+        "Edge".into(),
+        "tau".into(),
+        "|T*|".into(),
+        "EXACT".into(),
+        "APPROX".into(),
+    ];
+    for &e in eps_grid {
+        header.push(format!("Forest(e={e})"));
+    }
+    for &e in eps_grid {
+        header.push(format!("Schur(e={e})"));
+    }
+    header.push("paper n/m".into());
+    let mut table = Table::new(header);
+
+    for name in names {
+        let spec = cfcc_datasets::spec(name).expect("known dataset");
+        let (g, scale) = load(spec, preset, preset.table2_cap());
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let tau = diameter(&g, 1200);
+        let tstar = t_star(&g);
+        eprintln!("[table2] {name}: n={n} m={m} tau={tau} |T*|={tstar} (scale {scale:.3})");
+
+        let exact_time = if n <= preset.exact_limit() {
+            let sw = Stopwatch::start();
+            exact_greedy(&g, k).expect("exact greedy");
+            sw.seconds()
+        } else {
+            f64::NAN
+        };
+        let approx_time = if n <= preset.approx_limit() {
+            let p = params_for(0.2, threads);
+            let sw = Stopwatch::start();
+            approx_greedy(&g, k, &p).expect("approx greedy");
+            sw.seconds()
+        } else {
+            f64::NAN
+        };
+        let mut forest_times = Vec::new();
+        for &e in eps_grid {
+            let p = params_for(e, threads);
+            let sw = Stopwatch::start();
+            forest_cfcm(&g, k, &p).expect("forest cfcm");
+            forest_times.push(sw.seconds());
+        }
+        let mut schur_times = Vec::new();
+        for &e in eps_grid {
+            let p = params_for(e, threads);
+            let sw = Stopwatch::start();
+            schur_cfcm(&g, k, &p).expect("schur cfcm");
+            schur_times.push(sw.seconds());
+        }
+
+        let mut row: Vec<String> = vec![
+            name.to_string(),
+            n.to_string(),
+            m.to_string(),
+            tau.to_string(),
+            tstar.to_string(),
+            fmt_seconds(exact_time),
+            fmt_seconds(approx_time),
+        ];
+        for t in forest_times {
+            row.push(fmt_seconds(t));
+        }
+        for t in schur_times {
+            row.push(fmt_seconds(t));
+        }
+        row.push(format!("{}/{}", spec.paper_nodes, spec.paper_edges));
+        // Stream the row immediately (long runs stay inspectable/killable),
+        // then add it to the final aligned table.
+        eprintln!("[table2] row: {}", row.join(" | "));
+        table.row(row);
+    }
+    println!("{table}");
+    println!(
+        "Note: '-' marks baselines skipped at this preset (EXACT > {} nodes, APPROX > {} nodes),",
+        preset.exact_limit(),
+        preset.approx_limit()
+    );
+    println!("mirroring the paper's own '-' entries where a baseline became infeasible.");
+}

@@ -1,0 +1,194 @@
+//! # cfcc-bench
+//!
+//! Shared harness utilities for the table/figure regeneration targets
+//! (`benches/table2.rs`, `benches/fig1.rs` … `benches/ablation.rs`) and the
+//! criterion microbenchmarks.
+//!
+//! ## Presets
+//!
+//! The environment variable `CFCC_PRESET` selects the workload ladder:
+//!
+//! * `smoke` (default) — minutes on a 2-core box; used by `cargo bench`.
+//! * `paper` — the scale recorded in `EXPERIMENTS.md`.
+//! * `full`  — largest ladder (hours); for completeness.
+//!
+//! All randomized algorithms run with fixed seeds, so outputs are
+//! reproducible per preset.
+
+use cfcc_core::CfcmParams;
+use cfcc_datasets::DatasetSpec;
+use cfcc_graph::Graph;
+
+/// Workload preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// CI-sized smoke ladder.
+    Smoke,
+    /// The ladder recorded in EXPERIMENTS.md.
+    Paper,
+    /// Largest ladder.
+    Full,
+}
+
+impl Preset {
+    /// Read from `CFCC_PRESET` (default `smoke`).
+    pub fn from_env() -> Preset {
+        match std::env::var("CFCC_PRESET").unwrap_or_default().to_lowercase().as_str() {
+            "paper" => Preset::Paper,
+            "full" => Preset::Full,
+            _ => Preset::Smoke,
+        }
+    }
+
+    /// Short name for banners.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Smoke => "smoke",
+            Preset::Paper => "paper",
+            Preset::Full => "full",
+        }
+    }
+
+    /// Group size `k` used in Table II style timing runs.
+    pub fn k(self) -> usize {
+        match self {
+            Preset::Smoke => 10,
+            _ => 20,
+        }
+    }
+
+    /// ε grid for Table II.
+    pub fn epsilons(self) -> &'static [f64] {
+        match self {
+            Preset::Smoke => &[0.3],
+            _ => &[0.3, 0.2, 0.15],
+        }
+    }
+
+    /// Largest node count for which the dense EXACT baseline runs.
+    pub fn exact_limit(self) -> usize {
+        match self {
+            Preset::Smoke => 1_100,
+            Preset::Paper => 2_200,
+            Preset::Full => 4_500,
+        }
+    }
+
+    /// Largest node count for which the ApproxGreedy baseline runs.
+    pub fn approx_limit(self) -> usize {
+        match self {
+            Preset::Smoke => 1_100,
+            Preset::Paper => 4_500,
+            Preset::Full => 40_000,
+        }
+    }
+
+    /// Scale factor for a dataset so the harness fits the preset budget.
+    /// `cap` is the target node ceiling for this experiment tier.
+    pub fn scale_for(self, spec: &DatasetSpec, cap: usize) -> f64 {
+        if spec.paper_nodes <= cap {
+            1.0
+        } else {
+            (cap as f64 / spec.paper_nodes as f64).min(1.0)
+        }
+    }
+
+    /// Node ceiling for Table II rows.
+    pub fn table2_cap(self) -> usize {
+        match self {
+            Preset::Smoke => 2_100,
+            Preset::Paper => 36_000,
+            Preset::Full => 220_000,
+        }
+    }
+
+    /// Node ceiling for the Fig. 2/3 effectiveness runs.
+    pub fn effectiveness_cap(self) -> usize {
+        match self {
+            Preset::Smoke => 1_600,
+            Preset::Paper => 22_000,
+            Preset::Full => 110_000,
+        }
+    }
+}
+
+/// Load a dataset at the preset's scale for the given node cap, returning
+/// the graph and the scale used.
+pub fn load(spec: &DatasetSpec, preset: Preset, cap: usize) -> (Graph, f64) {
+    let scale = preset.scale_for(spec, cap);
+    (cfcc_datasets::generate(spec, scale), scale)
+}
+
+/// Baseline CFCM parameters for harness runs at the given ε.
+pub fn params_for(epsilon: f64, threads: usize) -> CfcmParams {
+    let mut p = CfcmParams::with_epsilon(epsilon).seed(0xBEEF).threads(threads);
+    p.max_forests = 2048;
+    p
+}
+
+/// Number of worker threads for sampling (leave one core for the OS).
+pub fn harness_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get().saturating_sub(0).max(1))
+}
+
+/// Print the standard banner for a regeneration target.
+pub fn banner(target: &str, paper_ref: &str, preset: Preset) {
+    println!("==========================================================");
+    println!("{target} — regenerates {paper_ref}");
+    println!(
+        "preset = {} (set CFCC_PRESET=smoke|paper|full); seeds fixed",
+        preset.name()
+    );
+    println!("==========================================================");
+}
+
+/// Format a ratio like the paper's speed-up factors.
+pub fn fmt_ratio(r: f64) -> String {
+    if !r.is_finite() {
+        "-".into()
+    } else if r >= 100.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_parsing_defaults_to_smoke() {
+        // Do not mutate the environment (tests run in parallel);
+        // just check the default path and names.
+        assert_eq!(Preset::Smoke.name(), "smoke");
+        assert_eq!(Preset::Paper.k(), 20);
+        assert_eq!(Preset::Smoke.k(), 10);
+        assert_eq!(Preset::Smoke.epsilons(), &[0.3]);
+        assert_eq!(Preset::Paper.epsilons().len(), 3);
+    }
+
+    #[test]
+    fn scale_caps_nodes() {
+        let spec = cfcc_datasets::spec("gowalla").unwrap();
+        let s = Preset::Smoke.scale_for(spec, 2000);
+        assert!(s < 0.02);
+        let spec_small = cfcc_datasets::spec("euroroads").unwrap();
+        assert_eq!(Preset::Smoke.scale_for(spec_small, 2000), 1.0);
+    }
+
+    #[test]
+    fn load_respects_cap() {
+        let spec = cfcc_datasets::spec("hamsterster").unwrap();
+        let (g, scale) = load(spec, Preset::Smoke, 1000);
+        assert!(g.num_nodes() <= 1001);
+        assert!(scale <= 0.51);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(370.0), "370x");
+        assert_eq!(fmt_ratio(2.53), "2.5x");
+        assert_eq!(fmt_ratio(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,273 @@
+//! Hand-rolled argument parsing for the `cfcm` binary.
+
+use std::fmt;
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// SchurCFCM (default; the paper's flagship).
+    Schur,
+    /// ForestCFCM.
+    Forest,
+    /// ApproxGreedy baseline (PCG-based).
+    Approx,
+    /// Dense exact greedy.
+    Exact,
+    /// Exhaustive optimum (tiny graphs).
+    Optimum,
+    /// Top-k degree heuristic.
+    Degree,
+    /// Top-k single-node CFCC heuristic.
+    TopCfcc,
+}
+
+impl Algorithm {
+    /// Parse a user-supplied name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "schur" | "schurcfcm" => Some(Algorithm::Schur),
+            "forest" | "forestcfcm" => Some(Algorithm::Forest),
+            "approx" | "approxgreedy" => Some(Algorithm::Approx),
+            "exact" => Some(Algorithm::Exact),
+            "optimum" | "opt" => Some(Algorithm::Optimum),
+            "degree" => Some(Algorithm::Degree),
+            "top-cfcc" | "topcfcc" => Some(Algorithm::TopCfcc),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Schur => "schur",
+            Algorithm::Forest => "forest",
+            Algorithm::Approx => "approx",
+            Algorithm::Exact => "exact",
+            Algorithm::Optimum => "optimum",
+            Algorithm::Degree => "degree",
+            Algorithm::TopCfcc => "top-cfcc",
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Solver to run.
+    pub algo: Algorithm,
+    /// Group size.
+    pub k: usize,
+    /// Error parameter ε.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sampling threads.
+    pub threads: usize,
+    /// Edge-list path (mutually exclusive with `dataset`).
+    pub graph_path: Option<String>,
+    /// Bundled dataset name.
+    pub dataset: Option<String>,
+    /// Proxy scale factor for bundled datasets.
+    pub scale: f64,
+    /// Evaluate C(S) of the result (CG-based).
+    pub evaluate: bool,
+    /// Print the dataset registry and exit.
+    pub list_datasets: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            algo: Algorithm::Schur,
+            k: 10,
+            epsilon: 0.2,
+            seed: 0x5EED,
+            threads: 1,
+            graph_path: None,
+            dataset: None,
+            scale: 1.0,
+            evaluate: false,
+            list_datasets: false,
+            help: false,
+        }
+    }
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cfcm — current-flow group closeness maximization (Xia & Zhang, ICDE 2025)
+
+USAGE:
+    cfcm [OPTIONS] (--graph <edge-list> | --dataset <name>)
+
+OPTIONS:
+    --algo <name>      schur | forest | approx | exact | optimum | degree | top-cfcc
+                       (default: schur)
+    --k <int>          group size (default: 10)
+    --epsilon <float>  error parameter in (0,1) (default: 0.2)
+    --seed <int>       RNG seed (default: 0x5EED)
+    --threads <int>    sampling threads (default: 1)
+    --graph <path>     whitespace edge-list file ('#'/'%' comments ok)
+    --dataset <name>   bundled dataset (see --list-datasets)
+    --scale <float>    proxy scale for bundled datasets in (0,1] (default: 1.0)
+    --evaluate         also compute C(S) of the selection (CG)
+    --list-datasets    print the dataset registry and exit
+    --help             this text
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, ParseError> {
+    let mut out = CliArgs::default();
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| ParseError(format!("{flag} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => {
+                let v = need(&mut it, "--algo")?;
+                out.algo = Algorithm::parse(&v)
+                    .ok_or_else(|| ParseError(format!("unknown algorithm '{v}'")))?;
+            }
+            "--k" => {
+                let v = need(&mut it, "--k")?;
+                out.k = v.parse().map_err(|e| ParseError(format!("--k: {e}")))?;
+            }
+            "--epsilon" => {
+                let v = need(&mut it, "--epsilon")?;
+                out.epsilon = v.parse().map_err(|e| ParseError(format!("--epsilon: {e}")))?;
+            }
+            "--seed" => {
+                let v = need(&mut it, "--seed")?;
+                out.seed = parse_u64(&v).map_err(|e| ParseError(format!("--seed: {e}")))?;
+            }
+            "--threads" => {
+                let v = need(&mut it, "--threads")?;
+                out.threads = v.parse().map_err(|e| ParseError(format!("--threads: {e}")))?;
+            }
+            "--graph" => out.graph_path = Some(need(&mut it, "--graph")?),
+            "--dataset" => out.dataset = Some(need(&mut it, "--dataset")?),
+            "--scale" => {
+                let v = need(&mut it, "--scale")?;
+                out.scale = v.parse().map_err(|e| ParseError(format!("--scale: {e}")))?;
+            }
+            "--evaluate" => out.evaluate = true,
+            "--list-datasets" => out.list_datasets = true,
+            "--help" | "-h" => out.help = true,
+            other => return Err(ParseError(format!("unknown argument '{other}'"))),
+        }
+    }
+    if !out.help && !out.list_datasets {
+        match (&out.graph_path, &out.dataset) {
+            (None, None) => {
+                return Err(ParseError("one of --graph or --dataset is required".into()))
+            }
+            (Some(_), Some(_)) => {
+                return Err(ParseError("--graph and --dataset are mutually exclusive".into()))
+            }
+            _ => {}
+        }
+        if out.k == 0 {
+            return Err(ParseError("--k must be >= 1".into()));
+        }
+        if !(0.0 < out.epsilon && out.epsilon < 1.0) {
+            return Err(ParseError("--epsilon must be in (0,1)".into()));
+        }
+        if !(0.0 < out.scale && out.scale <= 1.0) {
+            return Err(ParseError("--scale must be in (0,1]".into()));
+        }
+    }
+    Ok(out)
+}
+
+/// Accept decimal or 0x-prefixed hex seeds.
+fn parse_u64(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<CliArgs, ParseError> {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let a = parse(&[
+            "--algo", "forest", "--k", "5", "--epsilon", "0.3", "--seed", "0xFF",
+            "--threads", "2", "--dataset", "karate", "--evaluate",
+        ])
+        .unwrap();
+        assert_eq!(a.algo, Algorithm::Forest);
+        assert_eq!(a.k, 5);
+        assert_eq!(a.epsilon, 0.3);
+        assert_eq!(a.seed, 255);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.dataset.as_deref(), Some("karate"));
+        assert!(a.evaluate);
+    }
+
+    #[test]
+    fn requires_a_graph_source() {
+        let err = parse(&["--k", "3"]).unwrap_err();
+        assert!(err.0.contains("required"));
+    }
+
+    #[test]
+    fn rejects_both_sources() {
+        let err = parse(&["--graph", "x.txt", "--dataset", "karate"]).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--dataset", "karate", "--epsilon", "2.0"]).is_err());
+        assert!(parse(&["--dataset", "karate", "--k", "0"]).is_err());
+        assert!(parse(&["--dataset", "karate", "--scale", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--algo", "nope", "--dataset", "karate"]).is_err());
+        assert!(parse(&["--k"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_and_list_do_not_require_source() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["--list-datasets"]).unwrap().list_datasets);
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for a in [
+            Algorithm::Schur,
+            Algorithm::Forest,
+            Algorithm::Approx,
+            Algorithm::Exact,
+            Algorithm::Optimum,
+            Algorithm::Degree,
+            Algorithm::TopCfcc,
+        ] {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("SCHURCFCM"), Some(Algorithm::Schur));
+    }
+}

@@ -1,0 +1,18 @@
+//! # cfcm-cli
+//!
+//! Library backing the `cfcm` command-line binary: argument parsing (no
+//! external dependency — a deliberate, testable hand-rolled parser), graph
+//! loading (edge-list files or bundled datasets), algorithm dispatch, and
+//! report formatting.
+//!
+//! ```text
+//! cfcm --algo schur --k 20 --epsilon 0.2 --dataset hamsterster
+//! cfcm --algo forest --k 10 --graph my_edges.txt --evaluate
+//! cfcm --list-datasets
+//! ```
+
+pub mod args;
+pub mod run;
+
+pub use args::{Algorithm, CliArgs, ParseError};
+pub use run::{execute, Report};

@@ -1,0 +1,29 @@
+//! `cfcm` — run CFCM solvers from the command line.
+
+use cfcm_cli::args::{parse_args, USAGE};
+use cfcm_cli::run::{execute, render_dataset_list};
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.help {
+        print!("{USAGE}");
+        return;
+    }
+    if args.list_datasets {
+        print!("{}", render_dataset_list());
+        return;
+    }
+    match execute(&args) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Graph loading, algorithm dispatch, and report assembly for the CLI.
+
+use crate::args::{Algorithm, CliArgs};
+use cfcc_core::{cfcc, CfcmParams, Selection};
+use cfcc_graph::traversal::largest_connected_component;
+use cfcc_graph::Graph;
+use cfcc_util::Stopwatch;
+
+/// What a CLI run produces (rendered by the binary, inspected by tests).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Algorithm used.
+    pub algo: Algorithm,
+    /// Graph statistics after LCC extraction: (nodes, edges).
+    pub graph_stats: (usize, usize),
+    /// Whether the input graph was disconnected and reduced to its LCC.
+    pub reduced_to_lcc: bool,
+    /// Selected nodes (in original labels where the input was a file).
+    pub nodes: Vec<u64>,
+    /// Wall-clock seconds of the solve.
+    pub seconds: f64,
+    /// Forests sampled (Monte-Carlo algorithms only).
+    pub forests: u64,
+    /// Evaluated C(S), when requested.
+    pub cfcc: Option<f64>,
+}
+
+impl Report {
+    /// Render as the CLI's stdout block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "algorithm : {}\ngraph     : {} nodes, {} edges{}\n",
+            self.algo.name(),
+            self.graph_stats.0,
+            self.graph_stats.1,
+            if self.reduced_to_lcc { " (largest connected component)" } else { "" }
+        ));
+        out.push_str(&format!("time      : {:.3}s\n", self.seconds));
+        if self.forests > 0 {
+            out.push_str(&format!("forests   : {}\n", self.forests));
+        }
+        out.push_str(&format!("selection : {:?}\n", self.nodes));
+        if let Some(c) = self.cfcc {
+            out.push_str(&format!("C(S)      : {c:.6}\n"));
+        }
+        out
+    }
+}
+
+/// Load the graph requested by the CLI (edge list or bundled dataset),
+/// returning the LCC, original labels per node, and whether reduction
+/// happened.
+pub fn load_graph(args: &CliArgs) -> Result<(Graph, Vec<u64>, bool), String> {
+    let (raw, labels) = if let Some(path) = &args.graph_path {
+        cfcc_graph::io::read_edge_list_file(path).map_err(|e| e.to_string())?
+    } else {
+        let name = args.dataset.as_deref().expect("validated");
+        let g = cfcc_datasets::by_name(name, args.scale)
+            .ok_or_else(|| format!("unknown dataset '{name}' (try --list-datasets)"))?;
+        let labels = (0..g.num_nodes() as u64).collect();
+        (g, labels)
+    };
+    if raw.is_connected() {
+        return Ok((raw, labels, false));
+    }
+    let (lcc, remap) = largest_connected_component(&raw);
+    let mut lcc_labels = vec![0u64; lcc.num_nodes()];
+    for (old, new) in remap.iter().enumerate() {
+        if let Some(new) = new {
+            lcc_labels[*new as usize] = labels[old];
+        }
+    }
+    Ok((lcc, lcc_labels, true))
+}
+
+/// Execute a parsed CLI invocation.
+pub fn execute(args: &CliArgs) -> Result<Report, String> {
+    let (g, labels, reduced) = load_graph(args)?;
+    let params = CfcmParams::with_epsilon(args.epsilon)
+        .seed(args.seed)
+        .threads(args.threads);
+    let sw = Stopwatch::start();
+    let (nodes, forests): (Vec<u32>, u64) = match args.algo {
+        Algorithm::Schur => unpack(cfcc_core::schur_cfcm::schur_cfcm(&g, args.k, &params))?,
+        Algorithm::Forest => unpack(cfcc_core::forest_cfcm::forest_cfcm(&g, args.k, &params))?,
+        Algorithm::Approx => unpack(cfcc_core::approx_greedy::approx_greedy(&g, args.k, &params))?,
+        Algorithm::Exact => unpack(cfcc_core::exact::exact_greedy(&g, args.k))?,
+        Algorithm::Degree => unpack(cfcc_core::heuristics::degree_baseline(&g, args.k))?,
+        Algorithm::TopCfcc => {
+            unpack(cfcc_core::heuristics::top_cfcc_sampled(&g, args.k, &params))?
+        }
+        Algorithm::Optimum => {
+            if g.num_nodes() > 80 || args.k > 5 {
+                return Err(format!(
+                    "--algo optimum is exhaustive; limited to n <= 80, k <= 5 (got n={}, k={})",
+                    g.num_nodes(),
+                    args.k
+                ));
+            }
+            let opt = cfcc_core::optimum::optimum_cfcm(&g, args.k).map_err(|e| e.to_string())?;
+            (opt.nodes, 0)
+        }
+    };
+    let seconds = sw.seconds();
+    let cfcc_value = if args.evaluate {
+        Some(cfcc::cfcc_group_cg(&g, &nodes, 1e-8).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    Ok(Report {
+        algo: args.algo,
+        graph_stats: (g.num_nodes(), g.num_edges()),
+        reduced_to_lcc: reduced,
+        nodes: nodes.iter().map(|&u| labels[u as usize]).collect(),
+        seconds,
+        forests,
+        cfcc: cfcc_value,
+    })
+}
+
+fn unpack(r: Result<Selection, cfcc_core::CfcmError>) -> Result<(Vec<u32>, u64), String> {
+    let sel = r.map_err(|e| e.to_string())?;
+    let forests = sel.stats.total_forests();
+    Ok((sel.nodes, forests))
+}
+
+/// Render the dataset registry for `--list-datasets`.
+pub fn render_dataset_list() -> String {
+    let mut t = cfcc_util::table::Table::new([
+        "name",
+        "paper n",
+        "paper m",
+        "tau",
+        "|T*|",
+        "topology",
+    ]);
+    for s in cfcc_datasets::all_specs() {
+        t.row([
+            s.name.to_string(),
+            s.paper_nodes.to_string(),
+            s.paper_edges.to_string(),
+            if s.paper_tau > 0 { s.paper_tau.to_string() } else { "-".into() },
+            if s.paper_t_star > 0 { s.paper_t_star.to_string() } else { "-".into() },
+            format!("{:?}", s.topology),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn args(v: &[&str]) -> CliArgs {
+        parse_args(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn runs_on_bundled_dataset() {
+        let a = args(&["--dataset", "karate", "--algo", "exact", "--k", "3", "--evaluate"]);
+        let r = execute(&a).unwrap();
+        assert_eq!(r.graph_stats, (34, 78));
+        assert_eq!(r.nodes.len(), 3);
+        assert!(r.cfcc.unwrap() > 0.0);
+        assert!(!r.reduced_to_lcc);
+        let text = r.render();
+        assert!(text.contains("C(S)"));
+        assert!(text.contains("exact"));
+    }
+
+    #[test]
+    fn runs_monte_carlo_and_reports_forests() {
+        let a = args(&[
+            "--dataset", "dolphins", "--algo", "schur", "--k", "3", "--epsilon", "0.3",
+        ]);
+        let r = execute(&a).unwrap();
+        assert_eq!(r.nodes.len(), 3);
+        assert!(r.forests > 0);
+        assert!(r.render().contains("forests"));
+    }
+
+    #[test]
+    fn optimum_is_guarded() {
+        let a = args(&["--dataset", "hamsterster", "--scale", "0.1", "--algo", "optimum"]);
+        let err = execute(&a).unwrap_err();
+        assert!(err.contains("exhaustive"));
+    }
+
+    #[test]
+    fn loads_edge_list_with_original_labels_and_lcc() {
+        // Disconnected file with sparse labels: LCC is the triangle.
+        let dir = std::env::temp_dir().join("cfcm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "# comment\n100 200\n200 300\n300 100\n7 8\n").unwrap();
+        let a = args(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--algo",
+            "degree",
+            "--k",
+            "1",
+        ]);
+        let r = execute(&a).unwrap();
+        assert!(r.reduced_to_lcc);
+        assert_eq!(r.graph_stats, (3, 3));
+        assert!(
+            [100u64, 200, 300].contains(&r.nodes[0]),
+            "selection must be reported in original labels, got {:?}",
+            r.nodes
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_is_reported() {
+        let a = args(&["--dataset", "nope", "--k", "2"]);
+        assert!(execute(&a).unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn dataset_list_renders() {
+        let text = render_dataset_list();
+        assert!(text.contains("karate"));
+        assert!(text.contains("soc-livejournal"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared adaptive-stopping logic for the Monte-Carlo phases.
+//!
+//! Algorithms 2–5 sample in doubling batches and stop once the empirical
+//! Bernstein half-widths (Lemma 3.6) certify the current winner. The rule
+//! implemented here is slightly more conservative than the paper's
+//! per-node check and is purely an *early exit*: the hard cap from
+//! [`crate::CfcmParams::forest_cap`] preserves termination and the
+//! worst-case sample bound.
+//!
+//! A candidate is accepted when, across two consecutive batch checkpoints:
+//!
+//! 1. the argbest is unchanged,
+//! 2. its score moved by at most `ε/4` relatively, and
+//! 3. either the Bernstein interval separates it from the runner-up, or
+//!    both intervals are already below `ε/2` of the leading score.
+
+/// Doubling batch schedule: total sample targets after each checkpoint.
+pub fn batch_schedule(min_batch: u64, cap: u64) -> Vec<u64> {
+    let mut totals = Vec::new();
+    let mut t = min_batch.max(1);
+    loop {
+        totals.push(t.min(cap));
+        if t >= cap {
+            break;
+        }
+        t = t.saturating_mul(2);
+    }
+    totals.dedup();
+    totals
+}
+
+/// One scored candidate at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Node id.
+    pub node: u32,
+    /// Score (marginal gain Δ', or negated first-phase objective so that
+    /// "bigger is better" uniformly).
+    pub score: f64,
+    /// Bernstein half-width attached to the score's denominator estimate.
+    pub halfwidth: f64,
+}
+
+/// Rolling stop-rule state.
+#[derive(Debug, Default, Clone)]
+pub struct StopRule {
+    prev: Option<Candidate>,
+}
+
+impl StopRule {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed this checkpoint's best and runner-up; returns true to stop.
+    pub fn check(&mut self, best: Candidate, second: Option<Candidate>, epsilon: f64) -> bool {
+        let decision = match self.prev {
+            Some(prev) if prev.node == best.node => {
+                let rel_change = if best.score != 0.0 {
+                    ((best.score - prev.score) / best.score).abs()
+                } else {
+                    0.0
+                };
+                let stable = rel_change <= epsilon / 4.0;
+                let separated = match second {
+                    Some(s) => {
+                        let gap = best.score - s.score;
+                        gap >= best.halfwidth + s.halfwidth
+                            || best.halfwidth + s.halfwidth
+                                <= epsilon / 2.0 * best.score.abs().max(f64::MIN_POSITIVE)
+                    }
+                    None => true,
+                };
+                stable && separated
+            }
+            _ => false,
+        };
+        self.prev = Some(best);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_to_cap() {
+        assert_eq!(batch_schedule(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(batch_schedule(100, 300), vec![100, 200, 300]);
+        assert_eq!(batch_schedule(64, 64), vec![64]);
+        assert_eq!(batch_schedule(0, 10), vec![1, 2, 4, 8, 10]);
+    }
+
+    #[test]
+    fn never_stops_on_first_checkpoint() {
+        let mut rule = StopRule::new();
+        let best = Candidate { node: 3, score: 10.0, halfwidth: 0.01 };
+        assert!(!rule.check(best, None, 0.2));
+        // Second checkpoint with the same stable winner stops.
+        assert!(rule.check(best, None, 0.2));
+    }
+
+    #[test]
+    fn requires_stable_argbest() {
+        let mut rule = StopRule::new();
+        rule.check(Candidate { node: 1, score: 5.0, halfwidth: 0.0 }, None, 0.2);
+        // Winner changed → no stop.
+        assert!(!rule.check(Candidate { node: 2, score: 5.0, halfwidth: 0.0 }, None, 0.2));
+        // Now stable → stop.
+        assert!(rule.check(Candidate { node: 2, score: 5.0, halfwidth: 0.0 }, None, 0.2));
+    }
+
+    #[test]
+    fn requires_score_stability() {
+        let mut rule = StopRule::new();
+        rule.check(Candidate { node: 1, score: 10.0, halfwidth: 0.0 }, None, 0.2);
+        // Score jumped 50% → keep sampling.
+        assert!(!rule.check(Candidate { node: 1, score: 20.0, halfwidth: 0.0 }, None, 0.2));
+    }
+
+    #[test]
+    fn requires_separation_from_runner_up() {
+        let mut rule = StopRule::new();
+        let second = Some(Candidate { node: 9, score: 9.9, halfwidth: 1.0 });
+        rule.check(Candidate { node: 1, score: 10.0, halfwidth: 1.0 }, second, 0.2);
+        // Overlapping intervals and wide halfwidths → no stop.
+        assert!(!rule.check(Candidate { node: 1, score: 10.0, halfwidth: 1.0 }, second, 0.2));
+        // Tight halfwidths (≤ ε/2·score even though gap < widths) → stop.
+        let tight_second = Some(Candidate { node: 9, score: 9.9, halfwidth: 0.2 });
+        let mut rule2 = StopRule::new();
+        rule2.check(Candidate { node: 1, score: 10.0, halfwidth: 0.2 }, tight_second, 0.2);
+        assert!(rule2.check(Candidate { node: 1, score: 10.0, halfwidth: 0.2 }, tight_second, 0.2));
+    }
+}

@@ -1,0 +1,225 @@
+//! CFCC evaluation and resistance-distance utilities (paper §II).
+//!
+//! * `C(S) = n / Tr(L_{-S}^{-1})` — [`cfcc_group_exact`] (dense, small
+//!   graphs), [`cfcc_group_cg`] (per-column CG solves, mid-size), and
+//!   [`cfcc_group_hutchinson`] (stochastic trace, large graphs — how the
+//!   paper evaluates quality at scale, §V-B2).
+//! * single-node CFCC `C(u) = n / (Tr(L†) + n·L†_uu)` for the Top-CFCC
+//!   heuristic and sanity checks.
+//! * resistance distances `R(u, v)` and `R(u, S)`.
+
+use crate::{CfcmError, CfcmParams};
+use cfcc_graph::{Graph, Node};
+use cfcc_linalg::cg::CgConfig;
+use cfcc_linalg::laplacian::laplacian_submatrix_dense;
+use cfcc_linalg::pinv::pseudoinverse_dense;
+use cfcc_linalg::trace::{trace_inverse_exact_cg, trace_inverse_hutchinson};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build the `in_s` mask from a node list, rejecting duplicates/overflow.
+pub fn group_mask(g: &Graph, group: &[Node]) -> Result<Vec<bool>, CfcmError> {
+    let n = g.num_nodes();
+    let mut mask = vec![false; n];
+    for &u in group {
+        if u as usize >= n {
+            return Err(CfcmError::InvalidParameter(format!("node {u} out of range")));
+        }
+        if mask[u as usize] {
+            return Err(CfcmError::InvalidParameter(format!("duplicate node {u} in group")));
+        }
+        mask[u as usize] = true;
+    }
+    Ok(mask)
+}
+
+/// Exact `Tr(L_{-S}^{-1})` by dense Cholesky — `O(n³)`, small graphs.
+pub fn grounded_trace_exact(g: &Graph, group: &[Node]) -> f64 {
+    let mask = group_mask(g, group).expect("valid group");
+    let (sub, _) = laplacian_submatrix_dense(g, &mask);
+    sub.cholesky()
+        .expect("L_{-S} of a connected graph is positive definite")
+        .trace_inverse()
+}
+
+/// Exact group CFCC `C(S)` by dense Cholesky.
+pub fn cfcc_group_exact(g: &Graph, group: &[Node]) -> f64 {
+    g.num_nodes() as f64 / grounded_trace_exact(g, group)
+}
+
+/// `Tr(L_{-S}^{-1})` by `|V∖S|` CG solves (exact up to CG tolerance).
+pub fn grounded_trace_cg(g: &Graph, group: &[Node], tol: f64) -> Result<f64, CfcmError> {
+    let mask = group_mask(g, group)?;
+    let (trace, converged) = trace_inverse_exact_cg(g, &mask, &CgConfig::with_tol(tol));
+    if !converged {
+        return Err(CfcmError::Numerical("CG failed to converge for trace".into()));
+    }
+    Ok(trace)
+}
+
+/// Group CFCC via per-column CG solves.
+pub fn cfcc_group_cg(g: &Graph, group: &[Node], tol: f64) -> Result<f64, CfcmError> {
+    Ok(g.num_nodes() as f64 / grounded_trace_cg(g, group, tol)?)
+}
+
+/// Group CFCC via Hutchinson trace estimation — the scalable evaluator.
+pub fn cfcc_group_hutchinson(
+    g: &Graph,
+    group: &[Node],
+    probes: usize,
+    params: &CfcmParams,
+) -> Result<f64, CfcmError> {
+    let mask = group_mask(g, group)?;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x7ace);
+    let est = trace_inverse_hutchinson(
+        g,
+        &mask,
+        probes,
+        &CgConfig::with_tol(params.cg_tol),
+        &mut rng,
+    );
+    if !est.all_converged {
+        return Err(CfcmError::Numerical("CG failed to converge for trace probes".into()));
+    }
+    Ok(g.num_nodes() as f64 / est.trace)
+}
+
+/// Exact single-node CFCC for every node:
+/// `C(u) = n / (Tr(L†) + n·L†_uu)` — dense, small graphs.
+pub fn cfcc_single_exact(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let pinv = pseudoinverse_dense(g);
+    let trace = pinv.trace();
+    (0..n).map(|u| n as f64 / (trace + n as f64 * pinv.get(u, u))).collect()
+}
+
+/// Resistance distance `R(u, v)` (dense, small graphs).
+pub fn resistance_exact(g: &Graph, u: Node, v: Node) -> f64 {
+    let pinv = pseudoinverse_dense(g);
+    cfcc_linalg::pinv::resistance_distance(&pinv, u as usize, v as usize)
+}
+
+/// Resistance `R(u, S) = (L_{-S}^{-1})_{uu}` between a node and a grounded
+/// group, via one CG solve.
+pub fn resistance_to_group_cg(
+    g: &Graph,
+    u: Node,
+    group: &[Node],
+    tol: f64,
+) -> Result<f64, CfcmError> {
+    let mask = group_mask(g, group)?;
+    if mask[u as usize] {
+        return Ok(0.0);
+    }
+    let op = cfcc_linalg::LaplacianSubmatrix::new(g, &mask);
+    let ci = op.compact_of(u).expect("u not in S");
+    let mut b = vec![0.0; op.dim()];
+    b[ci] = 1.0;
+    let mut x = vec![0.0; op.dim()];
+    let stats = cfcc_linalg::cg::solve_grounded(&op, &b, &mut x, &CgConfig::with_tol(tol));
+    if !stats.converged {
+        return Err(CfcmError::Numerical("CG failed for R(u,S)".into()));
+    }
+    Ok(x[ci])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+    use rand::Rng;
+
+    #[test]
+    fn group_mask_rejects_bad_groups() {
+        let g = generators::cycle(5);
+        assert!(group_mask(&g, &[1, 2]).is_ok());
+        assert!(group_mask(&g, &[9]).is_err());
+        assert!(group_mask(&g, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn exact_and_cg_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(50, 2, &mut rng);
+        let group = vec![3, 17];
+        let a = cfcc_group_exact(&g, &group);
+        let b = cfcc_group_cg(&g, &group, 1e-10).unwrap();
+        assert!((a - b).abs() / a < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn hutchinson_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::barabasi_albert(60, 3, &mut rng);
+        let group = vec![0, 10, 20];
+        let exact = cfcc_group_exact(&g, &group);
+        let params = CfcmParams::default();
+        let est = cfcc_group_hutchinson(&g, &group, 600, &params).unwrap();
+        assert!((est - exact).abs() / exact < 0.1, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn single_node_cfcc_matches_resistance_sum() {
+        // C(u) = n / Σ_v R(u,v) by definition.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(20, 2, &mut rng);
+        let n = g.num_nodes();
+        let c = cfcc_single_exact(&g);
+        let pinv = pseudoinverse_dense(&g);
+        for u in 0..n {
+            let sum_r: f64 = (0..n)
+                .map(|v| cfcc_linalg::pinv::resistance_distance(&pinv, u, v))
+                .sum();
+            assert!((c[u] - n as f64 / sum_r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grounding_a_group_beats_its_members() {
+        // C(S) ≥ max_u∈S C({u}) — grounding more nodes can only help.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let s = vec![4, 9];
+        let group = cfcc_group_exact(&g, &s);
+        for &u in &s {
+            assert!(group >= cfcc_group_exact(&g, &[u]) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn resistance_to_group_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::barabasi_albert(25, 2, &mut rng);
+        let group = vec![0, 7];
+        let mask = group_mask(&g, &group).unwrap();
+        let (sub, keep) = laplacian_submatrix_dense(&g, &mask);
+        let inv = sub.cholesky().unwrap().inverse();
+        for (ci, &u) in keep.iter().enumerate() {
+            let r = resistance_to_group_cg(&g, u, &group, 1e-11).unwrap();
+            assert!((r - inv.get(ci, ci)).abs() < 1e-7);
+        }
+        assert_eq!(resistance_to_group_cg(&g, 0, &group, 1e-11).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn star_center_is_most_centrall() {
+        let g = generators::star(12);
+        let c = cfcc_single_exact(&g);
+        let best = (0..12).max_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap()).unwrap();
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn random_group_never_beats_containing_group() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::barabasi_albert(40, 2, &mut rng);
+        for _ in 0..5 {
+            let a = rng.gen_range(0..40u32);
+            let mut b = rng.gen_range(0..40u32);
+            while b == a {
+                b = rng.gen_range(0..40u32);
+            }
+            assert!(cfcc_group_exact(&g, &[a, b]) >= cfcc_group_exact(&g, &[a]) - 1e-12);
+        }
+    }
+}

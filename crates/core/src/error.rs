@@ -1,0 +1,79 @@
+//! Error type for the CFCM solvers.
+
+use std::fmt;
+
+/// Errors from CFCM algorithm entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfcmError {
+    /// `k` must satisfy `1 ≤ k < n`.
+    InvalidK {
+        /// Requested group size.
+        k: usize,
+        /// Graph size.
+        n: usize,
+    },
+    /// CFCM is defined on connected graphs (extract the LCC first).
+    Disconnected,
+    /// A parameter was out of range (message explains).
+    InvalidParameter(String),
+    /// A linear-algebra subroutine failed (e.g. an estimated Schur
+    /// complement stayed indefinite after regularization).
+    Numerical(String),
+}
+
+impl fmt::Display for CfcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfcmError::InvalidK { k, n } => {
+                write!(f, "group size k={k} must satisfy 1 <= k < n={n}")
+            }
+            CfcmError::Disconnected => {
+                write!(f, "graph must be connected (run on the largest connected component)")
+            }
+            CfcmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CfcmError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CfcmError {}
+
+/// Validate common preconditions shared by all CFCM entry points.
+pub(crate) fn validate(g: &cfcc_graph::Graph, k: usize) -> Result<(), CfcmError> {
+    let n = g.num_nodes();
+    if k == 0 || k >= n {
+        return Err(CfcmError::InvalidK { k, n });
+    }
+    if !g.is_connected() {
+        return Err(CfcmError::Disconnected);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::{generators, Graph};
+
+    #[test]
+    fn validates_k_range() {
+        let g = generators::cycle(5);
+        assert!(validate(&g, 1).is_ok());
+        assert!(validate(&g, 4).is_ok());
+        assert_eq!(validate(&g, 0), Err(CfcmError::InvalidK { k: 0, n: 5 }));
+        assert_eq!(validate(&g, 5), Err(CfcmError::InvalidK { k: 5, n: 5 }));
+    }
+
+    #[test]
+    fn validates_connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(validate(&g, 1), Err(CfcmError::Disconnected));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(CfcmError::InvalidK { k: 3, n: 2 }.to_string().contains("k=3"));
+        assert!(CfcmError::Disconnected.to_string().contains("connected"));
+        assert!(CfcmError::Numerical("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,61 @@
+//! # cfcc-core
+//!
+//! Current Flow Closeness Maximization (CFCM) — a from-scratch Rust
+//! implementation of *"Fast Maximization of Current Flow Group Closeness
+//! Centrality"* (Xia & Zhang, ICDE 2025).
+//!
+//! For a connected undirected graph `G` with `n` nodes, the current-flow
+//! closeness centrality of a node group `S` is `C(S) = n / Tr(L_{-S}^{-1})`
+//! and CFCM asks for the size-`k` group maximizing it. The crate provides:
+//!
+//! * the paper's two Monte-Carlo greedy algorithms —
+//!   [`forest_cfcm::forest_cfcm`] (spanning-forest sampling) and
+//!   [`schur_cfcm::schur_cfcm`] (forest sampling + Schur complement), both
+//!   with the `1 − (k/(k−1))·(1/e) − ε` approximation profile;
+//! * every baseline from the paper's evaluation:
+//!   [`exact::exact_greedy`] (dense algebra with incremental rank-one
+//!   updates), [`optimum::optimum_cfcm`] (exhaustive search for tiny
+//!   graphs), [`approx_greedy::approx_greedy`] (the Li et al. WWW'19
+//!   state-of-the-art method on top of a hand-rolled PCG Laplacian solver),
+//!   and the [`heuristics`] (Degree, Top-CFCC);
+//! * [`cfcc`] — exact and CG/Hutchinson evaluation of `C(S)`, single-node
+//!   CFCC, and resistance-distance utilities.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cfcc_graph::generators;
+//! use cfcc_core::{params::CfcmParams, schur_cfcm::schur_cfcm, cfcc};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generators::barabasi_albert(200, 3, &mut rng);
+//! let params = CfcmParams::with_epsilon(0.3);
+//! let sel = schur_cfcm(&g, 5, &params).unwrap();
+//! assert_eq!(sel.nodes.len(), 5);
+//! let score = cfcc::cfcc_group_exact(&g, &sel.nodes);
+//! assert!(score > 0.0);
+//! ```
+
+pub mod adaptive;
+pub mod approx_greedy;
+pub mod cfcc;
+pub mod edge_addition;
+pub mod error;
+pub mod exact;
+pub mod first_phase;
+pub mod forest_cfcm;
+pub mod forest_delta;
+pub mod heuristics;
+pub mod kemeny;
+pub mod optimum;
+pub mod params;
+pub mod result;
+pub mod schur;
+pub mod schur_cfcm;
+pub mod schur_delta;
+
+pub use error::CfcmError;
+pub use params::CfcmParams;
+pub use result::{IterStats, RunStats, Selection};

@@ -1,0 +1,238 @@
+//! Tuning parameters shared by all CFCM solvers, plus the auxiliary
+//! root-set sizing rule `|T*|` of SchurCFCM (paper §V-A).
+
+use cfcc_graph::{Graph, Node};
+use cfcc_linalg::jl;
+
+/// Parameters for the Monte-Carlo CFCM solvers.
+///
+/// Defaults follow the paper's experimental setup (`ε = 0.2`) with
+/// *practical-mode* constants: sketch widths of `O(log n)` and a bounded
+/// forest budget, both of which the adaptive Bernstein stop usually
+/// undercuts. Set [`CfcmParams::use_theoretical_bounds`] to reproduce the
+/// (astronomically conservative) Lemma 3.9 / Lemma 4.5 sample sizes.
+#[derive(Debug, Clone)]
+pub struct CfcmParams {
+    /// Error parameter `ε ∈ (0, 1)` of the approximation guarantee.
+    pub epsilon: f64,
+    /// Master RNG seed — all sampling is deterministic given this.
+    pub seed: u64,
+    /// Worker threads for forest sampling (1 = serial; results are
+    /// thread-count independent).
+    pub threads: usize,
+    /// Override the JL sketch width (`None` = practical width from ε, n).
+    pub jl_width: Option<usize>,
+    /// First batch size of the doubling schedule.
+    pub min_batch: u64,
+    /// Practical ceiling on forests per greedy iteration.
+    pub max_forests: u64,
+    /// Confidence δ for the empirical-Bernstein stop.
+    pub delta_confidence: f64,
+    /// Relative tolerance of the CG Laplacian solves (ApproxGreedy, CFCC
+    /// evaluation).
+    pub cg_tol: f64,
+    /// Size `c` of SchurCFCM's auxiliary root set `T` (`None` = `|T*|`).
+    pub schur_c: Option<usize>,
+    /// Use the paper's worst-case Hoeffding sample bounds instead of the
+    /// practical ceiling (matches the theory, explodes the runtime).
+    pub use_theoretical_bounds: bool,
+}
+
+impl Default for CfcmParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.2,
+            seed: 0x5EED,
+            threads: 1,
+            jl_width: None,
+            min_batch: 64,
+            max_forests: 4096,
+            delta_confidence: 0.01,
+            cg_tol: 1e-6,
+            schur_c: None,
+            use_theoretical_bounds: false,
+        }
+    }
+}
+
+impl CfcmParams {
+    /// Defaults with the given `ε`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self { epsilon, ..Self::default() }
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style thread count override.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Effective JL width for an `n`-node problem.
+    pub fn width(&self, n: usize) -> usize {
+        if let Some(w) = self.jl_width {
+            return w.max(1);
+        }
+        if self.use_theoretical_bounds {
+            jl::theoretical_width(n, self.epsilon)
+        } else {
+            jl::practical_width(n, self.epsilon)
+        }
+    }
+
+    /// Effective forest cap for one greedy iteration.
+    ///
+    /// `tau` and `dmax_s` feed the Lemma 3.9 bound in theoretical mode.
+    pub fn forest_cap(&self, n: usize, tau: u32, dmax_s: usize) -> u64 {
+        if self.use_theoretical_bounds {
+            cfcc_forest::bernstein::hoeffding_cap(
+                n,
+                tau,
+                dmax_s,
+                self.epsilon,
+                self.min_batch,
+                u64::MAX / 2,
+            )
+        } else {
+            self.max_forests.max(self.min_batch)
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), crate::CfcmError> {
+        if !(0.0 < self.epsilon && self.epsilon < 1.0) {
+            return Err(crate::CfcmError::InvalidParameter(format!(
+                "epsilon must be in (0,1), got {}",
+                self.epsilon
+            )));
+        }
+        if self.min_batch == 0 {
+            return Err(crate::CfcmError::InvalidParameter("min_batch must be >= 1".into()));
+        }
+        if !(0.0 < self.delta_confidence && self.delta_confidence < 1.0) {
+            return Err(crate::CfcmError::InvalidParameter(
+                "delta_confidence must be in (0,1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's auxiliary root-set sizing rule: the balance point
+/// `|T*| = argmin_{|T|} {| |T| − d_max(T) |}` between the cost of inverting
+/// the `|T| × |T|` Schur complement (grows with `|T|`) and the sampling
+/// bound driven by `d_max(T)` (shrinks with `|T|`). Implemented as the
+/// smallest `c` with `c ≥ d_max` after removing the top-`c` hubs.
+pub fn t_star(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    if n <= 2 {
+        return 1;
+    }
+    let by_degree = g.nodes_by_degree_desc();
+    // Residual degrees after removing hubs one at a time.
+    let mut residual: Vec<i64> = (0..n as Node).map(|u| g.degree(u) as i64).collect();
+    let mut removed = vec![false; n];
+    for (c, &hub) in by_degree.iter().enumerate() {
+        removed[hub as usize] = true;
+        for &v in g.neighbors(hub) {
+            residual[v as usize] -= 1;
+        }
+        let dmax = (0..n)
+            .filter(|&u| !removed[u])
+            .map(|u| residual[u])
+            .max()
+            .unwrap_or(0);
+        let size = c + 1;
+        if size as i64 >= dmax {
+            return size.max(1);
+        }
+    }
+    n - 1
+}
+
+/// The top-`c` degree nodes (SchurCFCM's `T`, Line 1 of Algorithm 5).
+pub fn top_degree_nodes(g: &Graph, c: usize) -> Vec<Node> {
+    let mut nodes = g.nodes_by_degree_desc();
+    nodes.truncate(c);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(CfcmParams::default().validate().is_ok());
+        assert!(CfcmParams::with_epsilon(1.5).validate().is_err());
+        assert!(CfcmParams::with_epsilon(0.0).validate().is_err());
+        let mut p = CfcmParams::default();
+        p.min_batch = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn width_respects_override_and_mode() {
+        let mut p = CfcmParams::default();
+        assert!(p.width(10_000) >= 8);
+        p.jl_width = Some(4);
+        assert_eq!(p.width(10_000), 4);
+        p.jl_width = None;
+        p.use_theoretical_bounds = true;
+        assert!(p.width(10_000) > 10_000);
+    }
+
+    #[test]
+    fn forest_cap_modes() {
+        let mut p = CfcmParams::default();
+        assert_eq!(p.forest_cap(1000, 10, 50), 4096);
+        p.use_theoretical_bounds = true;
+        assert!(p.forest_cap(1000, 10, 50) > 4096);
+    }
+
+    #[test]
+    fn t_star_on_star_graph() {
+        // Star: removing the hub leaves isolated leaves (d_max = 0), so
+        // c = 1 already satisfies c >= d_max.
+        let g = generators::star(50);
+        assert_eq!(t_star(&g), 1);
+    }
+
+    #[test]
+    fn t_star_balances_on_scale_free() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::scale_free_with_edges(2000, 8000, &mut rng);
+        let c = t_star(&g);
+        assert!(c >= 1 && c < 2000);
+        // At the balance point, c is at least the residual max degree.
+        let t = top_degree_nodes(&g, c);
+        let mut in_t = vec![false; 2000];
+        for &h in &t {
+            in_t[h as usize] = true;
+        }
+        assert!(c >= g.max_degree_excluding(&in_t));
+    }
+
+    #[test]
+    fn top_degree_nodes_sorted() {
+        let g = generators::star(10);
+        let t = top_degree_nodes(&g, 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], 0); // the hub
+    }
+
+    #[test]
+    fn builder_methods() {
+        let p = CfcmParams::default().seed(9).threads(0);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.threads, 1);
+    }
+}

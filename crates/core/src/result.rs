@@ -1,0 +1,102 @@
+//! Result types: the selected group and per-iteration run statistics.
+
+use cfcc_graph::Node;
+
+/// Statistics of one greedy iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterStats {
+    /// Node chosen in this iteration.
+    pub chosen: Node,
+    /// Spanning forests sampled (0 for deterministic baselines).
+    pub forests: u64,
+    /// Total random-walk steps during sampling.
+    pub walk_steps: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Estimated marginal gain Δ'(chosen, S) — `NaN` in the first iteration
+    /// where the objective is `argmin L†_uu` instead.
+    pub gain: f64,
+}
+
+/// Aggregate statistics of one CFCM run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Per-iteration details, in selection order.
+    pub iterations: Vec<IterStats>,
+}
+
+impl RunStats {
+    /// Total forests sampled across iterations.
+    pub fn total_forests(&self) -> u64 {
+        self.iterations.iter().map(|i| i.forests).sum()
+    }
+
+    /// Total random-walk steps across iterations.
+    pub fn total_walk_steps(&self) -> u64 {
+        self.iterations.iter().map(|i| i.walk_steps).sum()
+    }
+
+    /// Total wall-clock seconds across iterations.
+    pub fn total_seconds(&self) -> f64 {
+        self.iterations.iter().map(|i| i.seconds).sum()
+    }
+}
+
+/// A selected node group with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Selected nodes in the order the greedy chose them.
+    pub nodes: Vec<Node>,
+    /// Per-run statistics.
+    pub stats: RunStats,
+}
+
+impl Selection {
+    /// The group as a sorted vector (canonical set form).
+    pub fn sorted_nodes(&self) -> Vec<Node> {
+        let mut v = self.nodes.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Prefix of the selection of length `k` (greedy selections are
+    /// nested, so this is the solution the same run would give for
+    /// smaller budgets — what the paper's Figures 1–3 sweep).
+    pub fn prefix(&self, k: usize) -> &[Node] {
+        &self.nodes[..k.min(self.nodes.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel() -> Selection {
+        Selection {
+            nodes: vec![5, 2, 9],
+            stats: RunStats {
+                iterations: vec![
+                    IterStats { chosen: 5, forests: 10, walk_steps: 100, seconds: 0.5, gain: f64::NAN },
+                    IterStats { chosen: 2, forests: 20, walk_steps: 150, seconds: 0.25, gain: 1.5 },
+                    IterStats { chosen: 9, forests: 30, walk_steps: 200, seconds: 0.25, gain: 0.5 },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = sel();
+        assert_eq!(s.stats.total_forests(), 60);
+        assert_eq!(s.stats.total_walk_steps(), 450);
+        assert!((s.stats.total_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_and_prefix() {
+        let s = sel();
+        assert_eq!(s.sorted_nodes(), vec![2, 5, 9]);
+        assert_eq!(s.prefix(2), &[5, 2]);
+        assert_eq!(s.prefix(10), &[5, 2, 9]);
+    }
+}

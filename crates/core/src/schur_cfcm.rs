@@ -1,0 +1,153 @@
+//! SchurCFCM (paper Algorithm 5): greedy CFCM with the auxiliary root set
+//! `T` — the paper's flagship algorithm, faster and more accurate than
+//! ForestCFCM because (i) Wilson walks absorb sooner on `S ∪ T` and
+//! (ii) `L_{-S∪T}^{-1}` is more diagonally dominant than `L_{-S}^{-1}`.
+
+use crate::error::validate;
+use crate::first_phase::first_phase;
+use crate::forest_delta::forest_delta;
+use crate::params::{t_star, top_degree_nodes};
+use crate::result::{IterStats, RunStats, Selection};
+use crate::schur_delta::schur_delta;
+use crate::{CfcmError, CfcmParams};
+use cfcc_graph::{Graph, Node};
+use cfcc_util::Stopwatch;
+
+/// Greedy CFCM via forest sampling plus Schur complement.
+///
+/// `T` holds the `c` highest-degree nodes (`c = params.schur_c`, defaulting
+/// to the balance point `|T*|` of §V-A); each iteration uses `T ∖ S_i` as
+/// the auxiliary root set. Falls back to plain ForestDelta if `T ∖ S_i`
+/// ever empties (only possible for tiny `c`).
+pub fn schur_cfcm(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection, CfcmError> {
+    validate(g, k)?;
+    params.validate()?;
+    let mut stats = RunStats::default();
+    let mut sw = Stopwatch::start();
+
+    let c = params.schur_c.unwrap_or_else(|| t_star(g)).max(1);
+    let t_pool = top_degree_nodes(g, c.min(g.num_nodes() - 1));
+
+    // First iteration: identical to ForestCFCM (Lines 2–15; the paper omits
+    // the Schur machinery here for ease of implementation).
+    let fp = first_phase(g, params);
+    let mut in_s = vec![false; g.num_nodes()];
+    in_s[fp.chosen as usize] = true;
+    let mut nodes = vec![fp.chosen];
+    stats.iterations.push(IterStats {
+        chosen: fp.chosen,
+        forests: fp.forests,
+        walk_steps: fp.walk_steps,
+        seconds: sw.lap().as_secs_f64(),
+        gain: f64::NAN,
+    });
+
+    for i in 1..k {
+        let t_nodes: Vec<Node> =
+            t_pool.iter().copied().filter(|&t| !in_s[t as usize]).collect();
+        let (best, forests, walk_steps, gain) = if t_nodes.is_empty() {
+            let est = forest_delta(g, &in_s, params, i as u64);
+            (est.best, est.forests, est.walk_steps, est.deltas[est.best as usize])
+        } else {
+            let est = schur_delta(g, &in_s, &t_nodes, params, i as u64)?;
+            (est.best, est.forests, est.walk_steps, est.deltas[est.best as usize])
+        };
+        in_s[best as usize] = true;
+        nodes.push(best);
+        stats.iterations.push(IterStats {
+            chosen: best,
+            forests,
+            walk_steps,
+            seconds: sw.lap().as_secs_f64(),
+            gain,
+        });
+    }
+    Ok(Selection { nodes, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfcc::cfcc_group_exact;
+    use crate::exact::exact_greedy;
+    use cfcc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validates_inputs() {
+        let g = generators::cycle(6);
+        assert!(schur_cfcm(&g, 0, &CfcmParams::default()).is_err());
+        assert!(schur_cfcm(&g, 6, &CfcmParams::default()).is_err());
+    }
+
+    #[test]
+    fn selects_k_distinct_nodes() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let g = generators::barabasi_albert(70, 3, &mut rng);
+        let sel = schur_cfcm(&g, 6, &CfcmParams::with_epsilon(0.3).seed(3)).unwrap();
+        assert_eq!(sel.nodes.len(), 6);
+        let set: std::collections::HashSet<_> = sel.nodes.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn quality_close_to_exact_greedy() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = generators::barabasi_albert(80, 3, &mut rng);
+        let k = 4;
+        let exact = exact_greedy(&g, k).unwrap();
+        let exact_c = cfcc_group_exact(&g, &exact.nodes);
+        let sel = schur_cfcm(&g, k, &CfcmParams::with_epsilon(0.15).seed(4)).unwrap();
+        let got_c = cfcc_group_exact(&g, &sel.nodes);
+        assert!(
+            got_c >= 0.93 * exact_c,
+            "SchurCFCM C(S)={got_c} too far below exact greedy {exact_c}"
+        );
+    }
+
+    #[test]
+    fn walks_shorter_than_forest_cfcm() {
+        // The §IV motivation: adding T to the root set shortens Wilson
+        // walks. Compare per-forest walk lengths across the two methods.
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = generators::scale_free_with_edges(300, 1200, &mut rng);
+        let p = CfcmParams::with_epsilon(0.3).seed(5);
+        let forest = crate::forest_cfcm::forest_cfcm(&g, 3, &p).unwrap();
+        let schur = schur_cfcm(&g, 3, &p).unwrap();
+        // Compare mean steps per forest over the delta iterations (skip the
+        // shared first phase).
+        let mean = |sel: &Selection| {
+            let (s, f): (u64, u64) = sel.stats.iterations[1..]
+                .iter()
+                .fold((0, 0), |(s, f), it| (s + it.walk_steps, f + it.forests));
+            s as f64 / f.max(1) as f64
+        };
+        assert!(
+            mean(&schur) < mean(&forest),
+            "schur {} vs forest {}",
+            mean(&schur),
+            mean(&forest)
+        );
+    }
+
+    #[test]
+    fn explicit_small_c_falls_back_when_t_exhausted() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::barabasi_albert(40, 2, &mut rng);
+        let mut p = CfcmParams::with_epsilon(0.3).seed(6);
+        p.schur_c = Some(1); // T may be swallowed by S quickly
+        let sel = schur_cfcm(&g, 4, &p).unwrap();
+        assert_eq!(sel.nodes.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = generators::barabasi_albert(50, 2, &mut rng);
+        let p = CfcmParams::with_epsilon(0.25).seed(7);
+        let a = schur_cfcm(&g, 3, &p).unwrap();
+        let b = schur_cfcm(&g, 3, &p).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+    }
+}

@@ -1,0 +1,331 @@
+//! SchurDelta (paper Algorithm 4): marginal gains via forests rooted at
+//! the *enlarged* set `S ∪ T`.
+//!
+//! With `U = V ∖ (S ∪ T)` and `Σ = S_T(L_{-S})`, Eq. (11) block-decomposes
+//!
+//! ```text
+//! L_{-S}^{-1} = [ L_UU^{-1} + F Σ^{-1} Fᵀ    F Σ^{-1}  ]
+//!               [ Σ^{-1} Fᵀ                 Σ^{-1}     ]
+//! ```
+//!
+//! where `F_{ut} = Pr(ρ_u = t)` (Lemma 4.2). The forests rooted at `S ∪ T`
+//! supply three things at once: the `L_UU^{-1}` estimators (same machinery
+//! as ForestDelta, but with much shorter walks — the paper's speed-up),
+//! the rooted probabilities `F̃`, and, through Eq. (15), the estimated
+//! `Σ̃` — inverted densely since `|T| ≪ n`.
+
+use crate::adaptive::{batch_schedule, Candidate, StopRule};
+use crate::forest_delta::top2_max;
+use crate::schur::{estimated_schur, invert_estimated_schur};
+use crate::{CfcmError, CfcmParams};
+use cfcc_forest::bernstein::bernstein_halfwidth;
+use cfcc_forest::estimators::{DiagMode, ElectricalAccumulator, YMatrix};
+use cfcc_forest::rooted::{RootIndex, RootedCounts};
+use cfcc_forest::sampler::{absorb_batch, SamplerConfig};
+use cfcc_graph::{Graph, Node};
+use cfcc_linalg::dense::DenseMatrix;
+use cfcc_linalg::jl::JlSketch;
+use cfcc_linalg::vector::norm2_sq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Output of one Schur delta-estimation round.
+#[derive(Debug, Clone)]
+pub struct SchurDeltaEstimates {
+    /// `Δ'(u, S)` per node (`NaN` for `u ∈ S`).
+    pub deltas: Vec<f64>,
+    /// Argmax node.
+    pub best: Node,
+    /// Forests sampled.
+    pub forests: u64,
+    /// Random-walk steps performed.
+    pub walk_steps: u64,
+    /// Ridge added to the estimated Schur complement (0 in the common case).
+    pub ridge: f64,
+}
+
+/// Estimate marginal gains with the auxiliary root set `T` (Algorithm 4).
+///
+/// `in_s` marks `S`; `t_nodes` must be disjoint from `S` and non-empty.
+pub fn schur_delta(
+    g: &Graph,
+    in_s: &[bool],
+    t_nodes: &[Node],
+    params: &CfcmParams,
+    iteration: u64,
+) -> Result<SchurDeltaEstimates, CfcmError> {
+    let n = g.num_nodes();
+    assert!(!t_nodes.is_empty());
+    debug_assert!(t_nodes.iter().all(|&t| !in_s[t as usize]), "T must be disjoint from S");
+    let mut in_root = in_s.to_vec();
+    for &t in t_nodes {
+        in_root[t as usize] = true;
+    }
+
+    let w = params.width(n);
+    let mut sketch_rng =
+        StdRng::seed_from_u64(params.seed ^ 0x5C47A ^ iteration.wrapping_mul(0x9E37));
+    let sketch_w = JlSketch::sample(w, n, &mut sketch_rng);
+    let sketch_q = JlSketch::sample(w, t_nodes.len(), &mut sketch_rng);
+    let index = Arc::new(RootIndex::new(n, t_nodes));
+    let mut acc = ElectricalAccumulator::new(
+        g,
+        &in_root,
+        Some(sketch_w.clone()),
+        DiagMode::Diagonal,
+        Some(index),
+    );
+    let cfg = SamplerConfig {
+        seed: params.seed ^ 0x5DE17 ^ iteration.wrapping_mul(0x85EB),
+        threads: params.threads,
+    };
+    let dmax = g.max_degree_excluding(&in_root);
+    let cap = params.forest_cap(n, 0, dmax);
+    let mut rule = StopRule::new();
+    let mut sampled = 0u64;
+    let mut deltas = vec![f64::NAN; n];
+    let mut last_ridge = 0.0f64;
+    for total in batch_schedule(params.min_batch, cap) {
+        absorb_batch(g, &in_root, sampled, total - sampled, &cfg, &mut acc);
+        sampled = total;
+        last_ridge = compute_schur_deltas(
+            g,
+            in_s,
+            t_nodes,
+            &acc,
+            &sketch_w,
+            &sketch_q,
+            &mut deltas,
+        )?;
+        let (best, second) = top2_max(&deltas);
+        let mk = |u: Node| Candidate {
+            node: u,
+            score: deltas[u as usize],
+            halfwidth: if in_root[u as usize] {
+                // t ∈ T: denominator comes from Σ̃^{-1}, treated via the
+                // stability criterion only.
+                0.0
+            } else {
+                let hz = bernstein_halfwidth(
+                    acc.num_forests(),
+                    acc.diag_variance(u),
+                    acc.diag_sup(u).max(1.0),
+                    params.delta_confidence,
+                );
+                let z = acc.diag_means()[u as usize].max(f64::MIN_POSITIVE);
+                deltas[u as usize] * (hz / z).min(1.0)
+            },
+        };
+        if rule.check(mk(best), second.map(mk), params.epsilon) {
+            break;
+        }
+    }
+    let (best, _) = top2_max(&deltas);
+    Ok(SchurDeltaEstimates {
+        deltas,
+        best,
+        forests: acc.num_forests(),
+        walk_steps: acc.total_walk_steps(),
+        ridge: last_ridge,
+    })
+}
+
+/// Assemble Δ' for all `u ∉ S` from the current accumulator state.
+fn compute_schur_deltas(
+    g: &Graph,
+    in_s: &[bool],
+    t_nodes: &[Node],
+    acc: &ElectricalAccumulator,
+    sketch_w: &JlSketch,
+    sketch_q: &JlSketch,
+    deltas: &mut [f64],
+) -> Result<f64, CfcmError> {
+    let n = g.num_nodes();
+    let w = sketch_w.width();
+    let t_len = t_nodes.len();
+    let rooted: &RootedCounts = acc.rooted().expect("rooted tracking enabled");
+    let num_forests = acc.num_forests();
+
+    // Σ̃ and its inverse G.
+    let mut in_root = in_s.to_vec();
+    for &t in t_nodes {
+        in_root[t as usize] = true;
+    }
+    let sigma = estimated_schur(g, &in_root, t_nodes, rooted, num_forests);
+    let (gmat, ridge) = invert_estimated_schur(sigma)?;
+
+    // wfq_t = (W·F̃ + Q)ᵀ ∈ R^{|T| × w}, rows contiguous per root.
+    let inv_n = 1.0 / num_forests as f64;
+    let mut wfq_t = DenseMatrix::zeros(t_len, w);
+    for u in 0..n as Node {
+        if in_root[u as usize] {
+            continue;
+        }
+        let col = sketch_w.column(u as usize);
+        for &(ti, count) in rooted.entries(u) {
+            let p = count as f64 * inv_n;
+            let row = wfq_t.row_mut(ti as usize);
+            for j in 0..w {
+                row[j] += p * col[j];
+            }
+        }
+    }
+    for ti in 0..t_len {
+        let q = sketch_q.column(ti);
+        let row = wfq_t.row_mut(ti);
+        for j in 0..w {
+            row[j] += q[j];
+        }
+    }
+    // ht = G · wfq_t ∈ R^{|T| × w}; row t is the column `H e_t` of
+    // H = (W F̃ + Q) Σ̃^{-1}.
+    let ht = gmat.matmul(&wfq_t);
+
+    // Correct Y in place and assemble the ratios.
+    let mut y: YMatrix = acc.y_matrix();
+    let z = acc.diag_means();
+    let mut gf = vec![0.0f64; t_len];
+    for u in 0..n as Node {
+        let ui = u as usize;
+        if in_s[ui] {
+            deltas[ui] = f64::NAN;
+            continue;
+        }
+        if let Some(ti) = rooted.index().index_of(u) {
+            // u = t ∈ T: bottom-right block of Eq. (11).
+            let zt = gmat.get(ti, ti).max(f64::MIN_POSITIVE);
+            deltas[ui] = norm2_sq(ht.row(ti)) / zt;
+            continue;
+        }
+        // u ∈ U: top-left block.
+        let entries = rooted.entries(u);
+        // Quadratic form fᵀ G f: choose the cheaper evaluation order.
+        let quad = if entries.len() * entries.len() <= entries.len() * t_len {
+            let mut s = 0.0;
+            for &(ti, ci) in entries {
+                let pi = ci as f64 * inv_n;
+                for &(tj, cj) in entries {
+                    let pj = cj as f64 * inv_n;
+                    s += pi * pj * gmat.get(ti as usize, tj as usize);
+                }
+            }
+            s
+        } else {
+            gf.iter_mut().for_each(|v| *v = 0.0);
+            for &(tj, cj) in entries {
+                let pj = cj as f64 * inv_n;
+                let grow = gmat.row(tj as usize);
+                for ti in 0..t_len {
+                    gf[ti] += pj * grow[ti];
+                }
+            }
+            entries
+                .iter()
+                .map(|&(ti, ci)| ci as f64 * inv_n * gf[ti as usize])
+                .sum()
+        };
+        let floor = 1.0 / g.degree(u) as f64;
+        let zu = z[ui].max(floor) + quad.max(0.0);
+        // y column correction: + H·f_u = Σ_t p_t · ht.row(t).
+        let col = y.column_mut(u);
+        for &(ti, ci) in entries {
+            let p = ci as f64 * inv_n;
+            let hrow = ht.row(ti as usize);
+            for j in 0..w {
+                col[j] += p * hrow[j];
+            }
+        }
+        deltas[ui] = norm2_sq(y.column(u)) / zu;
+    }
+    Ok(ridge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_deltas;
+    use crate::params::{t_star, top_degree_nodes};
+    use cfcc_graph::generators;
+    use rand::rngs::StdRng;
+
+    fn run_case(seed: u64, n: usize, s: Vec<Node>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, 2, &mut rng);
+        let mut in_s = vec![false; n];
+        for &x in &s {
+            in_s[x as usize] = true;
+        }
+        let c = t_star(&g).max(2);
+        let t_nodes: Vec<Node> = top_degree_nodes(&g, c + s.len())
+            .into_iter()
+            .filter(|&t| !in_s[t as usize])
+            .take(c)
+            .collect();
+        let params = CfcmParams::with_epsilon(0.15).seed(seed ^ 0xA);
+        let est = schur_delta(&g, &in_s, &t_nodes, &params, 1).unwrap();
+        let exact: Vec<(Node, f64)> = exact_deltas(&g, &s);
+        let mut sorted = exact.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top3: Vec<Node> = sorted.iter().take(3).map(|&(u, _)| u).collect();
+        assert!(
+            top3.contains(&est.best),
+            "estimated best {} not in exact top3 {top3:?}",
+            est.best
+        );
+        let exact_of_best = exact.iter().find(|&&(u, _)| u == est.best).unwrap().1;
+        assert!(
+            exact_of_best >= 0.85 * sorted[0].1,
+            "chosen {} gain {exact_of_best} vs best {}",
+            est.best,
+            sorted[0].1
+        );
+    }
+
+    #[test]
+    fn tracks_exact_deltas_small() {
+        run_case(24, 40, vec![0]);
+    }
+
+    #[test]
+    fn tracks_exact_deltas_larger_group() {
+        run_case(25, 50, vec![1, 8]);
+    }
+
+    #[test]
+    fn grounded_nodes_are_nan_and_t_nodes_scored() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let mut in_s = vec![false; 30];
+        in_s[5] = true;
+        let t_nodes: Vec<Node> = top_degree_nodes(&g, 4)
+            .into_iter()
+            .filter(|&t| t != 5)
+            .take(3)
+            .collect();
+        let params = CfcmParams::with_epsilon(0.3).seed(2);
+        let est = schur_delta(&g, &in_s, &t_nodes, &params, 0).unwrap();
+        assert!(est.deltas[5].is_nan());
+        for &t in &t_nodes {
+            assert!(est.deltas[t as usize].is_finite(), "T node {t} must be scored");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = generators::barabasi_albert(35, 2, &mut rng);
+        let mut in_s = vec![false; 35];
+        in_s[3] = true;
+        let t_nodes: Vec<Node> = top_degree_nodes(&g, 5)
+            .into_iter()
+            .filter(|&t| t != 3)
+            .take(4)
+            .collect();
+        let params = CfcmParams::default().seed(55);
+        let a = schur_delta(&g, &in_s, &t_nodes, &params, 2).unwrap();
+        let b = schur_delta(&g, &in_s, &t_nodes, &params, 2).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.forests, b.forests);
+    }
+}

@@ -1,0 +1,126 @@
+//! The Contiguous-USA graph (Knuth) — 49 nodes (48 contiguous states plus
+//! the District of Columbia), 107 border edges.
+//!
+//! One of the paper's four tiny Fig. 1 graphs ("Cont. USA"). Four-corner
+//! point adjacencies (AZ–CO, NM–UT) are excluded, as is standard.
+
+use cfcc_graph::{Graph, Node};
+
+/// Two-letter codes indexing the nodes `0..49`.
+pub const STATE_CODES: [&str; 49] = [
+    "AL", "AZ", "AR", "CA", "CO", "CT", "DE", "DC", "FL", "GA", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH",
+    "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX",
+    "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+];
+
+/// The 107 border pairs, by state code.
+pub const USA_BORDERS: [(&str, &str); 107] = [
+    ("AL", "FL"), ("AL", "GA"), ("AL", "MS"), ("AL", "TN"),
+    ("AZ", "CA"), ("AZ", "NV"), ("AZ", "NM"), ("AZ", "UT"),
+    ("AR", "LA"), ("AR", "MS"), ("AR", "MO"), ("AR", "OK"), ("AR", "TN"), ("AR", "TX"),
+    ("CA", "NV"), ("CA", "OR"),
+    ("CO", "KS"), ("CO", "NE"), ("CO", "NM"), ("CO", "OK"), ("CO", "UT"), ("CO", "WY"),
+    ("CT", "MA"), ("CT", "NY"), ("CT", "RI"),
+    ("DE", "MD"), ("DE", "NJ"), ("DE", "PA"),
+    ("DC", "MD"), ("DC", "VA"),
+    ("FL", "GA"),
+    ("GA", "NC"), ("GA", "SC"), ("GA", "TN"),
+    ("ID", "MT"), ("ID", "NV"), ("ID", "OR"), ("ID", "UT"), ("ID", "WA"), ("ID", "WY"),
+    ("IL", "IN"), ("IL", "IA"), ("IL", "KY"), ("IL", "MO"), ("IL", "WI"),
+    ("IN", "KY"), ("IN", "MI"), ("IN", "OH"),
+    ("IA", "MN"), ("IA", "MO"), ("IA", "NE"), ("IA", "SD"), ("IA", "WI"),
+    ("KS", "MO"), ("KS", "NE"), ("KS", "OK"),
+    ("KY", "MO"), ("KY", "OH"), ("KY", "TN"), ("KY", "VA"), ("KY", "WV"),
+    ("LA", "MS"), ("LA", "TX"),
+    ("ME", "NH"),
+    ("MD", "PA"), ("MD", "VA"), ("MD", "WV"),
+    ("MA", "NH"), ("MA", "NY"), ("MA", "RI"), ("MA", "VT"),
+    ("MI", "OH"), ("MI", "WI"),
+    ("MN", "ND"), ("MN", "SD"), ("MN", "WI"),
+    ("MS", "TN"),
+    ("MO", "NE"), ("MO", "OK"), ("MO", "TN"),
+    ("MT", "ND"), ("MT", "SD"), ("MT", "WY"),
+    ("NE", "SD"), ("NE", "WY"),
+    ("NV", "OR"), ("NV", "UT"),
+    ("NH", "VT"),
+    ("NJ", "NY"), ("NJ", "PA"),
+    ("NM", "OK"), ("NM", "TX"),
+    ("NY", "PA"), ("NY", "VT"),
+    ("NC", "SC"), ("NC", "TN"), ("NC", "VA"),
+    ("ND", "SD"),
+    ("OH", "PA"), ("OH", "WV"),
+    ("OK", "TX"),
+    ("OR", "WA"),
+    ("PA", "WV"),
+    ("SD", "WY"),
+    ("TN", "VA"),
+    ("UT", "WY"),
+    ("VA", "WV"),
+];
+
+/// Node id of a state code.
+pub fn state_index(code: &str) -> Option<Node> {
+    STATE_CODES.iter().position(|&c| c == code).map(|i| i as Node)
+}
+
+/// Build the Contiguous-USA graph.
+pub fn contiguous_usa() -> Graph {
+    let edges: Vec<(Node, Node)> = USA_BORDERS
+        .iter()
+        .map(|&(a, b)| {
+            (
+                state_index(a).expect("known state"),
+                state_index(b).expect("known state"),
+            )
+        })
+        .collect();
+    Graph::from_edges(49, &edges).expect("static edge list is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_counts() {
+        let g = contiguous_usa();
+        assert_eq!(g.num_nodes(), 49);
+        assert_eq!(g.num_edges(), 107);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn known_adjacencies() {
+        let g = contiguous_usa();
+        let e = |a: &str, b: &str| {
+            g.has_edge(state_index(a).unwrap(), state_index(b).unwrap())
+        };
+        assert!(e("CA", "OR"));
+        assert!(e("NY", "VT"));
+        assert!(!e("CA", "TX"));
+        // Four-corner point contacts are excluded.
+        assert!(!e("AZ", "CO"));
+        assert!(!e("NM", "UT"));
+    }
+
+    #[test]
+    fn known_degrees() {
+        let g = contiguous_usa();
+        // Missouri and Tennessee each border 8 states.
+        assert_eq!(g.degree(state_index("MO").unwrap()), 8);
+        assert_eq!(g.degree(state_index("TN").unwrap()), 8);
+        // Maine borders only New Hampshire.
+        assert_eq!(g.degree(state_index("ME").unwrap()), 1);
+    }
+
+    #[test]
+    fn every_code_unique_and_used() {
+        let mut codes: Vec<&str> = STATE_CODES.to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 49);
+        assert!(state_index("AK").is_none(), "Alaska is not contiguous");
+        assert!(state_index("HI").is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Empirical Bernstein confidence bound (paper Lemma 3.6).
+//!
+//! For i.i.d. samples `X_i ∈ [0, X_sup]` with empirical variance `X_var`
+//! over `n` samples, with probability ≥ 1 − δ,
+//!
+//! ```text
+//! |X̄ − E X̄| ≤ sqrt(2·X_var·ln(3/δ)/n) + 3·X_sup·ln(3/δ)/n
+//! ```
+//!
+//! The adaptive sampling loops compare this half-width against the relative
+//! error target (Line 17 of Algorithm 2 / Line 13 of Algorithm 3) and stop
+//! early when it is met, while the Hoeffding-style cap `r` preserves the
+//! worst-case guarantee.
+
+/// Bernstein half-width `f(n, X_var, X_sup, δ)` from Lemma 3.6.
+#[inline]
+pub fn bernstein_halfwidth(n: u64, variance: f64, sup: f64, delta: f64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let log_term = (3.0 / delta).ln();
+    let nf = n as f64;
+    (2.0 * variance.max(0.0) * log_term / nf).sqrt() + 3.0 * sup * log_term / nf
+}
+
+/// Relative-error acceptance test of the paper's adaptive loops:
+/// `ε'_u ≤ ε (x̂_u − ε'_u)`, i.e. the estimate is an ε-approximation even in
+/// the worst case of the confidence interval.
+#[inline]
+pub fn relative_error_ok(estimate: f64, halfwidth: f64, epsilon: f64) -> bool {
+    halfwidth.is_finite() && halfwidth <= epsilon * (estimate - halfwidth)
+}
+
+/// The Hoeffding-style worst-case sample bound of Lemma 3.9 (Eq. 8):
+/// `r ≥ 2 (ε/15)^{-2} τ² d_max^{2τ+2}(S) log(2n)`, clamped to
+/// `[min_cap, max_cap]` — the raw value overflows anything realistic, which
+/// is exactly why the paper adds the Bernstein early stop.
+pub fn hoeffding_cap(
+    n: usize,
+    tau: u32,
+    dmax_s: usize,
+    epsilon: f64,
+    min_cap: u64,
+    max_cap: u64,
+) -> u64 {
+    let tau = tau.max(1) as f64;
+    let d = dmax_s.max(1) as f64;
+    let raw = 2.0 * (epsilon / 15.0).powi(-2)
+        * tau
+        * tau
+        * d.powf((2.0 * tau + 2.0).min(64.0))
+        * (2.0 * n.max(2) as f64).ln();
+    if !raw.is_finite() || raw >= max_cap as f64 {
+        max_cap
+    } else {
+        (raw as u64).clamp(min_cap, max_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfwidth_shrinks_with_samples() {
+        let a = bernstein_halfwidth(100, 1.0, 5.0, 0.01);
+        let b = bernstein_halfwidth(10_000, 1.0, 5.0, 0.01);
+        assert!(b < a);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn zero_samples_is_infinite() {
+        assert!(bernstein_halfwidth(0, 1.0, 1.0, 0.1).is_infinite());
+    }
+
+    #[test]
+    fn zero_variance_leaves_range_term() {
+        let h = bernstein_halfwidth(1000, 0.0, 2.0, 0.05);
+        let expect = 3.0 * 2.0 * (3.0f64 / 0.05).ln() / 1000.0;
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_test_behaviour() {
+        // Tight interval around a positive estimate passes.
+        assert!(relative_error_ok(10.0, 0.5, 0.2));
+        // Interval as large as the estimate fails.
+        assert!(!relative_error_ok(10.0, 9.0, 0.2));
+        // Infinite half-width fails.
+        assert!(!relative_error_ok(10.0, f64::INFINITY, 0.2));
+    }
+
+    #[test]
+    fn bernstein_covers_true_mean_empirically() {
+        // Uniform[0,1] samples: the bound must cover the true mean 0.5 in
+        // the vast majority of repetitions.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut covered = 0;
+        let reps = 200;
+        for _ in 0..reps {
+            let mut w = cfcc_util::Welford::new();
+            for _ in 0..300 {
+                w.push(rng.gen::<f64>());
+            }
+            let h = bernstein_halfwidth(w.count(), w.variance(), 1.0, 0.05);
+            if (w.mean() - 0.5).abs() <= h {
+                covered += 1;
+            }
+        }
+        assert!(covered >= reps * 95 / 100, "covered {covered}/{reps}");
+    }
+
+    #[test]
+    fn hoeffding_cap_clamps() {
+        // Realistic parameters explode; the cap must clamp.
+        assert_eq!(hoeffding_cap(10_000, 10, 50, 0.2, 64, 1 << 20), 1 << 20);
+        // Tiny parameters respect the floor.
+        assert_eq!(hoeffding_cap(4, 1, 1, 0.9, 2000, 1 << 20), 2000);
+        // In between, the raw bound itself is returned.
+        let mid = hoeffding_cap(4, 1, 1, 0.9, 64, 1 << 20);
+        assert!((64..(1 << 20)).contains(&mid));
+    }
+}

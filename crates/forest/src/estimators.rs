@@ -1,0 +1,602 @@
+//! Forest-based electrical estimators (DESIGN.md §5).
+//!
+//! Per sampled forest with root set `S` (or `S ∪ T`), this module extracts:
+//!
+//! * **Sketched voltage rows** `Y ≈ W · L_{-S}^{-1}` — per BFS-tree edge
+//!   `(x, p_x)` it accumulates the signed subtree sums
+//!   `δ_j(x) = [π_x = p_x]·sw_j(x) − [π_{p_x} = x]·sw_j(p_x)`, whose
+//!   expectation is the weighted current through that edge (Lemma 3.2 +
+//!   linearity); BFS-path prefix sums then telescope to voltages
+//!   (Lemma 3.3 with the fixed path `P_{v,S}` = BFS path).
+//! * **Diagonal samples** `X_f(u)` with `E[X_f(u)] = (L_{-S}^{-1})_{uu}`:
+//!   along `u`'s BFS path, count forest-path traversals of each edge in both
+//!   directions, using O(1) Euler-tour ancestor tests. Welford accumulators
+//!   retain mean and variance for the empirical-Bernstein stop (Lemma 3.6).
+//! * **First-phase samples** `x_u = X_f(u) − scale · Φ̂₁(u)` implementing
+//!   Lemma 3.5's reduction of `L†_uu` to `L_{-s}^{-1}` quantities (the
+//!   shared `1ᵀL^{-1}1/n²` term is rank-preserving and omitted, as in
+//!   Algorithm 3).
+//! * **Rooted counts** for the Schur complement (Lemma 4.2) when an
+//!   auxiliary root index is supplied.
+
+use crate::forest::{EulerScratch, EulerTour, Forest};
+use crate::rooted::{RootIndex, RootedCounts};
+use crate::sampler::ForestAccumulator;
+use cfcc_graph::traversal::{bfs_from_set, NO_PARENT};
+use cfcc_graph::{Graph, Node};
+use cfcc_linalg::jl::JlSketch;
+use cfcc_util::stats::WelfordVec;
+use std::sync::Arc;
+
+/// What the accumulator's per-node Welford samples estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiagMode {
+    /// `z_u ≈ (L_{-S}^{-1})_{uu}` (Algorithms 2 and 4).
+    Diagonal,
+    /// `x_u ≈ (L_{-s}^{-1})_{uu} − scale · 1ᵀL_{-s}^{-1}e_u`
+    /// (Algorithm 3 / 5 first phase, `scale = 2/n`).
+    FirstPhase {
+        /// Multiplier on the all-ones voltage term (`2/n` in the paper).
+        scale: f64,
+    },
+}
+
+/// Immutable sampling context shared by accumulator clones.
+#[derive(Debug)]
+struct Ctx {
+    n: usize,
+    w: usize,
+    in_root: Vec<bool>,
+    bfs_parent: Vec<Node>,
+    bfs_order: Vec<Node>,
+    bfs_depth: Vec<u32>,
+    sketch: Option<JlSketch>,
+    mode: DiagMode,
+    root_index: Option<Arc<RootIndex>>,
+}
+
+/// Streaming estimator state; implements [`ForestAccumulator`].
+#[derive(Debug)]
+pub struct ElectricalAccumulator {
+    ctx: Arc<Ctx>,
+    num_forests: u64,
+    total_walk_steps: u64,
+    /// `n × w` node-major accumulated edge deltas (empty when no sketch).
+    edge_acc: Vec<f64>,
+    /// Per-node Welford over diagonal (or first-phase) samples.
+    diag: WelfordVec,
+    /// Per-node max |sample| — empirical range for the Bernstein stop.
+    diag_sup: Vec<f64>,
+    rooted: Option<RootedCounts>,
+    // ---- scratch reused across forests ----
+    sw: Vec<f64>,
+    ssize: Vec<f64>,
+    yones: Vec<f64>,
+    xdiag: Vec<f64>,
+    root_scratch: Vec<Node>,
+    tour: EulerTour,
+    escratch: EulerScratch,
+}
+
+impl ElectricalAccumulator {
+    /// Build an accumulator for forests of `g` rooted at `in_root`.
+    ///
+    /// * `sketch` — optional JL sketch over node ids (only non-root
+    ///   coordinates are ever read).
+    /// * `mode` — diagonal or first-phase samples.
+    /// * `root_index` — track rooted counts for these roots (SchurDelta).
+    pub fn new(
+        g: &Graph,
+        in_root: &[bool],
+        sketch: Option<JlSketch>,
+        mode: DiagMode,
+        root_index: Option<Arc<RootIndex>>,
+    ) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(in_root.len(), n);
+        let roots: Vec<Node> =
+            (0..n as Node).filter(|&u| in_root[u as usize]).collect();
+        assert!(!roots.is_empty(), "root set must be non-empty");
+        let bfs = bfs_from_set(g, &roots);
+        assert_eq!(bfs.order.len(), n, "graph must be connected to the root set");
+        if let Some(q) = &sketch {
+            assert_eq!(q.dim(), n, "sketch must span all node ids");
+        }
+        let w = sketch.as_ref().map_or(0, |q| q.width());
+        let ctx = Arc::new(Ctx {
+            n,
+            w,
+            in_root: in_root.to_vec(),
+            bfs_parent: bfs.parent,
+            bfs_order: bfs.order,
+            bfs_depth: bfs.depth,
+            sketch,
+            mode,
+            root_index,
+        });
+        Self::from_ctx(ctx)
+    }
+
+    fn from_ctx(ctx: Arc<Ctx>) -> Self {
+        let n = ctx.n;
+        let w = ctx.w;
+        let rooted = ctx
+            .root_index
+            .as_ref()
+            .map(|idx| RootedCounts::new(n, idx.clone()));
+        let first_phase = matches!(ctx.mode, DiagMode::FirstPhase { .. });
+        Self {
+            num_forests: 0,
+            total_walk_steps: 0,
+            edge_acc: vec![0.0; n * w],
+            diag: WelfordVec::new(n),
+            diag_sup: vec![0.0; n],
+            rooted,
+            sw: vec![0.0; n * w],
+            ssize: if first_phase { vec![0.0; n] } else { Vec::new() },
+            yones: if first_phase { vec![0.0; n] } else { Vec::new() },
+            xdiag: vec![0.0; n],
+            root_scratch: Vec::new(),
+            tour: EulerTour::default(),
+            escratch: EulerScratch::default(),
+            ctx,
+        }
+    }
+
+    /// Forests absorbed so far (`Ñ` in the paper).
+    pub fn num_forests(&self) -> u64 {
+        self.num_forests
+    }
+
+    /// Total random-walk steps over all forests (the Lemma 3.7 cost metric).
+    pub fn total_walk_steps(&self) -> u64 {
+        self.total_walk_steps
+    }
+
+    /// Sketch width `w` (0 when not sketching).
+    pub fn width(&self) -> usize {
+        self.ctx.w
+    }
+
+    /// Mean diagonal/first-phase estimate per node (roots are 0).
+    pub fn diag_means(&self) -> &[f64] {
+        self.diag.means()
+    }
+
+    /// Welford variance of node `u`'s samples.
+    pub fn diag_variance(&self, u: Node) -> f64 {
+        self.diag.variance_at(u as usize)
+    }
+
+    /// Empirical sample range bound for node `u` (max |sample| seen).
+    pub fn diag_sup(&self, u: Node) -> f64 {
+        self.diag_sup[u as usize]
+    }
+
+    /// BFS depth of `u` from the root set (the theoretical sample bound).
+    pub fn bfs_depth(&self, u: Node) -> u32 {
+        self.ctx.bfs_depth[u as usize]
+    }
+
+    /// Rooted counts (SchurDelta), if tracked.
+    pub fn rooted(&self) -> Option<&RootedCounts> {
+        self.rooted.as_ref()
+    }
+
+    /// The sketched voltage matrix `Y ≈ W L_{-S}^{-1}` as an `n × w`
+    /// node-major buffer: `column(u) = Y·e_u`. Root rows are zero.
+    pub fn y_matrix(&self) -> YMatrix {
+        let n = self.ctx.n;
+        let w = self.ctx.w;
+        assert!(w > 0, "no sketch configured");
+        assert!(self.num_forests > 0, "no forests absorbed");
+        let inv = 1.0 / self.num_forests as f64;
+        let mut data = vec![0.0f64; n * w];
+        for &u in &self.ctx.bfs_order {
+            let p = self.ctx.bfs_parent[u as usize];
+            if p == NO_PARENT {
+                continue; // root: zero voltage
+            }
+            let (dst, src) = split_rows(&mut data, u as usize, p as usize, w);
+            let acc = &self.edge_acc[u as usize * w..u as usize * w + w];
+            for j in 0..w {
+                dst[j] = src[j] + acc[j] * inv;
+            }
+        }
+        YMatrix { data, w }
+    }
+
+    fn absorb_inner(&mut self, f: &Forest) {
+        let ctx = &*self.ctx;
+        let n = ctx.n;
+        let w = ctx.w;
+        debug_assert_eq!(f.parent.len(), n);
+        self.num_forests += 1;
+        self.total_walk_steps += f.walk_steps;
+
+        // ---- sketched subtree sums and per-BFS-edge deltas ----
+        if let Some(q) = &ctx.sketch {
+            for &x in &f.bottomup {
+                let xi = x as usize;
+                self.sw[xi * w..xi * w + w].copy_from_slice(q.column(xi));
+            }
+            for &x in &f.bottomup {
+                let p = f.parent[x as usize];
+                if !f.is_root(p) {
+                    let (dst, src) = split_rows(&mut self.sw, p as usize, x as usize, w);
+                    for j in 0..w {
+                        dst[j] += src[j];
+                    }
+                }
+            }
+            for &x in &f.bottomup {
+                let xi = x as usize;
+                let pb = ctx.bfs_parent[xi];
+                debug_assert_ne!(pb, NO_PARENT);
+                if f.parent[xi] == pb {
+                    // edge_acc and sw are disjoint fields: borrows coexist.
+                    let dst = &mut self.edge_acc[xi * w..xi * w + w];
+                    let swx = &self.sw[xi * w..xi * w + w];
+                    for j in 0..w {
+                        dst[j] += swx[j];
+                    }
+                }
+                let pbi = pb as usize;
+                if !ctx.in_root[pbi] && f.parent[pbi] == x {
+                    let swp = &self.sw[pbi * w..pbi * w + w];
+                    let dst = &mut self.edge_acc[xi * w..xi * w + w];
+                    for j in 0..w {
+                        dst[j] -= swp[j];
+                    }
+                }
+            }
+        }
+
+        // ---- first-phase: subtree sizes and all-ones voltage prefix sums ----
+        let first_scale = match ctx.mode {
+            DiagMode::FirstPhase { scale } => {
+                for &x in &f.bottomup {
+                    self.ssize[x as usize] = 1.0;
+                }
+                for &x in &f.bottomup {
+                    let p = f.parent[x as usize];
+                    if !f.is_root(p) {
+                        self.ssize[p as usize] += self.ssize[x as usize];
+                    }
+                }
+                // prefix sums along BFS order
+                for &u in &ctx.bfs_order {
+                    let ui = u as usize;
+                    let pb = ctx.bfs_parent[ui];
+                    if pb == NO_PARENT {
+                        self.yones[ui] = 0.0;
+                        continue;
+                    }
+                    let mut delta = 0.0;
+                    if f.parent[ui] == pb {
+                        delta += self.ssize[ui];
+                    }
+                    let pbi = pb as usize;
+                    if !ctx.in_root[pbi] && f.parent[pbi] == u {
+                        delta -= self.ssize[pbi];
+                    }
+                    self.yones[ui] = self.yones[pbi] + delta;
+                }
+                Some(scale)
+            }
+            DiagMode::Diagonal => None,
+        };
+
+        // ---- diagonal samples via Euler-tour ancestor tests ----
+        f.euler_tour_into(&mut self.tour, &mut self.escratch);
+        for &u in &f.bottomup {
+            let ui = u as usize;
+            let mut x_acc = 0i64;
+            let mut a = u;
+            while !ctx.in_root[a as usize] {
+                let b = ctx.bfs_parent[a as usize];
+                debug_assert_ne!(b, NO_PARENT);
+                if f.parent[a as usize] == b && self.tour.is_ancestor_or_self(a, u) {
+                    x_acc += 1;
+                }
+                if !ctx.in_root[b as usize]
+                    && f.parent[b as usize] == a
+                    && self.tour.is_ancestor_or_self(b, u)
+                {
+                    x_acc -= 1;
+                }
+                a = b;
+            }
+            let mut sample = x_acc as f64;
+            if let Some(scale) = first_scale {
+                sample -= scale * self.yones[ui];
+            }
+            self.xdiag[ui] = sample;
+            let abs = sample.abs();
+            if abs > self.diag_sup[ui] {
+                self.diag_sup[ui] = abs;
+            }
+        }
+        for r in 0..n {
+            if ctx.in_root[r] {
+                self.xdiag[r] = 0.0;
+            }
+        }
+        self.diag.push(&self.xdiag);
+
+        // ---- rooted counts for the Schur complement ----
+        if let Some(counts) = &mut self.rooted {
+            let root_scratch = &mut self.root_scratch;
+            root_scratch.clear();
+            root_scratch.resize(n, NO_PARENT);
+            for r in 0..n as Node {
+                if f.is_root(r) {
+                    root_scratch[r as usize] = r;
+                }
+            }
+            for x in f.topdown() {
+                let p = f.parent[x as usize];
+                root_scratch[x as usize] = root_scratch[p as usize];
+            }
+            for &x in &f.bottomup {
+                counts.record(x, root_scratch[x as usize]);
+            }
+        }
+    }
+}
+
+/// Borrow two distinct `w`-rows of a node-major buffer (`dst = row a`,
+/// `src = row b`). Requires `a != b`.
+#[inline]
+fn split_rows(buf: &mut [f64], a: usize, b: usize, w: usize) -> (&mut [f64], &[f64]) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = buf.split_at_mut(b * w);
+        (&mut lo[a * w..a * w + w], &hi[..w])
+    } else {
+        let (lo, hi) = buf.split_at_mut(a * w);
+        let dst = &mut hi[..w];
+        (dst, &lo[b * w..b * w + w])
+    }
+}
+
+impl ForestAccumulator for ElectricalAccumulator {
+    fn absorb(&mut self, forest: &Forest) {
+        self.absorb_inner(forest);
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert!(Arc::ptr_eq(&self.ctx, &other.ctx), "merging incompatible accumulators");
+        self.num_forests += other.num_forests;
+        self.total_walk_steps += other.total_walk_steps;
+        for (a, b) in self.edge_acc.iter_mut().zip(&other.edge_acc) {
+            *a += b;
+        }
+        self.diag.merge(&other.diag);
+        for (a, &b) in self.diag_sup.iter_mut().zip(&other.diag_sup) {
+            if b > *a {
+                *a = b;
+            }
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.rooted, other.rooted) {
+            mine.merge(theirs);
+        }
+    }
+
+    fn fresh(&self) -> Self {
+        Self::from_ctx(self.ctx.clone())
+    }
+
+    fn count(&self) -> u64 {
+        self.num_forests
+    }
+}
+
+/// Node-major sketched voltage matrix (`n` columns of width `w`).
+#[derive(Debug, Clone)]
+pub struct YMatrix {
+    data: Vec<f64>,
+    w: usize,
+}
+
+impl YMatrix {
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The sketched column for node `u` (`Y e_u ∈ R^w`).
+    #[inline]
+    pub fn column(&self, u: Node) -> &[f64] {
+        &self.data[u as usize * self.w..(u as usize + 1) * self.w]
+    }
+
+    /// Mutable column access (SchurDelta adds correction terms in place).
+    #[inline]
+    pub fn column_mut(&mut self, u: Node) -> &mut [f64] {
+        &mut self.data[u as usize * self.w..(u as usize + 1) * self.w]
+    }
+
+    /// `‖Y e_u‖²` — the JL estimate of `‖L_{-S}^{-1} e_u‖²`.
+    #[inline]
+    pub fn column_norm_sq(&self, u: Node) -> f64 {
+        cfcc_linalg::vector::norm2_sq(self.column(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{absorb_batch, SamplerConfig};
+    use cfcc_graph::generators;
+    use cfcc_linalg::laplacian::laplacian_submatrix_dense;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mask(n: usize, roots: &[Node]) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &r in roots {
+            m[r as usize] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_estimates_match_dense() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let in_root = mask(30, &[0, 9]);
+        let (sub, keep) = laplacian_submatrix_dense(&g, &in_root);
+        let inv = sub.cholesky().unwrap().inverse();
+        let mut acc =
+            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
+        let cfg = SamplerConfig { seed: 77, threads: 1 };
+        absorb_batch(&g, &in_root, 0, 30_000, &cfg, &mut acc);
+        for (ci, &u) in keep.iter().enumerate() {
+            let expect = inv.get(ci, ci);
+            let got = acc.diag_means()[u as usize];
+            let se = (acc.diag_variance(u) / acc.num_forests() as f64).sqrt();
+            assert!(
+                (got - expect).abs() < 5.0 * se + 0.02,
+                "u={u}: got {got} expect {expect} (se {se})"
+            );
+        }
+    }
+
+    #[test]
+    fn sketched_voltages_match_dense() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let g = generators::barabasi_albert(25, 2, &mut rng);
+        let n = g.num_nodes();
+        let in_root = mask(n, &[3]);
+        let (sub, keep) = laplacian_submatrix_dense(&g, &in_root);
+        let inv = sub.cholesky().unwrap().inverse();
+        let sketch = JlSketch::sample(6, n, &mut rng);
+        let sketch_copy = sketch.clone();
+        let mut acc = ElectricalAccumulator::new(
+            &g,
+            &in_root,
+            Some(sketch),
+            DiagMode::Diagonal,
+            None,
+        );
+        let cfg = SamplerConfig { seed: 99, threads: 1 };
+        absorb_batch(&g, &in_root, 0, 40_000, &cfg, &mut acc);
+        let y = acc.y_matrix();
+        // expected: (W L^{-1})_{j,u} = Σ_v W_{jv} inv[cv][cu]
+        for (cu, &u) in keep.iter().enumerate() {
+            let col = y.column(u);
+            for j in 0..6 {
+                let mut expect = 0.0;
+                for (cv, &v) in keep.iter().enumerate() {
+                    expect += sketch_copy.column(v as usize)[j] * inv.get(cv, cu);
+                }
+                assert!(
+                    (col[j] - expect).abs() < 0.05,
+                    "u={u} j={j}: got {} expect {expect}",
+                    col[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_phase_matches_dense_reduction() {
+        // x_u should estimate (L_{-s}^{-1})_{uu} − (2/n)·1ᵀL_{-s}^{-1}e_u.
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = generators::barabasi_albert(24, 2, &mut rng);
+        let n = g.num_nodes();
+        let s = g.max_degree_node().unwrap();
+        let in_root = mask(n, &[s]);
+        let (sub, keep) = laplacian_submatrix_dense(&g, &in_root);
+        let inv = sub.cholesky().unwrap().inverse();
+        let scale = 2.0 / n as f64;
+        let mut acc = ElectricalAccumulator::new(
+            &g,
+            &in_root,
+            None,
+            DiagMode::FirstPhase { scale },
+            None,
+        );
+        let cfg = SamplerConfig { seed: 1234, threads: 1 };
+        absorb_batch(&g, &in_root, 0, 40_000, &cfg, &mut acc);
+        for (cu, &u) in keep.iter().enumerate() {
+            let ones_col: f64 = (0..keep.len()).map(|cv| inv.get(cv, cu)).sum();
+            let expect = inv.get(cu, cu) - scale * ones_col;
+            let got = acc.diag_means()[u as usize];
+            let se = (acc.diag_variance(u) / acc.num_forests() as f64).sqrt();
+            assert!(
+                (got - expect).abs() < 5.0 * se + 0.03,
+                "u={u}: got {got} expect {expect} se {se}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial_means() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = generators::barabasi_albert(40, 2, &mut rng);
+        let in_root = mask(40, &[0]);
+        let build = || {
+            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None)
+        };
+        let mut serial = build();
+        absorb_batch(&g, &in_root, 0, 512, &SamplerConfig { seed: 5, threads: 1 }, &mut serial);
+        let mut par = build();
+        absorb_batch(&g, &in_root, 0, 512, &SamplerConfig { seed: 5, threads: 3 }, &mut par);
+        assert_eq!(serial.num_forests(), par.num_forests());
+        for u in 0..40 {
+            assert!(
+                (serial.diag_means()[u] - par.diag_means()[u]).abs() < 1e-9,
+                "node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn rooted_tracking_through_accumulator() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let g = generators::barabasi_albert(20, 2, &mut rng);
+        let t_nodes = vec![1u32, 2u32];
+        let in_root = mask(20, &[0, 1, 2]);
+        let idx = Arc::new(RootIndex::new(20, &t_nodes));
+        let mut acc = ElectricalAccumulator::new(
+            &g,
+            &in_root,
+            None,
+            DiagMode::Diagonal,
+            Some(idx),
+        );
+        absorb_batch(&g, &in_root, 0, 500, &SamplerConfig::default(), &mut acc);
+        let rooted = acc.rooted().unwrap();
+        // Probabilities per node sum to ≤ 1 (the remainder roots in S).
+        for u in 0..20u32 {
+            if in_root[u as usize] {
+                continue;
+            }
+            let total: f64 = rooted
+                .probabilities(u, acc.num_forests())
+                .iter()
+                .map(|&(_, p)| p)
+                .sum();
+            assert!((0.0..=1.0 + 1e-9).contains(&total), "u={u} total {total}");
+        }
+    }
+
+    #[test]
+    fn diag_sup_bounded_by_bfs_depth_in_diag_mode() {
+        let g = generators::grid(5, 5);
+        let in_root = mask(25, &[12]);
+        let mut acc =
+            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
+        absorb_batch(&g, &in_root, 0, 200, &SamplerConfig::default(), &mut acc);
+        for u in 0..25u32 {
+            assert!(
+                acc.diag_sup(u) <= acc.bfs_depth(u) as f64 + 1e-12,
+                "u={u}: sup {} depth {}",
+                acc.diag_sup(u),
+                acc.bfs_depth(u)
+            );
+        }
+    }
+}

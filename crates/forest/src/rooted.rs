@@ -1,0 +1,236 @@
+//! Rooted-probability counters for the Schur complement (paper Lemma 4.2).
+//!
+//! For forests rooted at `S ∪ T`, `F_{ut} = Pr(ρ_u = t)` — the probability
+//! that `u`'s tree is rooted at `t ∈ T` — equals `(−L_UU^{-1} L_UT)_{ut}`.
+//! The counts `Ñ(ρ_u = t)` are accumulated here as a sparse per-node list:
+//! each node concentrates on a handful of nearby roots, so a dense
+//! `|U| × |T|` matrix would waste memory at scale.
+
+use cfcc_graph::{Graph, Node};
+use std::sync::Arc;
+
+/// Maps root nodes of `T` to compact indices `0..|T|`.
+#[derive(Debug, Clone)]
+pub struct RootIndex {
+    /// node → index+1 (0 = not in `T`).
+    map: Vec<u32>,
+    nodes: Vec<Node>,
+}
+
+impl RootIndex {
+    /// Build for the auxiliary root set `t_nodes` over an `n`-node graph.
+    pub fn new(n: usize, t_nodes: &[Node]) -> Self {
+        let mut map = vec![0u32; n];
+        for (i, &t) in t_nodes.iter().enumerate() {
+            assert!((t as usize) < n);
+            assert_eq!(map[t as usize], 0, "duplicate root {t}");
+            map[t as usize] = i as u32 + 1;
+        }
+        Self { map, nodes: t_nodes.to_vec() }
+    }
+
+    /// Number of tracked roots `|T|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no roots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Compact index of node `t` if it is a tracked root.
+    #[inline]
+    pub fn index_of(&self, t: Node) -> Option<usize> {
+        let v = self.map[t as usize];
+        (v != 0).then(|| (v - 1) as usize)
+    }
+
+    /// Root node at compact index `i`.
+    #[inline]
+    pub fn node_at(&self, i: usize) -> Node {
+        self.nodes[i]
+    }
+
+    /// All tracked roots in index order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+/// Sparse per-node counts of `Ñ(ρ_u = t)` for `t ∈ T`.
+#[derive(Debug, Clone)]
+pub struct RootedCounts {
+    index: Arc<RootIndex>,
+    /// Per node: (root index, count), linear-searched (few entries).
+    counts: Vec<Vec<(u32, u32)>>,
+}
+
+impl RootedCounts {
+    /// Empty counts over `n` nodes.
+    pub fn new(n: usize, index: Arc<RootIndex>) -> Self {
+        Self { index, counts: vec![Vec::new(); n] }
+    }
+
+    /// The root index in use.
+    pub fn index(&self) -> &RootIndex {
+        &self.index
+    }
+
+    /// Record that `u` was rooted at `root` in one sampled forest.
+    /// Roots outside `T` (i.e. in `S`) are ignored.
+    #[inline]
+    pub fn record(&mut self, u: Node, root: Node) {
+        if let Some(ti) = self.index.index_of(root) {
+            let list = &mut self.counts[u as usize];
+            for e in list.iter_mut() {
+                if e.0 == ti as u32 {
+                    e.1 += 1;
+                    return;
+                }
+            }
+            list.push((ti as u32, 1));
+        }
+    }
+
+    /// Iterate `(t_index, count)` entries for node `u`.
+    pub fn entries(&self, u: Node) -> &[(u32, u32)] {
+        &self.counts[u as usize]
+    }
+
+    /// Empirical probability row `F̃_{u·}` as `(t_index, probability)` pairs.
+    pub fn probabilities(&self, u: Node, num_forests: u64) -> Vec<(usize, f64)> {
+        assert!(num_forests > 0);
+        self.counts[u as usize]
+            .iter()
+            .map(|&(ti, c)| (ti as usize, c as f64 / num_forests as f64))
+            .collect()
+    }
+
+    /// Merge counts from another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: RootedCounts) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (u, list) in other.counts.into_iter().enumerate() {
+            for (ti, c) in list {
+                let mine = &mut self.counts[u];
+                let mut found = false;
+                for e in mine.iter_mut() {
+                    if e.0 == ti {
+                        e.1 += c;
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    mine.push((ti, c));
+                }
+            }
+        }
+    }
+
+    /// Record roots for every non-root node of a forest in one pass.
+    /// `root_of` must come from [`crate::Forest::root_of`].
+    pub fn record_forest(&mut self, g: &Graph, in_root: &[bool], root_of: &[Node]) {
+        let n = g.num_nodes();
+        debug_assert_eq!(root_of.len(), n);
+        for u in 0..n as Node {
+            if !in_root[u as usize] {
+                self.record(u, root_of[u as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wilson::sample_forest;
+    use cfcc_graph::generators;
+    use cfcc_linalg::dense::DenseMatrix;
+    use cfcc_linalg::laplacian::laplacian_dense;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn root_index_lookup() {
+        let idx = RootIndex::new(10, &[3, 7]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.index_of(3), Some(0));
+        assert_eq!(idx.index_of(7), Some(1));
+        assert_eq!(idx.index_of(0), None);
+        assert_eq!(idx.node_at(1), 7);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let idx = Arc::new(RootIndex::new(5, &[0, 1]));
+        let mut a = RootedCounts::new(5, idx.clone());
+        a.record(2, 0);
+        a.record(2, 0);
+        a.record(2, 1);
+        a.record(3, 4); // not tracked → ignored
+        let mut b = RootedCounts::new(5, idx);
+        b.record(2, 1);
+        b.record(4, 0);
+        a.merge(b);
+        let p2 = a.probabilities(2, 4);
+        assert_eq!(p2.len(), 2);
+        let m: std::collections::HashMap<usize, f64> = p2.into_iter().collect();
+        assert!((m[&0] - 0.5).abs() < 1e-12);
+        assert!((m[&1] - 0.5).abs() < 1e-12);
+        assert!(a.entries(3).is_empty());
+        assert_eq!(a.entries(4), &[(0, 1)]);
+    }
+
+    /// Lemma 4.2: empirical rooted probabilities converge to
+    /// `F = −L_UU^{-1} L_UT`.
+    #[test]
+    fn rooted_probabilities_match_absorbing_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = generators::barabasi_albert(25, 2, &mut rng);
+        let n = g.num_nodes();
+        let s = vec![0u32];
+        let t = vec![1u32, 2u32];
+        let mut in_root = vec![false; n];
+        for &r in s.iter().chain(t.iter()) {
+            in_root[r as usize] = true;
+        }
+        // Dense F: order U ascending.
+        let l = laplacian_dense(&g);
+        let u_nodes: Vec<u32> = (0..n as u32).filter(|&u| !in_root[u as usize]).collect();
+        let k = u_nodes.len();
+        let mut luu = DenseMatrix::zeros(k, k);
+        let mut lut = DenseMatrix::zeros(k, t.len());
+        for (i, &ui) in u_nodes.iter().enumerate() {
+            for (j, &uj) in u_nodes.iter().enumerate() {
+                luu.set(i, j, l.get(ui as usize, uj as usize));
+            }
+            for (j, &tj) in t.iter().enumerate() {
+                lut.set(i, j, l.get(ui as usize, tj as usize));
+            }
+        }
+        let luu_inv = luu.cholesky().unwrap().inverse();
+        let f_exact = luu_inv.matmul(&lut); // = −F
+        let idx = Arc::new(RootIndex::new(n, &t));
+        let mut counts = RootedCounts::new(n, idx);
+        let trials = 40_000u64;
+        for _ in 0..trials {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            let roots = f.root_of();
+            counts.record_forest(&g, &in_root, &roots);
+        }
+        for (i, &ui) in u_nodes.iter().enumerate() {
+            let probs: std::collections::HashMap<usize, f64> =
+                counts.probabilities(ui, trials).into_iter().collect();
+            for j in 0..t.len() {
+                let expect = -f_exact.get(i, j);
+                let got = probs.get(&j).copied().unwrap_or(0.0);
+                assert!(
+                    (got - expect).abs() < 0.02,
+                    "u={ui} t={} got {got} expect {expect}",
+                    t[j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Wilson's algorithm with a root set (paper Algorithm 1, `RandomForest`).
+//!
+//! Samples a uniformly random spanning forest of `G` rooted at `S`: simulate
+//! a random walk from each unprocessed node, overwriting parent pointers as
+//! the walk moves (implicit loop erasure / cycle popping), and when the walk
+//! hits the current forest, retrace the surviving path and freeze it.
+//!
+//! The visit order is recorded so that reversing it yields a
+//! children-before-parents (bottom-up) order over all non-root nodes — the
+//! paper's `L_DFS` — which the estimators use for O(n) subtree aggregation.
+
+use crate::forest::Forest;
+use cfcc_graph::traversal::NO_PARENT;
+use cfcc_graph::{Graph, Node};
+use rand::Rng;
+
+/// Sample a rooted spanning forest, reusing the buffers of `out`.
+///
+/// `in_root[u]` marks the root set `S`; every non-root node must have degree
+/// ≥ 1 and be able to reach `S` (guaranteed when `G` is connected and `S`
+/// non-empty). The expected running time is `Tr((I − P_{-S})^{-1})` steps
+/// (Lemma 3.7).
+pub fn sample_forest_into<R: Rng>(g: &Graph, in_root: &[bool], rng: &mut R, out: &mut Forest) {
+    let n = g.num_nodes();
+    assert_eq!(in_root.len(), n);
+    let parent = &mut out.parent;
+    parent.clear();
+    parent.resize(n, NO_PARENT);
+    let order = &mut out.bottomup;
+    order.clear();
+
+    // `in_forest` doubles as the "frozen" marker; roots start frozen.
+    let in_forest = &mut out.scratch_in_forest;
+    in_forest.clear();
+    in_forest.extend_from_slice(in_root);
+
+    let mut steps: u64 = 0;
+    for start in 0..n as Node {
+        if in_forest[start as usize] {
+            continue;
+        }
+        debug_assert!(g.degree(start) > 0, "non-root node {start} has no edges");
+        // Phase 1: random walk with parent overwrites (cycle popping).
+        let mut i = start;
+        while !in_forest[i as usize] {
+            let d = g.degree(i);
+            let next = g.neighbor(i, rng.gen_range(0..d));
+            parent[i as usize] = next;
+            i = next;
+            steps += 1;
+        }
+        // Phase 2: retrace the surviving (loop-erased) path and freeze it.
+        let chain_start = order.len();
+        let mut i = start;
+        while !in_forest[i as usize] {
+            in_forest[i as usize] = true;
+            order.push(i);
+            i = parent[i as usize];
+        }
+        // Chain is walked child → ancestor; flip it so the global order is
+        // ancestors-before-descendants (top-down) at this point.
+        order[chain_start..].reverse();
+    }
+    // Top-down → bottom-up: children before parents, the paper's L_DFS.
+    order.reverse();
+    out.walk_steps = steps;
+    // Roots keep NO_PARENT; clear any pointer a popped cycle left behind on
+    // nodes that ended as... (cannot happen: every non-root node is frozen
+    // with its final parent; roots were never walked from).
+    debug_assert!(
+        (0..n).all(|u| in_root[u] == (parent[u] == NO_PARENT)),
+        "roots and only roots lack parents"
+    );
+}
+
+/// Convenience wrapper allocating a fresh [`Forest`].
+pub fn sample_forest<R: Rng>(g: &Graph, in_root: &[bool], rng: &mut R) -> Forest {
+    let mut f = Forest::default();
+    sample_forest_into(g, in_root, rng, &mut f);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+    use cfcc_util::FxHashMap;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn root_mask(n: usize, roots: &[Node]) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &r in roots {
+            m[r as usize] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn forest_structure_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::barabasi_albert(100, 2, &mut rng);
+        let in_root = root_mask(100, &[0, 17, 42]);
+        for _ in 0..20 {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            f.validate(&g, &in_root);
+        }
+    }
+
+    #[test]
+    fn bottomup_order_has_children_before_parents() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::grid(6, 6);
+        let in_root = root_mask(36, &[0]);
+        for _ in 0..10 {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            let mut seen = vec![false; 36];
+            for &x in &f.bottomup {
+                let p = f.parent[x as usize];
+                // children first: a node's parent must not have been seen yet
+                if p != NO_PARENT {
+                    assert!(!seen[p as usize], "parent {p} before child {x}");
+                }
+                seen[x as usize] = true;
+            }
+            assert_eq!(f.bottomup.len(), 35);
+        }
+    }
+
+    #[test]
+    fn walk_steps_recorded() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::path(10);
+        let f = sample_forest(&g, &root_mask(10, &[0]), &mut rng);
+        assert!(f.walk_steps >= 9, "at least one step per non-root node");
+    }
+
+    #[test]
+    fn uniform_over_spanning_trees_of_k3() {
+        // K3 rooted at {0} has exactly 3 spanning trees; the sampler must be
+        // uniform (matrix-forest theorem: N({0}) = det L_{-0} = 3).
+        let g = generators::complete(3);
+        let in_root = root_mask(3, &[0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts: FxHashMap<(Node, Node), u32> = FxHashMap::default();
+        let trials = 30_000;
+        for _ in 0..trials {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            *counts.entry((f.parent[1], f.parent[2])).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 3, "K3 has 3 rooted trees: {counts:?}");
+        for (&tree, &c) in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "tree {tree:?} freq {freq}");
+        }
+    }
+
+    #[test]
+    fn uniform_over_forests_with_two_roots() {
+        // K3 rooted at {0,1}: node 2 picks parent 0 or 1 with prob 1/2
+        // (N({0,1}) = det L_{-{0,1}} = 2).
+        let g = generators::complete(3);
+        let in_root = root_mask(3, &[0, 1]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut to0 = 0u32;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            if f.parent[2] == 0 {
+                to0 += 1;
+            }
+        }
+        let freq = to0 as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn uniform_over_spanning_trees_of_cycle4() {
+        // C4 rooted at {0}: 4 spanning trees (remove any one edge).
+        let g = generators::cycle(4);
+        let in_root = root_mask(4, &[0]);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts: FxHashMap<(Node, Node, Node), u32> = FxHashMap::default();
+        let trials = 40_000;
+        for _ in 0..trials {
+            let f = sample_forest(&g, &in_root, &mut rng);
+            *counts.entry((f.parent[1], f.parent[2], f.parent[3])).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for &c in counts.values() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn all_nodes_roots_gives_empty_forest() {
+        let g = generators::cycle(5);
+        let in_root = vec![true; 5];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let f = sample_forest(&g, &in_root, &mut rng);
+        assert!(f.bottomup.is_empty());
+        assert_eq!(f.walk_steps, 0);
+    }
+
+    #[test]
+    fn reuse_buffers_across_samples() {
+        let g = generators::barabasi_albert(50, 2, &mut SmallRng::seed_from_u64(8));
+        let in_root = root_mask(50, &[3]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut f = Forest::default();
+        for _ in 0..5 {
+            sample_forest_into(&g, &in_root, &mut rng, &mut f);
+            f.validate(&g, &in_root);
+            assert_eq!(f.bottomup.len(), 49);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Graph diameter: exact (all-pairs BFS) for small graphs, and the standard
+//! double-sweep lower bound for large ones.
+//!
+//! The paper's Table II reports the diameter `τ` of every dataset; `τ` also
+//! appears in the sample-size bounds (Lemmas 3.9 and 4.5), so the estimators
+//! need at least a good lower bound cheaply.
+
+use crate::graph::{Graph, Node};
+use crate::traversal::bfs;
+
+/// Eccentricity of `u`: the maximum BFS depth from `u`.
+/// Panics if the graph is disconnected (unreached nodes).
+pub fn eccentricity(g: &Graph, u: Node) -> u32 {
+    let t = bfs(g, u);
+    assert_eq!(t.order.len(), g.num_nodes(), "eccentricity requires a connected graph");
+    t.max_depth()
+}
+
+/// Exact diameter by running BFS from every node. `O(n·m)` — only for small
+/// graphs and test oracles.
+pub fn diameter_exact(g: &Graph) -> u32 {
+    assert!(g.num_nodes() > 0);
+    (0..g.num_nodes() as Node).map(|u| eccentricity(g, u)).max().unwrap()
+}
+
+/// Double-sweep diameter estimate: BFS from `start`, then BFS from the
+/// farthest node found. Returns a lower bound that is exact on trees and
+/// empirically tight on real-world graphs. Repeats `sweeps` times from the
+/// previous frontier for a slightly better bound.
+pub fn diameter_double_sweep(g: &Graph, start: Node, sweeps: usize) -> u32 {
+    assert!(g.num_nodes() > 0);
+    let mut best = 0u32;
+    let mut source = start;
+    for _ in 0..sweeps.max(1) {
+        let t = bfs(g, source);
+        let (far, depth) = t
+            .order
+            .iter()
+            .map(|&u| (u, t.depth[u as usize]))
+            .max_by_key(|&(_, d)| d)
+            .unwrap();
+        if depth <= best {
+            break;
+        }
+        best = depth;
+        source = far;
+    }
+    best
+}
+
+/// Diameter selector: exact below `exact_threshold` nodes, double-sweep
+/// estimate above.
+pub fn diameter(g: &Graph, exact_threshold: usize) -> u32 {
+    if g.num_nodes() <= exact_threshold {
+        diameter_exact(g)
+    } else {
+        diameter_double_sweep(g, g.max_degree_node().unwrap_or(0), 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_graph_diameter() {
+        let g = generators::path(10);
+        assert_eq!(diameter_exact(&g), 9);
+        assert_eq!(diameter_double_sweep(&g, 4, 3), 9);
+    }
+
+    #[test]
+    fn cycle_graph_diameter() {
+        let g = generators::cycle(10);
+        assert_eq!(diameter_exact(&g), 5);
+        let g = generators::cycle(11);
+        assert_eq!(diameter_exact(&g), 5);
+    }
+
+    #[test]
+    fn complete_graph_diameter() {
+        let g = generators::complete(6);
+        assert_eq!(diameter_exact(&g), 1);
+    }
+
+    #[test]
+    fn star_graph_diameter() {
+        let g = generators::star(7);
+        assert_eq!(diameter_exact(&g), 2);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let g = generators::barabasi_albert(80, 2, &mut rng);
+            let exact = diameter_exact(&g);
+            let est = diameter_double_sweep(&g, 0, 4);
+            assert!(est <= exact);
+            // Double sweep is near-exact on these graphs.
+            assert!(est + 1 >= exact, "estimate {est} too far below exact {exact}");
+        }
+    }
+
+    #[test]
+    fn selector_thresholds() {
+        let g = generators::path(20);
+        assert_eq!(diameter(&g, 100), 19);
+        assert_eq!(diameter(&g, 5), 19); // double sweep exact on trees
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(diameter_exact(&g), 0);
+    }
+}

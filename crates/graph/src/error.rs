@@ -1,0 +1,85 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, validation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint was `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// Number of nodes in the graph being built.
+        num_nodes: usize,
+    },
+    /// The operation requires a connected graph.
+    Disconnected,
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// An argument was outside its valid range (message explains).
+    InvalidArgument(String),
+    /// Parse failure while reading an edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        assert!(e.to_string().contains("node 9"));
+        assert!(GraphError::Disconnected.to_string().contains("not connected"));
+        let p = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.to_string().contains("gone"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

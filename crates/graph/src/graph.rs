@@ -1,0 +1,309 @@
+//! The CSR graph representation.
+
+use crate::error::GraphError;
+
+/// Node identifier. `u32` keeps the adjacency arrays half the size of
+/// `usize` on 64-bit targets, which matters for the sampling inner loops.
+pub type Node = u32;
+
+/// A simple undirected graph in compressed-sparse-row form.
+///
+/// Both directions of every edge are stored, so `neighbors(u)` is a
+/// contiguous sorted slice. Self-loops and duplicate edges are removed during
+/// construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` for node `u`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    targets: Vec<Node>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Build a graph from an undirected edge list.
+    ///
+    /// Self-loops are dropped and parallel edges deduplicated. Endpoints must
+    /// be `< num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(Node, Node)]) -> Result<Self, GraphError> {
+        for &(a, b) in edges {
+            if a as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: a as u64, num_nodes });
+            }
+            if b as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: b as u64, num_nodes });
+            }
+        }
+        // Count degrees with duplicates, build, then dedup per row.
+        let mut deg = vec![0usize; num_nodes];
+        for &(a, b) in edges {
+            if a != b {
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        for u in 0..num_nodes {
+            offsets.push(offsets[u] + deg[u]);
+        }
+        let mut targets = vec![0 as Node; offsets[num_nodes]];
+        let mut cursor = offsets[..num_nodes].to_vec();
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort and dedup each row in place, then compact.
+        let mut new_offsets = Vec::with_capacity(num_nodes + 1);
+        new_offsets.push(0usize);
+        let mut write = 0usize;
+        for u in 0..num_nodes {
+            let (start, end) = (offsets[u], offsets[u + 1]);
+            let row = &mut targets[start..end];
+            row.sort_unstable();
+            let mut prev: Option<Node> = None;
+            let mut local = Vec::with_capacity(row.len());
+            for &t in row.iter() {
+                if prev != Some(t) {
+                    local.push(t);
+                    prev = Some(t);
+                }
+            }
+            for (i, t) in local.iter().enumerate() {
+                targets[write + i] = *t;
+            }
+            write += local.len();
+            new_offsets.push(write);
+        }
+        targets.truncate(write);
+        let num_edges = write / 2;
+        Ok(Self { offsets: new_offsets, targets, num_edges })
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: Node) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted neighbor slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The `i`-th neighbor of `u` (`i < degree(u)`), used by the random-walk
+    /// inner loop to avoid slice construction overhead.
+    #[inline]
+    pub fn neighbor(&self, u: Node, i: usize) -> Node {
+        debug_assert!(i < self.degree(u));
+        self.targets[self.offsets[u as usize] + i]
+    }
+
+    /// Whether edge `{u, v}` exists (binary search; rows are sorted).
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        (0..self.num_nodes() as Node).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all nodes. Returns 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as Node).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// The node of maximum degree (ties broken by smallest id).
+    pub fn max_degree_node(&self) -> Option<Node> {
+        (0..self.num_nodes() as Node).max_by_key(|&u| (self.degree(u), std::cmp::Reverse(u)))
+    }
+
+    /// `d_max(S)` from the paper's Table I: the maximum degree in the graph
+    /// obtained by removing the nodes of `S` *and their incident edges*.
+    /// `in_s[u]` marks membership of `u` in `S`.
+    pub fn max_degree_excluding(&self, in_s: &[bool]) -> usize {
+        assert_eq!(in_s.len(), self.num_nodes());
+        let mut best = 0usize;
+        for u in 0..self.num_nodes() {
+            if in_s[u] {
+                continue;
+            }
+            let d = self
+                .neighbors(u as Node)
+                .iter()
+                .filter(|&&v| !in_s[v as usize])
+                .count();
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// Nodes sorted by decreasing degree (ties by id), e.g. for selecting the
+    /// auxiliary root set `T` of SchurCFCM.
+    pub fn nodes_by_degree_desc(&self) -> Vec<Node> {
+        let mut nodes: Vec<Node> = (0..self.num_nodes() as Node).collect();
+        nodes.sort_by_key(|&u| (std::cmp::Reverse(self.degree(u)), u));
+        nodes
+    }
+
+    /// Whether the graph is connected (true for the empty graph's vacuous
+    /// case is `false`; a single node is connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return false;
+        }
+        crate::traversal::bfs_reach_count(self, 0) == n
+    }
+
+    /// Sum of degrees (`= 2m`); sanity helper for tests.
+    pub fn degree_sum(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Build the induced subgraph on `keep` (relabelled `0..keep.len()` in
+    /// the given order). Returns the subgraph and the old→new mapping.
+    pub fn induced_subgraph(&self, keep: &[Node]) -> (Graph, Vec<Option<Node>>) {
+        let mut remap: Vec<Option<Node>> = vec![None; self.num_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old as usize] = Some(new as Node);
+        }
+        let mut edges = Vec::new();
+        for &old in keep {
+            let nu = remap[old as usize].unwrap();
+            for &v in self.neighbors(old) {
+                if let Some(nv) = remap[v as usize] {
+                    if nu < nv {
+                        edges.push((nu, nv));
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(keep.len(), &edges).expect("relabelled edges are in range");
+        (g, remap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.neighbor(0, 2), 3);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }));
+    }
+
+    #[test]
+    fn has_edge_and_edges_iterator() {
+        let g = path4();
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 3));
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn max_degree_and_argmax() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.max_degree_node(), Some(0));
+        let order = g.nodes_by_degree_desc();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 3);
+    }
+
+    #[test]
+    fn max_degree_excluding_removes_incident_edges() {
+        // Star with center 0: removing the center leaves isolated leaves.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut in_s = vec![false; 4];
+        assert_eq!(g.max_degree_excluding(&in_s), 3);
+        in_s[0] = true;
+        assert_eq!(g.max_degree_excluding(&in_s), 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path4().is_connected());
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (sub, remap) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(remap[1], Some(0));
+        assert_eq!(remap[0], None);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn isolated_node_allowed() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(2), &[] as &[Node]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge-list I/O.
+//!
+//! Reads the whitespace-separated edge-list format used by SNAP / KONECT
+//! dumps: one `u v` pair per line, `#` or `%` comment lines, arbitrary
+//! (possibly sparse) vertex labels which are remapped to `0..n`.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, Node};
+use cfcc_util::FxHashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse an edge list from a reader. Returns the graph and the original
+/// labels (indexed by new node id).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
+    let mut labels: Vec<u64> = Vec::new();
+    let mut remap: FxHashMap<u64, Node> = FxHashMap::default();
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    let intern = |raw: u64, labels: &mut Vec<u64>, remap: &mut FxHashMap<u64, Node>| -> Node {
+        *remap.entry(raw).or_insert_with(|| {
+            labels.push(raw);
+            (labels.len() - 1) as Node
+        })
+    };
+    let buf = BufReader::new(reader);
+    let mut line_buf = String::new();
+    let mut reader = buf;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let read = reader.read_line(&mut line_buf)?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let a: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse { line: line_no, message: "missing source".into() })?
+            .parse()
+            .map_err(|e| GraphError::Parse { line: line_no, message: format!("source: {e}") })?;
+        let b: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse { line: line_no, message: "missing target".into() })?
+            .parse()
+            .map_err(|e| GraphError::Parse { line: line_no, message: format!("target: {e}") })?;
+        // Extra columns (weights, timestamps) are ignored.
+        let na = intern(a, &mut labels, &mut remap);
+        let nb = intern(b, &mut labels, &mut remap);
+        edges.push((na, nb));
+    }
+    let g = Graph::from_edges(labels.len(), &edges)?;
+    Ok((g, labels))
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>), GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Write a graph as an edge list (`u v` per line, node ids as labels).
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
+    let mut out = std::io::BufWriter::new(&mut w);
+    writeln!(out, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (a, b) in g.edges() {
+        writeln!(out, "{a} {b}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_gaps() {
+        let data = "# a comment\n% another\n10 20\n20 30\n\n10 30\n";
+        let (g, labels) = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(labels, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ignores_extra_columns() {
+        let data = "0 1 5.5 999\n1 2 0.25\n";
+        let (g, _) = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_error_has_line_number() {
+        let data = "0 1\nxyz 3\n";
+        let err = read_edge_list(data.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_is_error() {
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::generators::cycle(6);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, labels) = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_nodes(), 6);
+        assert_eq!(g2.num_edges(), 6);
+        // Nodes are relabelled in first-seen order; map back through the
+        // labels to compare edge sets.
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = g2
+            .edges()
+            .map(|(a, b)| {
+                let (la, lb) = (labels[a as usize] as Node, labels[b as usize] as Node);
+                if la < lb {
+                    (la, lb)
+                } else {
+                    (lb, la)
+                }
+            })
+            .collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_collapse() {
+        let data = "0 1\n1 0\n0 1\n";
+        let (g, _) = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cfcc-graph
+//!
+//! Graph substrate for the CFCM reproduction: a compact CSR (compressed
+//! sparse row) representation of simple undirected graphs, plus the graph
+//! algorithms the paper's pipeline needs — BFS/DFS traversal, connected
+//! components and largest-connected-component extraction, diameter
+//! computation, random-graph generators used as dataset proxies, and
+//! edge-list I/O.
+//!
+//! Node identifiers are `u32` (aliased as [`Node`]). All graphs produced by
+//! this crate are *simple*: no self-loops, no parallel edges.
+//!
+//! ```
+//! use cfcc_graph::Graph;
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.degree(0), 2);
+//! assert!(g.is_connected());
+//! ```
+
+pub mod diameter;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{Graph, Node};
+pub use traversal::BfsTree;

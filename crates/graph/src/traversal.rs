@@ -1,0 +1,216 @@
+//! Breadth-first traversal, connected components, and LCC extraction.
+//!
+//! The CFCM estimators accumulate electrical quantities along BFS-tree paths
+//! rooted at the grounded node set (the paper's `L_BFS`), so the BFS tree is
+//! a first-class structure here, not just a visit order.
+
+use crate::graph::{Graph, Node};
+
+/// Sentinel for "no parent" in [`BfsTree`] (roots and unreachable nodes).
+pub const NO_PARENT: Node = Node::MAX;
+
+/// A BFS forest rooted at a set of source nodes.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Parent of each node in the BFS forest; `NO_PARENT` for roots and
+    /// unreachable nodes.
+    pub parent: Vec<Node>,
+    /// Hop distance from the root set; `u32::MAX` when unreachable.
+    pub depth: Vec<u32>,
+    /// Nodes in visit order (roots first). Unreachable nodes are absent.
+    pub order: Vec<Node>,
+}
+
+impl BfsTree {
+    /// Whether `u` was reached.
+    #[inline]
+    pub fn reached(&self, u: Node) -> bool {
+        self.depth[u as usize] != u32::MAX
+    }
+
+    /// Maximum finite depth (0 for an all-roots BFS).
+    pub fn max_depth(&self) -> u32 {
+        self.order.iter().map(|&u| self.depth[u as usize]).max().unwrap_or(0)
+    }
+
+    /// Sum of finite depths — the total BFS-path length, which is the work
+    /// bound for the per-node diagonal estimator.
+    pub fn total_depth(&self) -> u64 {
+        self.order.iter().map(|&u| self.depth[u as usize] as u64).sum()
+    }
+}
+
+/// BFS from a set of roots. Roots get depth 0 and no parent.
+pub fn bfs_from_set(g: &Graph, roots: &[Node]) -> BfsTree {
+    let n = g.num_nodes();
+    let mut parent = vec![NO_PARENT; n];
+    let mut depth = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::with_capacity(n.min(1024));
+    for &r in roots {
+        if depth[r as usize] == u32::MAX {
+            depth[r as usize] = 0;
+            order.push(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u as usize];
+        for &v in g.neighbors(u) {
+            if depth[v as usize] == u32::MAX {
+                depth[v as usize] = du + 1;
+                parent[v as usize] = u;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree { parent, depth, order }
+}
+
+/// BFS from a single root.
+pub fn bfs(g: &Graph, root: Node) -> BfsTree {
+    bfs_from_set(g, &[root])
+}
+
+/// Number of nodes reachable from `root` (used by `Graph::is_connected`).
+pub fn bfs_reach_count(g: &Graph, root: Node) -> usize {
+    bfs(g, root).order.len()
+}
+
+/// Connected components: returns `(component_id per node, component count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as Node {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Extract the largest connected component, relabelled to `0..size`.
+/// Returns the LCC and the mapping from old node ids to new ones.
+///
+/// The paper runs every experiment on dataset LCCs (§V-A).
+pub fn largest_connected_component(g: &Graph) -> (Graph, Vec<Option<Node>>) {
+    let (comp, count) = connected_components(g);
+    if count <= 1 {
+        let keep: Vec<Node> = (0..g.num_nodes() as Node).collect();
+        return g.induced_subgraph(&keep);
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let keep: Vec<Node> = (0..g.num_nodes() as Node)
+        .filter(|&u| comp[u as usize] == best)
+        .collect();
+    g.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_isolated() -> Graph {
+        // component A: 0-1-2 triangle; component B: 3-4; isolated: 5
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_depths_on_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let t = bfs(&g, 0);
+        assert_eq!(t.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.parent[4], 3);
+        assert_eq!(t.parent[0], NO_PARENT);
+        assert_eq!(t.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.max_depth(), 4);
+        assert_eq!(t.total_depth(), 10);
+    }
+
+    #[test]
+    fn bfs_from_set_multi_root() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let t = bfs_from_set(&g, &[0, 5]);
+        assert_eq!(t.depth, vec![0, 1, 2, 2, 1, 0]);
+        assert!(t.reached(3));
+        // duplicate roots are tolerated
+        let t2 = bfs_from_set(&g, &[0, 0, 5]);
+        assert_eq!(t2.depth, t.depth);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = two_triangles_and_isolated();
+        let t = bfs(&g, 0);
+        assert!(!t.reached(3));
+        assert!(!t.reached(5));
+        assert_eq!(t.order.len(), 3);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = two_triangles_and_isolated();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        let g = two_triangles_and_isolated();
+        let (lcc, remap) = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 3);
+        assert_eq!(lcc.num_edges(), 3);
+        assert!(lcc.is_connected());
+        assert!(remap[5].is_none());
+        assert!(remap[0].is_some());
+    }
+
+    #[test]
+    fn lcc_of_connected_graph_is_identity_sized() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (lcc, _) = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 4);
+        assert_eq!(lcc.num_edges(), 3);
+    }
+
+    #[test]
+    fn bfs_parent_edges_exist() {
+        let g = two_triangles_and_isolated();
+        let t = bfs(&g, 2);
+        for &u in &t.order {
+            let p = t.parent[u as usize];
+            if p != NO_PARENT {
+                assert!(g.has_edge(u, p));
+                assert_eq!(t.depth[u as usize], t.depth[p as usize] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Row-major dense matrices with Cholesky and LU factorizations.
+//!
+//! These kernels back the `Exact` baseline (one `n × n` inverse plus `O(n²)`
+//! rank-one updates per greedy step), the brute-force optimum, the inversion
+//! of estimated Schur complements, and all estimator test oracles. They are
+//! plain, allocation-conscious loops in `ikj` order — no BLAS available in
+//! this environment (DESIGN.md §4).
+
+use crate::error::LinalgError;
+use crate::vector;
+
+/// Row-major dense `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a slice of rows (each `cols` long).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Add to an element.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for i in 0..self.rows {
+            y[i] = vector::dot(self.row(i), x);
+        }
+    }
+
+    /// Matrix product `A · B` using ikj loop order (streams B's rows).
+    pub fn matmul(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, b.rows, "inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            // Split borrow: write into out.data directly.
+            let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                for j in 0..b.cols {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// `AᵀA` exploiting symmetry of the result.
+    pub fn gram(&self) -> DenseMatrix {
+        let t = self.transpose();
+        // (Aᵀ A)_{ij} = column_i · column_j = rows of t
+        let n = self.cols;
+        let mut out = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = vector::dot(t.row(i), t.row(j));
+                out.data[i * n + j] = v;
+                out.data[j * n + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Max absolute entry difference with `other` (test helper).
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Symmetrize in place: `A ← (A + Aᵀ)/2` (square matrices only).
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
+                self.data[i * n + j] = v;
+                self.data[j * n + i] = v;
+            }
+        }
+    }
+
+    /// Add `lambda` to the diagonal.
+    pub fn add_ridge(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += lambda;
+        }
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix (lower triangle referenced).
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
+        assert_eq!(self.rows, self.cols, "cholesky requires a square matrix");
+        let n = self.rows;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.data[i * n + j];
+                // dot of the already-computed prefixes of rows i and j
+                sum -= vector::dot(&l[i * n..i * n + j], &l[j * n..j * n + j]);
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { row: i, pivot: sum });
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// LU factorization with partial pivoting (for possibly-indefinite
+    /// matrices such as estimated Schur complements before regularization).
+    pub fn lu(&self) -> Result<Lu, LinalgError> {
+        assert_eq!(self.rows, self.cols, "lu requires a square matrix");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // pivot search
+            let mut p = k;
+            let mut best = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / pivot;
+                a[i * n + k] = factor;
+                if factor != 0.0 {
+                    // Split the borrow: copy row k's tail is avoided by raw indexing.
+                    for j in (k + 1)..n {
+                        a[i * n + j] -= factor * a[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(Lu { n, lu: a, piv })
+    }
+}
+
+/// Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Lower-triangular factor, row-major, upper part zero.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry of the factor.
+    pub fn factor_get(&self, i: usize, j: usize) -> f64 {
+        self.l[i * self.n + j]
+    }
+
+    /// Solve `A x = b` in place (`b` becomes `x`).
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let l = &self.l;
+        // forward: L y = b
+        for i in 0..n {
+            let s = vector::dot(&l[i * n..i * n + i], &b[..i]);
+            b[i] = (b[i] - s) / l[i * n + i];
+        }
+        // backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * b[k];
+            }
+            b[i] = s / l[i * n + i];
+        }
+    }
+
+    /// Solve returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// `log det A = 2 Σ log L_ii` (used by matrix-forest-theorem tests).
+    pub fn log_det(&self) -> f64 {
+        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+    }
+
+    /// `Tr(A^{-1}) = ‖L^{-1}‖_F²` via triangular inversion only — roughly
+    /// 3× cheaper than forming the full inverse. This is the kernel behind
+    /// exact CFCC evaluation (`C(S) = n / Tr(L_{-S}^{-1})`).
+    pub fn trace_inverse(&self) -> f64 {
+        let n = self.n;
+        let mut acc = 0.0f64;
+        // Column j of T = L^{-1}, discarded after accumulation.
+        let mut col = vec![0.0f64; n];
+        for j in 0..n {
+            col[j] = 1.0 / self.l[j * n + j];
+            acc += col[j] * col[j];
+            for i in (j + 1)..n {
+                let mut s = 0.0;
+                for k in j..i {
+                    s += self.l[i * n + k] * col[k];
+                }
+                col[i] = -s / self.l[i * n + i];
+                acc += col[i] * col[i];
+            }
+        }
+        acc
+    }
+
+    /// Full inverse `A^{-1} = L^{-ᵀ} L^{-1}` via triangular inversion.
+    pub fn inverse(&self) -> DenseMatrix {
+        let n = self.n;
+        // T = L^{-1} (lower triangular), column by column.
+        let mut t = vec![0.0f64; n * n];
+        for j in 0..n {
+            t[j * n + j] = 1.0 / self.l[j * n + j];
+            for i in (j + 1)..n {
+                let mut s = 0.0;
+                for k in j..i {
+                    s += self.l[i * n + k] * t[k * n + j];
+                }
+                t[i * n + j] = -s / self.l[i * n + i];
+            }
+        }
+        // inv = Tᵀ T, exploiting that T is lower triangular:
+        // inv_{ij} = Σ_{k ≥ max(i,j)} T_{ki} T_{kj}
+        let mut inv = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for k in j..n {
+                    s += t[k * n + i] * t[k * n + j];
+                }
+                inv.set(i, j, s);
+                inv.set(j, i, s);
+            }
+        }
+        inv
+    }
+}
+
+/// LU factorization with partial pivoting; `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl Lu {
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // forward: L y = Pb (unit diagonal)
+        for i in 0..n {
+            let s = vector::dot(&self.lu[i * n..i * n + i], &x[..i]);
+            x[i] -= s;
+        }
+        // backward: U x = y
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Full inverse.
+    pub fn inverse(&self) -> DenseMatrix {
+        let n = self.n;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0f64; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]])
+    }
+
+    #[test]
+    fn matvec_and_matmul() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut y = vec![0.0; 2];
+        a.matvec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_and_gram() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        let g = a.gram();
+        let expect = t.matmul(&t.transpose());
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let n = 3;
+        let mut rec = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += ch.factor_get(i, k) * ch.factor_get(j, k);
+                }
+                rec.set(i, j, s);
+            }
+        }
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve_and_inverse() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+        let inv = ch.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn lu_solves_unsymmetric() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 0.0], &[3.0, 0.0, 4.0]]);
+        let lu = a.lu().unwrap();
+        let b = [5.0, -1.0, 7.0];
+        let x = lu.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+        let inv = lu.inverse();
+        assert!(a.matmul(&inv).max_abs_diff(&DenseMatrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det(diag(4,9)) = 36
+        let a = DenseMatrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ch = a.cholesky().unwrap();
+        assert!((ch.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrize_and_ridge() {
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        a.symmetrize();
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 0), 3.0);
+        a.add_ridge(0.5);
+        assert_eq!(a.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn trace_inverse_matches_full_inverse() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let expect = ch.inverse().trace();
+        assert!((ch.trace_inverse() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd() {
+        let a = spd3();
+        let i1 = a.cholesky().unwrap().inverse();
+        let i2 = a.lu().unwrap().inverse();
+        assert!(i1.max_abs_diff(&i2) < 1e-10);
+    }
+}

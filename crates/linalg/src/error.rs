@@ -1,0 +1,63 @@
+//! Error type for factorizations and iterative solvers.
+
+use std::fmt;
+
+/// Errors from dense factorizations and iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Cholesky hit a non-positive pivot: the matrix is not positive
+    /// definite (within `pivot` of zero at row `row`).
+    NotPositiveDefinite {
+        /// Row where factorization failed.
+        row: usize,
+        /// Offending pivot value.
+        pivot: f64,
+    },
+    /// LU found no usable pivot: matrix is singular to working precision.
+    Singular {
+        /// Column where elimination failed.
+        column: usize,
+    },
+    /// Iterative solver did not reach the requested tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+    /// Dimension mismatch between operands.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { row, pivot } => {
+                write!(f, "matrix not positive definite at row {row} (pivot {pivot:e})")
+            }
+            LinalgError::Singular { column } => {
+                write!(f, "matrix singular at column {column}")
+            }
+            LinalgError::DidNotConverge { iterations, residual } => {
+                write!(f, "solver did not converge after {iterations} iterations (residual {residual:e})")
+            }
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = LinalgError::NotPositiveDefinite { row: 3, pivot: -1e-9 };
+        assert!(e.to_string().contains("row 3"));
+        assert!(LinalgError::Singular { column: 2 }.to_string().contains("column 2"));
+        let c = LinalgError::DidNotConverge { iterations: 100, residual: 0.5 };
+        assert!(c.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # cfcc-linalg
+//!
+//! Linear-algebra substrate for the CFCM reproduction, written from scratch
+//! because the target environment has no BLAS/LAPACK binding and no mature
+//! sparse SDD solver crate (see DESIGN.md §4/§6):
+//!
+//! * [`dense`] — row-major dense matrices with Cholesky and partially-pivoted
+//!   LU factorizations, triangular solves, and inverses. Used by the `Exact`
+//!   baseline, the brute-force optimum, the Schur-complement inversion
+//!   (`|T| × |T|` blocks), and as the oracle in estimator tests.
+//! * [`laplacian`] — Laplacian operators for a [`cfcc_graph::Graph`]: the full
+//!   `L`, and the grounded submatrix `L_{-S}` as a matrix-free operator on
+//!   compacted index space.
+//! * [`cg`] — Jacobi-preconditioned conjugate gradients for `L_{-S} x = b`
+//!   and a nullspace-projected CG for pseudoinverse solves `L† b`. This is
+//!   the substitute for the Julia Kyng–Sachdeva solver used by the paper's
+//!   ApproxGreedy baseline.
+//! * [`jl`] — Johnson–Lindenstrauss Rademacher sketches (Lemma 3.4).
+//! * [`trace`] — Hutchinson stochastic trace estimation of `Tr(L_{-S}^{-1})`,
+//!   which the paper uses (via CG) to evaluate CFCC on large graphs.
+//! * [`pinv`] — dense pseudoinverse `L†` via `(L + J/n)^{-1} − J/n²`.
+
+pub mod cg;
+pub mod dense;
+pub mod error;
+pub mod jl;
+pub mod laplacian;
+pub mod pinv;
+pub mod trace;
+pub mod vector;
+
+pub use cg::{CgConfig, CgStats};
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use laplacian::LaplacianSubmatrix;

@@ -1,0 +1,121 @@
+//! Dense pseudoinverse of the graph Laplacian.
+//!
+//! For a connected graph, `L† = (L + 11ᵀ/n)^{-1} − 11ᵀ/n`, since `L + J/n`
+//! shares eigenvectors with `L` and maps the nullspace vector `1` to itself.
+//! (The paper's §II-B states the equivalent shifted form.) This is the oracle
+//! behind the Exact baseline's first greedy pick (`argmin_u L†_{uu}`) and all
+//! resistance-distance tests.
+
+use crate::dense::DenseMatrix;
+use crate::laplacian::laplacian_dense;
+use cfcc_graph::Graph;
+
+/// Dense `L†` for a connected graph. `O(n³)` — small graphs only.
+pub fn pseudoinverse_dense(g: &Graph) -> DenseMatrix {
+    let n = g.num_nodes();
+    assert!(n > 0);
+    let mut shifted = laplacian_dense(g);
+    let inv_n = 1.0 / n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            shifted.add_to(i, j, inv_n);
+        }
+    }
+    let mut inv = shifted
+        .cholesky()
+        .expect("L + J/n is positive definite for a connected graph")
+        .inverse();
+    for i in 0..n {
+        for j in 0..n {
+            inv.add_to(i, j, -inv_n);
+        }
+    }
+    inv
+}
+
+/// Resistance distance `R(i, j) = L†_ii + L†_jj − 2 L†_ij` (Eq. 1).
+pub fn resistance_distance(pinv: &DenseMatrix, i: usize, j: usize) -> f64 {
+    pinv.get(i, i) + pinv.get(j, j) - 2.0 * pinv.get(i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_submatrix_dense;
+    use cfcc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pinv_satisfies_penrose_identities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::barabasi_albert(30, 2, &mut rng);
+        let l = laplacian_dense(&g);
+        let p = pseudoinverse_dense(&g);
+        // L L† L = L and L† L L† = L†
+        let lpl = l.matmul(&p).matmul(&l);
+        assert!(lpl.max_abs_diff(&l) < 1e-8);
+        let plp = p.matmul(&l).matmul(&p);
+        assert!(plp.max_abs_diff(&p) < 1e-8);
+        // rows of L† sum to zero (1 in the nullspace)
+        for i in 0..g.num_nodes() {
+            assert!(p.row(i).iter().sum::<f64>().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_resistance_is_hop_count() {
+        // Unit resistors in series: R(0, j) = j on a path graph.
+        let g = generators::path(6);
+        let p = pseudoinverse_dense(&g);
+        for j in 0..6 {
+            assert!((resistance_distance(&p, 0, j) - j as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complete_graph_resistance() {
+        // K_n has R(i,j) = 2/n for i ≠ j.
+        let n = 7;
+        let g = generators::complete(n);
+        let p = pseudoinverse_dense(&g);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 0.0 } else { 2.0 / n as f64 };
+                assert!((resistance_distance(&p, i, j) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_equals_eq2() {
+        // R(i,j) = (L_{-i}^{-1})_{jj}  (Eq. 2)
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(25, 2, &mut rng);
+        let p = pseudoinverse_dense(&g);
+        let n = g.num_nodes();
+        for i in [0usize, 3, 11] {
+            let mut in_s = vec![false; n];
+            in_s[i] = true;
+            let (sub, keep) = laplacian_submatrix_dense(&g, &in_s);
+            let inv = sub.cholesky().unwrap().inverse();
+            for (cj, &j) in keep.iter().enumerate() {
+                let r1 = resistance_distance(&p, i, j as usize);
+                let r2 = inv.get(cj, cj);
+                assert!((r1 - r2).abs() < 1e-8, "i={i} j={j}: {r1} vs {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_resistance_parallel_rule() {
+        // Cycle of n: R(i,j) = d(n-d)/n with d the hop distance.
+        let n = 8;
+        let g = generators::cycle(n);
+        let p = pseudoinverse_dense(&g);
+        for d in 1..n {
+            let expect = (d * (n - d)) as f64 / n as f64;
+            assert!((resistance_distance(&p, 0, d) - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Dense `f64` vector kernels shared by the solvers.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-lane accumulation helps LLVM vectorize without -ffast-math.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = 4 * i;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in 4 * chunks..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (used by CG's direction update).
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Subtract the mean from `a` (projection onto the complement of span{1}).
+#[inline]
+pub fn project_out_ones(a: &mut [f64]) {
+    if a.is_empty() {
+        return;
+    }
+    let mean = a.iter().sum::<f64>() / a.len() as f64;
+    for v in a.iter_mut() {
+        *v -= mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..17).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i as f64).cos()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert!((norm2_sq(&[3.0, 4.0]) - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn projection_zeroes_mean() {
+        let mut a = [1.0, 2.0, 3.0, 6.0];
+        project_out_ones(&mut a);
+        assert!(a.iter().sum::<f64>().abs() < 1e-12);
+        project_out_ones(&mut []);
+    }
+}

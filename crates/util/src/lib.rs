@@ -1,0 +1,20 @@
+//! Shared utilities for the `cfcm` workspace.
+//!
+//! This crate deliberately has no dependencies; it provides:
+//!
+//! * [`fx`] — the Fx hash function plus `HashMap`/`HashSet` aliases keyed on
+//!   it. The default SipHash tables are measurably slower for the small
+//!   integer keys that dominate this workspace (node ids, edge ids).
+//! * [`stats`] — Welford online mean/variance accumulators used by the
+//!   adaptive (empirical Bernstein) sampling loops.
+//! * [`timing`] — a tiny stopwatch for benchmark harnesses.
+//! * [`table`] — fixed-width text tables matching the paper's row formats.
+
+pub mod fx;
+pub mod stats;
+pub mod table;
+pub mod timing;
+
+pub use fx::{FxHashMap, FxHashSet};
+pub use stats::Welford;
+pub use timing::Stopwatch;

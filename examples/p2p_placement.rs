@@ -1,0 +1,85 @@
+//! Resource placement in a peer-to-peer overlay (paper intro, ref [24]):
+//! replicate a resource on `k` peers so that random-walk search — the
+//! canonical unstructured-P2P lookup — finds a replica quickly from
+//! anywhere. Current-flow closeness is the right objective because
+//! resistance distance aggregates *all* paths, matching random-walk reach,
+//! unlike shortest-path closeness.
+//!
+//! We validate the placement by measuring actual random-walk hitting times
+//! to the replica set.
+//!
+//! Run: `cargo run --release --example p2p_placement`
+
+use cfcc_core::{heuristics, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean steps for a random walk from `start` to reach any node in `targets`.
+fn mean_hitting_time<R: Rng>(
+    g: &Graph,
+    start: u32,
+    in_targets: &[bool],
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let mut u = start;
+        let mut steps = 0u64;
+        while !in_targets[u as usize] && steps < 100_000 {
+            let d = g.degree(u);
+            u = g.neighbor(u, rng.gen_range(0..d));
+            steps += 1;
+        }
+        total += steps;
+    }
+    total as f64 / trials as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    // An unstructured overlay: 2000 peers, scale-free attachment.
+    let g = generators::scale_free_with_edges(2_000, 8_000, &mut rng);
+    println!("overlay: {} peers, {} links", g.num_nodes(), g.num_edges());
+
+    let k = 8;
+    let params = CfcmParams::with_epsilon(0.15).seed(5).threads(2);
+    let cfcm = schur_cfcm(&g, k, &params).expect("placement");
+    let topc = heuristics::top_cfcc_sampled(&g, k, &params).expect("top-cfcc");
+    // Baseline: an arbitrary spread of peer ids.
+    let random: Vec<u32> = (0..k as u32).map(|i| (i * 251 + 97) % g.num_nodes() as u32).collect();
+
+    println!("\nreplicating on {k} peers:");
+    for (name, replicas) in [
+        ("CFCM (SchurCFCM)", &cfcm.nodes),
+        ("top-CFCC heuristic", &topc.nodes),
+        ("random placement", &random),
+    ] {
+        let mut in_targets = vec![false; g.num_nodes()];
+        for &r in replicas.iter() {
+            in_targets[r as usize] = true;
+        }
+        // The optimized objective: group CFCC (mean resistance to replicas)…
+        let c = cfcc_core::cfcc::cfcc_group_cg(&g, replicas, 1e-7).expect("eval");
+        // …and the operational metric: random-walk search cost from 40 origins.
+        let mut sum = 0.0;
+        let mut worst: f64 = 0.0;
+        for _ in 0..40 {
+            let start = rng.gen_range(0..g.num_nodes() as u32);
+            let h = mean_hitting_time(&g, start, &in_targets, 25, &mut rng);
+            sum += h;
+            worst = worst.max(h);
+        }
+        println!(
+            "  {name:<20} replicas={replicas:?}\n    C(S)={c:.4}   mean random-walk search ≈ {:.1} hops (worst origin ≈ {:.1})",
+            sum / 40.0,
+            worst
+        );
+    }
+    println!("\nCFCM maximizes C(S) — the resistance-distance (commute-cost) coverage of the");
+    println!("overlay — and crushes arbitrary placement on search cost. Hub-ranking");
+    println!("heuristics can edge out CFCM on raw one-way hitting time in heavily");
+    println!("hub-dominated overlays: one-way hitting time is a different (asymmetric)");
+    println!("objective from the commute-style coverage CFCC provably optimizes.");
+}

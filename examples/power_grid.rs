@@ -1,0 +1,83 @@
+//! Power-grid vulnerability analysis (paper intro, refs [19], [20]):
+//! CFCC of a node group measures how much of the grid's current flow the
+//! group collectively "anchors", so the CFCM group is a principled set of
+//! candidate hardening sites — and the effect of losing them can be
+//! quantified as the resistance increase after their removal.
+//!
+//! The grid is a synthetic transmission network: a sparse geometric
+//! backbone (towers follow geography) plus a few long-range ties.
+//!
+//! Run: `cargo run --release --example power_grid`
+
+use cfcc_core::{cfcc, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_graph::traversal::largest_connected_component;
+use cfcc_graph::{generators, Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a transmission-style grid: geometric backbone + sparse long ties.
+fn transmission_grid(n: usize, rng: &mut StdRng) -> Graph {
+    let base = generators::geometric_with_edges(n, (n as f64 * 1.3) as usize, rng);
+    let mut edges: Vec<(Node, Node)> = base.edges().collect();
+    for _ in 0..n / 50 {
+        let a = rng.gen_range(0..n as Node);
+        let b = rng.gen_range(0..n as Node);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    let g = Graph::from_edges(n, &edges).expect("valid edges");
+    largest_connected_component(&g).0
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1896);
+    let g = transmission_grid(800, &mut rng);
+    println!(
+        "grid: {} buses, {} lines, diameter ≥ {}",
+        g.num_nodes(),
+        g.num_edges(),
+        cfcc_graph::diameter::diameter_double_sweep(&g, 0, 3)
+    );
+
+    let k = 5;
+    let params = CfcmParams::with_epsilon(0.2).seed(77).threads(2);
+    let sel = schur_cfcm(&g, k, &params).expect("analysis");
+    let c_group = cfcc::cfcc_group_cg(&g, &sel.nodes, 1e-8).expect("eval");
+    println!("\nmost flow-critical {k}-bus group (CFCM): {:?}", sel.nodes);
+    println!("group CFCC C(S) = {c_group:.4}");
+
+    // Vulnerability probe: losing the CFCM group vs losing k random buses.
+    // Compare the network's mean pairwise resistance (Kirchhoff-index
+    // style) on the surviving LCC via sampled node pairs.
+    let survivors_mean_r = |removed: &[Node], rng: &mut StdRng| -> f64 {
+        let keep: Vec<Node> = (0..g.num_nodes() as Node)
+            .filter(|u| !removed.contains(u))
+            .collect();
+        let (sub, _) = g.induced_subgraph(&keep);
+        let (lcc, _) = largest_connected_component(&sub);
+        let mut total = 0.0;
+        let pairs = 30;
+        for _ in 0..pairs {
+            let a = rng.gen_range(0..lcc.num_nodes() as Node);
+            let mut b = rng.gen_range(0..lcc.num_nodes() as Node);
+            while b == a {
+                b = rng.gen_range(0..lcc.num_nodes() as Node);
+            }
+            total += cfcc::resistance_to_group_cg(&lcc, a, &[b], 1e-7).expect("connected lcc");
+        }
+        total / pairs as f64
+    };
+
+    let baseline = survivors_mean_r(&[], &mut rng);
+    let after_cfcm = survivors_mean_r(&sel.nodes, &mut rng);
+    let random: Vec<Node> = (0..k as Node).map(|i| i * 97 % g.num_nodes() as Node).collect();
+    let after_random = survivors_mean_r(&random, &mut rng);
+
+    println!("\nmean sampled pairwise resistance of the surviving grid:");
+    println!("  intact grid           : {baseline:.3}");
+    println!("  after losing CFCM set : {after_cfcm:.3}  (+{:.1}%)", 100.0 * (after_cfcm / baseline - 1.0));
+    println!("  after losing random k : {after_random:.3}  (+{:.1}%)", 100.0 * (after_random / baseline - 1.0));
+    println!("\nThe CFCM group's removal degrades grid conductance far more than a random");
+    println!("outage of equal size — these buses are the ones worth hardening.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: maximize current-flow group closeness on a graph.
+//!
+//! Builds a small scale-free network, runs the paper's flagship algorithm
+//! (SchurCFCM), and compares the selected group against the exact greedy
+//! baseline and the degree heuristic.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use cfcc_core::{cfcc, exact::exact_greedy, heuristics, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Build (or load) an undirected connected graph.
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::scale_free_with_edges(1_000, 4_000, &mut rng);
+    println!("graph: n={} m={}", g.num_nodes(), g.num_edges());
+
+    // 2. Configure: ε controls the accuracy/time trade-off (paper uses 0.2).
+    let params = CfcmParams::with_epsilon(0.2).seed(42).threads(2);
+    let k = 10;
+
+    // 3. Maximize C(S) over groups of size k.
+    let sel = schur_cfcm(&g, k, &params).expect("connected graph, valid k");
+    println!("SchurCFCM selected (in greedy order): {:?}", sel.nodes);
+    println!(
+        "  sampled {} spanning forests, {} random-walk steps, {:.2}s",
+        sel.stats.total_forests(),
+        sel.stats.total_walk_steps(),
+        sel.stats.total_seconds()
+    );
+
+    // 4. Evaluate the group's CFCC and compare against baselines.
+    let c_schur = cfcc::cfcc_group_exact(&g, &sel.nodes);
+    let exact = exact_greedy(&g, k).expect("exact greedy");
+    let c_exact = cfcc::cfcc_group_exact(&g, &exact.nodes);
+    let degree = heuristics::degree_baseline(&g, k).expect("degree");
+    let c_degree = cfcc::cfcc_group_exact(&g, &degree.nodes);
+
+    println!("C(S) SchurCFCM     = {c_schur:.4}");
+    println!("C(S) exact greedy  = {c_exact:.4}   (O(n^3) reference)");
+    println!("C(S) degree top-k  = {c_degree:.4}   (heuristic)");
+    println!(
+        "SchurCFCM achieves {:.1}% of the exact-greedy objective.",
+        100.0 * c_schur / c_exact
+    );
+}

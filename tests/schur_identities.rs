@@ -1,0 +1,160 @@
+//! Integration tests of the §IV Schur-complement identities across the
+//! forest, linalg, and core crates: the Eq. (11) block inverse, Lemma 4.2
+//! rooted probabilities, and the SchurDelta ≈ ForestDelta agreement.
+
+use cfcc_core::params::{t_star, top_degree_nodes};
+use cfcc_core::schur::schur_complement_dense;
+use cfcc_core::{forest_delta::forest_delta, schur_delta::schur_delta, CfcmParams};
+use cfcc_graph::generators;
+use cfcc_linalg::dense::DenseMatrix;
+use cfcc_linalg::laplacian::laplacian_submatrix_dense;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Eq. (11): the block form of `L_{-S}^{-1}` assembled from `L_UU`,
+/// `F = −L_UU^{-1} L_UT`, and `Σ^{-1}` matches the direct inverse.
+#[test]
+fn block_inverse_identity() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = generators::barabasi_albert(20, 2, &mut rng);
+    let n = g.num_nodes();
+    let s = [0u32];
+    let t = [1u32, 4u32, 7u32];
+    let mut in_s = vec![false; n];
+    in_s[0] = true;
+
+    let (l_minus_s, keep) = laplacian_submatrix_dense(&g, &in_s);
+    let direct = l_minus_s.cholesky().unwrap().inverse();
+
+    let pos = |x: u32| keep.iter().position(|&y| y == x).unwrap();
+    let t_idx: Vec<usize> = t.iter().map(|&x| pos(x)).collect();
+    let u_idx: Vec<usize> = keep
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| !t.contains(&x) && !s.contains(&x))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Build the blocks.
+    let ul = u_idx.len();
+    let tl = t_idx.len();
+    let mut luu = DenseMatrix::zeros(ul, ul);
+    let mut lut = DenseMatrix::zeros(ul, tl);
+    for (i, &ui) in u_idx.iter().enumerate() {
+        for (j, &uj) in u_idx.iter().enumerate() {
+            luu.set(i, j, l_minus_s.get(ui, uj));
+        }
+        for (j, &tj) in t_idx.iter().enumerate() {
+            lut.set(i, j, l_minus_s.get(ui, tj));
+        }
+    }
+    let luu_inv = luu.cholesky().unwrap().inverse();
+    // F = −L_UU^{-1} L_UT
+    let mut f = luu_inv.matmul(&lut);
+    for i in 0..ul {
+        for j in 0..tl {
+            f.set(i, j, -f.get(i, j));
+        }
+    }
+    let sigma = schur_complement_dense(&l_minus_s, &t_idx, &u_idx);
+    let sigma_inv = sigma.cholesky().unwrap().inverse();
+
+    // Assemble Eq. (11) and compare entrywise to the direct inverse.
+    let fsig = f.matmul(&sigma_inv);
+    let top_left_corr = fsig.matmul(&f.transpose());
+    for (i, &ui) in u_idx.iter().enumerate() {
+        for (j, &uj) in u_idx.iter().enumerate() {
+            let expect = direct.get(ui, uj);
+            let got = luu_inv.get(i, j) + top_left_corr.get(i, j);
+            assert!((got - expect).abs() < 1e-8, "UU block ({i},{j}): {got} vs {expect}");
+        }
+        for (j, &tj) in t_idx.iter().enumerate() {
+            let expect = direct.get(ui, tj);
+            let got = fsig.get(i, j);
+            assert!((got - expect).abs() < 1e-8, "UT block ({i},{j}): {got} vs {expect}");
+        }
+    }
+    for (i, &ti) in t_idx.iter().enumerate() {
+        for (j, &tj) in t_idx.iter().enumerate() {
+            let expect = direct.get(ti, tj);
+            let got = sigma_inv.get(i, j);
+            assert!((got - expect).abs() < 1e-8, "TT block ({i},{j}): {got} vs {expect}");
+        }
+    }
+}
+
+/// SchurDelta and ForestDelta must rank marginal gains consistently: their
+/// argmaxes land in each other's top tier on the same workload.
+#[test]
+fn schur_and_forest_delta_agree() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let g = generators::scale_free_with_edges(150, 600, &mut rng);
+    let n = g.num_nodes();
+    let mut in_s = vec![false; n];
+    in_s[g.max_degree_node().unwrap() as usize] = true;
+    let params = CfcmParams::with_epsilon(0.15).seed(11);
+
+    let fd = forest_delta(&g, &in_s, &params, 1);
+    let c = t_star(&g).max(3);
+    let t_nodes: Vec<u32> = top_degree_nodes(&g, c + 1)
+        .into_iter()
+        .filter(|&t| !in_s[t as usize])
+        .take(c)
+        .collect();
+    let sd = schur_delta(&g, &in_s, &t_nodes, &params, 1).unwrap();
+
+    // Top-5 overlap between the two estimators.
+    let top5 = |deltas: &[f64]| {
+        let mut idx: Vec<usize> = (0..n).filter(|&u| !deltas[u].is_nan()).collect();
+        idx.sort_by(|&a, &b| deltas[b].partial_cmp(&deltas[a]).unwrap());
+        idx.truncate(5);
+        idx
+    };
+    let tf = top5(&fd.deltas);
+    let ts = top5(&sd.deltas);
+    let overlap = tf.iter().filter(|u| ts.contains(u)).count();
+    assert!(overlap >= 3, "top-5 overlap only {overlap}: {tf:?} vs {ts:?}");
+
+    // And against the exact oracle.
+    let exact = cfcc_core::exact::exact_deltas(&g, &[g.max_degree_node().unwrap()]);
+    let mut sorted = exact.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let exact_best = sorted[0].1;
+    for (name, best) in [("forest", fd.best), ("schur", sd.best)] {
+        let got = exact.iter().find(|&&(u, _)| u == best).unwrap().1;
+        assert!(
+            got >= 0.85 * exact_best,
+            "{name} argmax {best} has exact gain {got} vs best {exact_best}"
+        );
+    }
+}
+
+/// SchurDelta must sample shorter walks than ForestDelta (Lemma 3.7 with
+/// the enlarged root set).
+#[test]
+fn schur_walks_are_shorter() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let g = generators::scale_free_with_edges(400, 1600, &mut rng);
+    let n = g.num_nodes();
+    let mut in_s = vec![false; n];
+    in_s[g.max_degree_node().unwrap() as usize] = true;
+    let mut params = CfcmParams::with_epsilon(0.3).seed(13);
+    params.min_batch = 256;
+    params.max_forests = 256; // fixed budget: compare walk cost directly
+
+    let fd = forest_delta(&g, &in_s, &params, 1);
+    let c = t_star(&g).max(4);
+    let t_nodes: Vec<u32> = top_degree_nodes(&g, c + 1)
+        .into_iter()
+        .filter(|&t| !in_s[t as usize])
+        .take(c)
+        .collect();
+    let sd = schur_delta(&g, &in_s, &t_nodes, &params, 1).unwrap();
+    assert_eq!(fd.forests, sd.forests);
+    assert!(
+        sd.walk_steps < fd.walk_steps,
+        "schur walks {} vs forest walks {}",
+        sd.walk_steps,
+        fd.walk_steps
+    );
+}
