@@ -11,15 +11,18 @@
 //!
 //! Run: `cargo bench -p cfcc-bench --bench ablation`
 
-use cfcc_bench::{banner, harness_threads, params_for, Preset};
-use cfcc_core::{cfcc, forest_cfcm::forest_cfcm, params::t_star, schur_cfcm::schur_cfcm};
+use cfcc_bench::{banner, harness_threads, params_for, run_solver, timed_solver, Preset};
+use cfcc_core::{cfcc, params::t_star};
 use cfcc_util::table::Table;
 use cfcc_util::timing::fmt_seconds;
-use cfcc_util::Stopwatch;
 
 fn main() {
     let preset = Preset::from_env();
-    banner("ablation", "design-choice ablations (ours, §IV mechanisms)", preset);
+    banner(
+        "ablation",
+        "design-choice ablations (ours, §IV mechanisms)",
+        preset,
+    );
     let threads = harness_threads();
     let (scale, k) = match preset {
         Preset::Smoke => (0.5, 8),
@@ -28,7 +31,10 @@ fn main() {
     };
     let g = cfcc_datasets::by_name("hamsterster", scale).expect("dataset");
     let n = g.num_nodes();
-    println!("workload: hamsterster proxy, n={n}, m={}, k={k}\n", g.num_edges());
+    println!(
+        "workload: hamsterster proxy, n={n}, m={}, k={k}\n",
+        g.num_edges()
+    );
 
     // --- 1. |T| sensitivity ---
     let tstar = t_star(&g);
@@ -37,23 +43,32 @@ fn main() {
     for &c in &t_grid {
         let mut p = params_for(0.2, threads);
         p.schur_c = Some(c);
-        let sw = Stopwatch::start();
-        let sel = schur_cfcm(&g, k, &p).expect("schur");
-        let t = sw.seconds();
+        let (sel, t) = timed_solver("schur", &g, k, &p);
         let score = cfcc::cfcc_group_cg(&g, &sel.nodes, 1e-8).expect("eval");
-        let note = if c == tstar { "= T* (balance rule)" } else { "" };
-        table.row([c.to_string(), fmt_seconds(t), format!("{score:.4}"), note.to_string()]);
+        let note = if c == tstar {
+            "= T* (balance rule)"
+        } else {
+            ""
+        };
+        table.row([
+            c.to_string(),
+            fmt_seconds(t),
+            format!("{score:.4}"),
+            note.to_string(),
+        ]);
     }
     println!("ablation 1 — |T| sensitivity (SchurCFCM):\n{table}");
 
     // --- 2. walk shortening ---
     let p = params_for(0.2, threads);
-    let forest = forest_cfcm(&g, k, &p).expect("forest");
-    let schur = schur_cfcm(&g, k, &p).expect("schur");
+    let forest = run_solver("forest", &g, k, &p);
+    let schur = run_solver("schur", &g, k, &p);
     let mean_steps = |sel: &cfcc_core::Selection| {
         let (s, f) = sel.stats.iterations[1..]
             .iter()
-            .fold((0u64, 0u64), |(s, f), it| (s + it.walk_steps, f + it.forests));
+            .fold((0u64, 0u64), |(s, f), it| {
+                (s + it.walk_steps, f + it.forests)
+            });
         s as f64 / f.max(1) as f64
     };
     let mut table = Table::new(["algorithm", "mean walk steps / forest", "total forests"]);
@@ -72,25 +87,27 @@ fn main() {
     // --- 3. adaptive stop savings ---
     let mut fixed = params_for(0.2, threads);
     fixed.min_batch = fixed.max_forests; // disables doubling → full cap upfront
-    let sw = Stopwatch::start();
-    let sel_fixed = schur_cfcm(&g, k, &fixed).expect("fixed cap");
-    let t_fixed = sw.seconds();
+    let (sel_fixed, t_fixed) = timed_solver("schur", &g, k, &fixed);
     let adaptive = params_for(0.2, threads);
-    let sw = Stopwatch::start();
-    let sel_adaptive = schur_cfcm(&g, k, &adaptive).expect("adaptive");
-    let t_adaptive = sw.seconds();
+    let (sel_adaptive, t_adaptive) = timed_solver("schur", &g, k, &adaptive);
     let mut table = Table::new(["strategy", "forests", "time (s)", "C(S)"]);
     table.row([
         "fixed cap".to_string(),
         sel_fixed.stats.total_forests().to_string(),
         fmt_seconds(t_fixed),
-        format!("{:.4}", cfcc::cfcc_group_cg(&g, &sel_fixed.nodes, 1e-8).unwrap()),
+        format!(
+            "{:.4}",
+            cfcc::cfcc_group_cg(&g, &sel_fixed.nodes, 1e-8).unwrap()
+        ),
     ]);
     table.row([
         "adaptive (Bernstein)".to_string(),
         sel_adaptive.stats.total_forests().to_string(),
         fmt_seconds(t_adaptive),
-        format!("{:.4}", cfcc::cfcc_group_cg(&g, &sel_adaptive.nodes, 1e-8).unwrap()),
+        format!(
+            "{:.4}",
+            cfcc::cfcc_group_cg(&g, &sel_adaptive.nodes, 1e-8).unwrap()
+        ),
     ]);
     println!("ablation 3 — adaptive stopping (paper §III-D):\n{table}");
 }

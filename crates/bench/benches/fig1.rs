@@ -4,16 +4,26 @@
 //!
 //! Run: `cargo bench -p cfcc-bench --bench fig1`
 
-use cfcc_bench::{banner, harness_threads, params_for, Preset};
-use cfcc_core::{approx_greedy::approx_greedy, cfcc::cfcc_group_exact, exact::exact_greedy,
-    forest_cfcm::forest_cfcm, optimum::optimum_cfcm, schur_cfcm::schur_cfcm};
+use cfcc_bench::{banner, harness_threads, params_for, run_solver, Preset};
+use cfcc_core::cfcc::cfcc_group_exact;
 use cfcc_util::table::Table;
 
 const K_MAX: usize = 5;
+/// Greedy solvers whose nested prefixes give all k at once.
+const GREEDY: [(&str, &str); 4] = [
+    ("Exact", "exact"),
+    ("Approx", "approx"),
+    ("Forest", "forest"),
+    ("Schur", "schur"),
+];
 
 fn main() {
     let preset = Preset::from_env();
-    banner("fig1", "Fig. 1 (tiny graphs vs exhaustive optimum, k=1..5)", preset);
+    banner(
+        "fig1",
+        "Fig. 1 (tiny graphs vs exhaustive optimum, k=1..5)",
+        preset,
+    );
     let threads = harness_threads();
     let params = params_for(0.2, threads);
 
@@ -25,23 +35,25 @@ fn main() {
             g.num_edges()
         );
         // Greedy prefixes give all k at once; optimum needs one run per k.
-        let exact = exact_greedy(&g, K_MAX).expect("exact");
-        let approx = approx_greedy(&g, K_MAX, &params).expect("approx");
-        let forest = forest_cfcm(&g, K_MAX, &params).expect("forest");
-        let schur = schur_cfcm(&g, K_MAX, &params).expect("schur");
+        let selections: Vec<_> = GREEDY
+            .iter()
+            .map(|&(_, solver)| run_solver(solver, &g, K_MAX, &params))
+            .collect();
 
-        let mut table =
-            Table::new(["k", "Optimum", "Exact", "Approx", "Forest", "Schur"]);
+        let mut header = vec!["k".to_string(), "Optimum".to_string()];
+        header.extend(GREEDY.iter().map(|&(label, _)| label.to_string()));
+        let mut table = Table::new(header);
         for k in 1..=K_MAX {
-            let opt = optimum_cfcm(&g, k).expect("optimum");
-            let row = [
+            let opt = run_solver("optimum", &g, k, &params);
+            let mut row = vec![
                 k.to_string(),
-                format!("{:.4}", opt.cfcc),
-                format!("{:.4}", cfcc_group_exact(&g, exact.prefix(k))),
-                format!("{:.4}", cfcc_group_exact(&g, approx.prefix(k))),
-                format!("{:.4}", cfcc_group_exact(&g, forest.prefix(k))),
-                format!("{:.4}", cfcc_group_exact(&g, schur.prefix(k))),
+                format!("{:.4}", cfcc_group_exact(&g, &opt.nodes)),
             ];
+            row.extend(
+                selections
+                    .iter()
+                    .map(|sel| format!("{:.4}", cfcc_group_exact(&g, sel.prefix(k)))),
+            );
             table.row(row);
         }
         println!("{table}");

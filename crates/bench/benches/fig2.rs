@@ -3,9 +3,8 @@
 //!
 //! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench fig2`
 
-use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
-use cfcc_core::{approx_greedy::approx_greedy, cfcc, exact::exact_greedy,
-    forest_cfcm::forest_cfcm, heuristics, schur_cfcm::schur_cfcm, Selection};
+use cfcc_bench::{banner, harness_threads, load, params_for, run_solver, Preset};
+use cfcc_core::{cfcc, Selection};
 use cfcc_graph::Graph;
 use cfcc_util::table::Table;
 
@@ -31,7 +30,11 @@ fn series(g: &Graph, sel: Option<&Selection>) -> Vec<String> {
 
 fn main() {
     let preset = Preset::from_env();
-    banner("fig2", "Fig. 2 (effectiveness vs k on small graphs)", preset);
+    banner(
+        "fig2",
+        "Fig. 2 (effectiveness vs k on small graphs)",
+        preset,
+    );
     let threads = harness_threads();
     let params = params_for(0.2, threads);
     let k_max = *KS.last().unwrap();
@@ -49,32 +52,34 @@ fn main() {
             g.num_nodes(),
             g.num_edges()
         );
-        let exact = (g.num_nodes() <= preset.exact_limit())
-            .then(|| exact_greedy(&g, k_max).expect("exact"));
-        let topc = if g.num_nodes() <= preset.exact_limit() {
-            heuristics::top_cfcc_exact(&g, k_max).expect("top-cfcc")
-        } else {
-            heuristics::top_cfcc_sampled(&g, k_max, &params).expect("top-cfcc sampled")
-        };
-        let degree = heuristics::degree_baseline(&g, k_max).expect("degree");
-        let approx = (g.num_nodes() <= preset.approx_limit())
-            .then(|| approx_greedy(&g, k_max, &params).expect("approx"));
-        let forest = forest_cfcm(&g, k_max, &params).expect("forest");
-        let schur = schur_cfcm(&g, k_max, &params).expect("schur");
-
-        let mut table =
-            Table::new(["algorithm", "k=4", "k=8", "k=12", "k=16", "k=20"]);
-        let rows: Vec<(&str, Vec<String>)> = vec![
-            ("Exact", series(&g, exact.as_ref())),
-            ("Top-CFCC", series(&g, Some(&topc))),
-            ("Degree", series(&g, Some(&degree))),
-            ("Approx", series(&g, approx.as_ref())),
-            ("Forest", series(&g, Some(&forest))),
-            ("Schur", series(&g, Some(&schur))),
+        // Solver lineup per preset policy: the dense baselines drop out
+        // above their node limits, and Top-CFCC switches from the exact to
+        // the sampled ranking (both registry solvers).
+        let dense_ok = g.num_nodes() <= preset.exact_limit();
+        let rows: Vec<(&str, Option<&str>)> = vec![
+            ("Exact", dense_ok.then_some("exact")),
+            (
+                "Top-CFCC",
+                Some(if dense_ok {
+                    "top-cfcc-exact"
+                } else {
+                    "top-cfcc"
+                }),
+            ),
+            ("Degree", Some("degree")),
+            (
+                "Approx",
+                (g.num_nodes() <= preset.approx_limit()).then_some("approx"),
+            ),
+            ("Forest", Some("forest")),
+            ("Schur", Some("schur")),
         ];
-        for (alg, vals) in rows {
-            let mut row = vec![alg.to_string()];
-            row.extend(vals);
+
+        let mut table = Table::new(["algorithm", "k=4", "k=8", "k=12", "k=16", "k=20"]);
+        for (label, solver) in rows {
+            let sel = solver.map(|s| run_solver(s, &g, k_max, &params));
+            let mut row = vec![label.to_string()];
+            row.extend(series(&g, sel.as_ref()));
             table.row(row);
         }
         println!("{table}");

@@ -4,12 +4,19 @@
 //!
 //! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench fig3`
 
-use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
-use cfcc_core::{cfcc, forest_cfcm::forest_cfcm, heuristics, schur_cfcm::schur_cfcm, Selection};
+use cfcc_bench::{banner, harness_threads, load, params_for, run_solver, Preset};
+use cfcc_core::cfcc;
 use cfcc_graph::Graph;
 use cfcc_util::table::Table;
 
 const KS: [usize; 5] = [4, 8, 12, 16, 20];
+/// Large-graph lineup (everything here scales nearly linearly).
+const SOLVERS: [(&str, &str); 4] = [
+    ("Top-CFCC", "top-cfcc"),
+    ("Degree", "degree"),
+    ("Forest", "forest"),
+    ("Schur", "schur"),
+];
 
 fn eval(g: &Graph, nodes: &[u32], params: &cfcc_core::CfcmParams) -> f64 {
     if g.num_nodes() <= 3_000 {
@@ -22,7 +29,11 @@ fn eval(g: &Graph, nodes: &[u32], params: &cfcc_core::CfcmParams) -> f64 {
 
 fn main() {
     let preset = Preset::from_env();
-    banner("fig3", "Fig. 3 (effectiveness vs k on large graphs, CG-evaluated)", preset);
+    banner(
+        "fig3",
+        "Fig. 3 (effectiveness vs k on large graphs, CG-evaluated)",
+        preset,
+    );
     let threads = harness_threads();
     let params = params_for(0.2, threads);
     let k_max = *KS.last().unwrap();
@@ -46,20 +57,10 @@ fn main() {
             g.num_edges(),
             spec.paper_nodes
         );
-        let topc = heuristics::top_cfcc_sampled(&g, k_max, &params).expect("top-cfcc");
-        let degree = heuristics::degree_baseline(&g, k_max).expect("degree");
-        let forest = forest_cfcm(&g, k_max, &params).expect("forest");
-        let schur = schur_cfcm(&g, k_max, &params).expect("schur");
-
         let mut table = Table::new(["algorithm", "k=4", "k=8", "k=12", "k=16", "k=20"]);
-        let rows: Vec<(&str, &Selection)> = vec![
-            ("Top-CFCC", &topc),
-            ("Degree", &degree),
-            ("Forest", &forest),
-            ("Schur", &schur),
-        ];
-        for (alg, sel) in rows {
-            let mut row = vec![alg.to_string()];
+        for (label, solver) in SOLVERS {
+            let sel = run_solver(solver, &g, k_max, &params);
+            let mut row = vec![label.to_string()];
             for &k in &KS {
                 row.push(format!("{:.4}", eval(&g, sel.prefix(k), &params)));
             }

@@ -3,11 +3,9 @@
 //!
 //! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench fig4`
 
-use cfcc_bench::{banner, fmt_ratio, harness_threads, load, params_for, Preset};
-use cfcc_core::{forest_cfcm::forest_cfcm, schur_cfcm::schur_cfcm};
+use cfcc_bench::{banner, fmt_ratio, harness_threads, load, params_for, timed_solver, Preset};
 use cfcc_util::table::Table;
 use cfcc_util::timing::fmt_seconds;
-use cfcc_util::Stopwatch;
 
 const EPS_GRID: [f64; 6] = [0.40, 0.35, 0.30, 0.25, 0.20, 0.15];
 
@@ -34,12 +32,8 @@ fn main() {
         let mut table = Table::new(["epsilon", "Forest (s)", "Schur (s)", "Schur speedup"]);
         for &e in &EPS_GRID {
             let p = params_for(e, threads);
-            let sw = Stopwatch::start();
-            forest_cfcm(&g, k, &p).expect("forest");
-            let tf = sw.seconds();
-            let sw = Stopwatch::start();
-            schur_cfcm(&g, k, &p).expect("schur");
-            let ts = sw.seconds();
+            let (_, tf) = timed_solver("forest", &g, k, &p);
+            let (_, ts) = timed_solver("schur", &g, k, &p);
             table.row([
                 format!("{e:.2}"),
                 fmt_seconds(tf),

@@ -7,16 +7,19 @@
 //!
 //! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench fig5`
 
-use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
-use cfcc_core::{cfcc::cfcc_group_exact, exact::exact_greedy, forest_cfcm::forest_cfcm,
-    schur_cfcm::schur_cfcm};
+use cfcc_bench::{banner, harness_threads, load, params_for, run_solver, Preset};
+use cfcc_core::cfcc::cfcc_group_exact;
 use cfcc_util::table::Table;
 
 const EPS_GRID: [f64; 6] = [0.40, 0.35, 0.30, 0.25, 0.20, 0.15];
 
 fn main() {
     let preset = Preset::from_env();
-    banner("fig5", "Fig. 5 (relative difference vs EXACT as epsilon varies)", preset);
+    banner(
+        "fig5",
+        "Fig. 5 (relative difference vs EXACT as epsilon varies)",
+        preset,
+    );
     let threads = harness_threads();
     let k = preset.k();
 
@@ -33,14 +36,13 @@ fn main() {
             g.num_nodes(),
             g.num_edges()
         );
-        let exact = exact_greedy(&g, k).expect("exact greedy reference");
+        let exact = run_solver("exact", &g, k, &params_for(0.2, threads));
         let c_exact = cfcc_group_exact(&g, &exact.nodes);
-        let mut table =
-            Table::new(["epsilon", "Forest rel.diff", "Schur rel.diff"]);
+        let mut table = Table::new(["epsilon", "Forest rel.diff", "Schur rel.diff"]);
         for &e in &EPS_GRID {
             let p = params_for(e, threads);
-            let cf = cfcc_group_exact(&g, &forest_cfcm(&g, k, &p).expect("forest").nodes);
-            let cs = cfcc_group_exact(&g, &schur_cfcm(&g, k, &p).expect("schur").nodes);
+            let cf = cfcc_group_exact(&g, &run_solver("forest", &g, k, &p).nodes);
+            let cs = cfcc_group_exact(&g, &run_solver("schur", &g, k, &p).nodes);
             table.row([
                 format!("{e:.2}"),
                 format!("{:.5}", ((c_exact - cf) / c_exact).max(0.0)),

@@ -5,13 +5,11 @@
 //! Paper reference: Xia & Zhang, ICDE 2025, Table II (k = |S| = 20).
 //! Run: `CFCC_PRESET=paper cargo bench -p cfcc-bench --bench table2`
 
-use cfcc_bench::{banner, harness_threads, load, params_for, Preset};
-use cfcc_core::{approx_greedy::approx_greedy, exact::exact_greedy, forest_cfcm::forest_cfcm,
-    params::t_star, schur_cfcm::schur_cfcm};
+use cfcc_bench::{banner, harness_threads, load, params_for, timed_solver, Preset};
+use cfcc_core::params::t_star;
 use cfcc_graph::diameter::diameter;
 use cfcc_util::table::Table;
 use cfcc_util::timing::fmt_seconds;
-use cfcc_util::Stopwatch;
 
 fn main() {
     let preset = Preset::from_env();
@@ -62,35 +60,25 @@ fn main() {
         let tstar = t_star(&g);
         eprintln!("[table2] {name}: n={n} m={m} tau={tau} |T*|={tstar} (scale {scale:.3})");
 
-        let exact_time = if n <= preset.exact_limit() {
-            let sw = Stopwatch::start();
-            exact_greedy(&g, k).expect("exact greedy");
-            sw.seconds()
-        } else {
-            f64::NAN
+        // Preset policy gates the dense baselines by node count; timing
+        // runs dispatch through the registry by solver name.
+        let baseline_time = |solver: &str, limit: usize| -> f64 {
+            if n <= limit {
+                timed_solver(solver, &g, k, &params_for(0.2, threads)).1
+            } else {
+                f64::NAN
+            }
         };
-        let approx_time = if n <= preset.approx_limit() {
-            let p = params_for(0.2, threads);
-            let sw = Stopwatch::start();
-            approx_greedy(&g, k, &p).expect("approx greedy");
-            sw.seconds()
-        } else {
-            f64::NAN
+        let exact_time = baseline_time("exact", preset.exact_limit());
+        let approx_time = baseline_time("approx", preset.approx_limit());
+        let sweep = |solver: &str| -> Vec<f64> {
+            eps_grid
+                .iter()
+                .map(|&e| timed_solver(solver, &g, k, &params_for(e, threads)).1)
+                .collect()
         };
-        let mut forest_times = Vec::new();
-        for &e in eps_grid {
-            let p = params_for(e, threads);
-            let sw = Stopwatch::start();
-            forest_cfcm(&g, k, &p).expect("forest cfcm");
-            forest_times.push(sw.seconds());
-        }
-        let mut schur_times = Vec::new();
-        for &e in eps_grid {
-            let p = params_for(e, threads);
-            let sw = Stopwatch::start();
-            schur_cfcm(&g, k, &p).expect("schur cfcm");
-            schur_times.push(sw.seconds());
-        }
+        let forest_times = sweep("forest");
+        let schur_times = sweep("schur");
 
         let mut row: Vec<String> = vec![
             name.to_string(),

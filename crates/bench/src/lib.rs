@@ -15,9 +15,10 @@
 //! All randomized algorithms run with fixed seeds, so outputs are
 //! reproducible per preset.
 
-use cfcc_core::CfcmParams;
+use cfcc_core::{CfcmParams, Selection, SolveSession};
 use cfcc_datasets::DatasetSpec;
 use cfcc_graph::Graph;
+use cfcc_util::Stopwatch;
 
 /// Workload preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,11 @@ pub enum Preset {
 impl Preset {
     /// Read from `CFCC_PRESET` (default `smoke`).
     pub fn from_env() -> Preset {
-        match std::env::var("CFCC_PRESET").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("CFCC_PRESET")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "paper" => Preset::Paper,
             "full" => Preset::Full,
             _ => Preset::Smoke,
@@ -119,9 +124,30 @@ pub fn load(spec: &DatasetSpec, preset: Preset, cap: usize) -> (Graph, f64) {
     (cfcc_datasets::generate(spec, scale), scale)
 }
 
+/// Run a registered solver by name on the harness path. All table/figure
+/// targets dispatch through `cfcc_core::registry` via this helper — no
+/// per-algorithm match anywhere in the harness.
+pub fn run_solver(name: &str, g: &Graph, k: usize, params: &CfcmParams) -> Selection {
+    SolveSession::new(g)
+        .k(k)
+        .solver(name)
+        .params(params.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("solver '{name}' failed: {e}"))
+}
+
+/// [`run_solver`] plus wall-clock seconds of the whole run.
+pub fn timed_solver(name: &str, g: &Graph, k: usize, params: &CfcmParams) -> (Selection, f64) {
+    let sw = Stopwatch::start();
+    let sel = run_solver(name, g, k, params);
+    (sel, sw.seconds())
+}
+
 /// Baseline CFCM parameters for harness runs at the given ε.
 pub fn params_for(epsilon: f64, threads: usize) -> CfcmParams {
-    let mut p = CfcmParams::with_epsilon(epsilon).seed(0xBEEF).threads(threads);
+    let mut p = CfcmParams::with_epsilon(epsilon)
+        .seed(0xBEEF)
+        .threads(threads);
     p.max_forests = 2048;
     p
 }
@@ -190,5 +216,18 @@ mod tests {
         assert_eq!(fmt_ratio(370.0), "370x");
         assert_eq!(fmt_ratio(2.53), "2.5x");
         assert_eq!(fmt_ratio(f64::NAN), "-");
+    }
+
+    #[test]
+    fn run_solver_goes_through_the_registry() {
+        let g = cfcc_datasets::karate();
+        let p = params_for(0.3, 1);
+        for name in ["schur", "exact", "degree"] {
+            let sel = run_solver(name, &g, 2, &p);
+            assert_eq!(sel.nodes.len(), 2, "{name}");
+        }
+        let (sel, secs) = timed_solver("forest", &g, 2, &p);
+        assert_eq!(sel.nodes.len(), 2);
+        assert!(secs >= 0.0);
     }
 }

@@ -1,60 +1,18 @@
 //! Hand-rolled argument parsing for the `cfcm` binary.
+//!
+//! Solver names are not enumerated here: `--algo` accepts any name or
+//! alias registered in `cfcc_core::registry`, so new solvers become
+//! CLI-selectable the moment they are registered.
 
+use cfcc_core::registry;
 use std::fmt;
-
-/// Which solver to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// SchurCFCM (default; the paper's flagship).
-    Schur,
-    /// ForestCFCM.
-    Forest,
-    /// ApproxGreedy baseline (PCG-based).
-    Approx,
-    /// Dense exact greedy.
-    Exact,
-    /// Exhaustive optimum (tiny graphs).
-    Optimum,
-    /// Top-k degree heuristic.
-    Degree,
-    /// Top-k single-node CFCC heuristic.
-    TopCfcc,
-}
-
-impl Algorithm {
-    /// Parse a user-supplied name.
-    pub fn parse(s: &str) -> Option<Algorithm> {
-        match s.to_ascii_lowercase().as_str() {
-            "schur" | "schurcfcm" => Some(Algorithm::Schur),
-            "forest" | "forestcfcm" => Some(Algorithm::Forest),
-            "approx" | "approxgreedy" => Some(Algorithm::Approx),
-            "exact" => Some(Algorithm::Exact),
-            "optimum" | "opt" => Some(Algorithm::Optimum),
-            "degree" => Some(Algorithm::Degree),
-            "top-cfcc" | "topcfcc" => Some(Algorithm::TopCfcc),
-            _ => None,
-        }
-    }
-
-    /// Canonical name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Schur => "schur",
-            Algorithm::Forest => "forest",
-            Algorithm::Approx => "approx",
-            Algorithm::Exact => "exact",
-            Algorithm::Optimum => "optimum",
-            Algorithm::Degree => "degree",
-            Algorithm::TopCfcc => "top-cfcc",
-        }
-    }
-}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliArgs {
-    /// Solver to run.
-    pub algo: Algorithm,
+    /// Canonical name of the solver to run (validated against the
+    /// registry at parse time).
+    pub algo: String,
     /// Group size.
     pub k: usize,
     /// Error parameter ε.
@@ -71,8 +29,14 @@ pub struct CliArgs {
     pub scale: f64,
     /// Evaluate C(S) of the result (CG-based).
     pub evaluate: bool,
+    /// Wall-clock budget for the solve, in seconds (deadline).
+    pub timeout_secs: Option<f64>,
+    /// Emit the report as a JSON object instead of the text block.
+    pub json: bool,
     /// Print the dataset registry and exit.
     pub list_datasets: bool,
+    /// Print the solver registry and exit.
+    pub list_solvers: bool,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -80,7 +44,7 @@ pub struct CliArgs {
 impl Default for CliArgs {
     fn default() -> Self {
         Self {
-            algo: Algorithm::Schur,
+            algo: "schur".into(),
             k: 10,
             epsilon: 0.2,
             seed: 0x5EED,
@@ -89,7 +53,10 @@ impl Default for CliArgs {
             dataset: None,
             scale: 1.0,
             evaluate: false,
+            timeout_secs: None,
+            json: false,
             list_datasets: false,
+            list_solvers: false,
             help: false,
         }
     }
@@ -115,8 +82,8 @@ USAGE:
     cfcm [OPTIONS] (--graph <edge-list> | --dataset <name>)
 
 OPTIONS:
-    --algo <name>      schur | forest | approx | exact | optimum | degree | top-cfcc
-                       (default: schur)
+    --algo <name>      solver name or alias from the registry
+                       (see --list-solvers; default: schur)
     --k <int>          group size (default: 10)
     --epsilon <float>  error parameter in (0,1) (default: 0.2)
     --seed <int>       RNG seed (default: 0x5EED)
@@ -124,8 +91,14 @@ OPTIONS:
     --graph <path>     whitespace edge-list file ('#'/'%' comments ok)
     --dataset <name>   bundled dataset (see --list-datasets)
     --scale <float>    proxy scale for bundled datasets in (0,1] (default: 1.0)
+    --timeout <secs>   wall-clock budget; iterative solvers return their
+                       partial selection when the budget is exhausted
+                       (checked between greedy iterations; single-shot
+                       heuristics run to completion)
     --evaluate         also compute C(S) of the selection (CG)
+    --json             print the report as a JSON object
     --list-datasets    print the dataset registry and exit
+    --list-solvers     print the solver registry and exit
     --help             this text
 ";
 
@@ -134,14 +107,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
     let mut out = CliArgs::default();
     let mut it = args.into_iter();
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-        it.next().ok_or_else(|| ParseError(format!("{flag} requires a value")))
+        it.next()
+            .ok_or_else(|| ParseError(format!("{flag} requires a value")))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--algo" => {
                 let v = need(&mut it, "--algo")?;
-                out.algo = Algorithm::parse(&v)
-                    .ok_or_else(|| ParseError(format!("unknown algorithm '{v}'")))?;
+                out.algo = registry::by_name(&v)
+                    .map(|s| s.name().to_string())
+                    .ok_or_else(|| {
+                        ParseError(format!(
+                            "unknown algorithm '{v}' (available: {})",
+                            registry::name_list()
+                        ))
+                    })?;
             }
             "--k" => {
                 let v = need(&mut it, "--k")?;
@@ -149,7 +129,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
             }
             "--epsilon" => {
                 let v = need(&mut it, "--epsilon")?;
-                out.epsilon = v.parse().map_err(|e| ParseError(format!("--epsilon: {e}")))?;
+                out.epsilon = v
+                    .parse()
+                    .map_err(|e| ParseError(format!("--epsilon: {e}")))?;
             }
             "--seed" => {
                 let v = need(&mut it, "--seed")?;
@@ -157,7 +139,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
             }
             "--threads" => {
                 let v = need(&mut it, "--threads")?;
-                out.threads = v.parse().map_err(|e| ParseError(format!("--threads: {e}")))?;
+                out.threads = v
+                    .parse()
+                    .map_err(|e| ParseError(format!("--threads: {e}")))?;
             }
             "--graph" => out.graph_path = Some(need(&mut it, "--graph")?),
             "--dataset" => out.dataset = Some(need(&mut it, "--dataset")?),
@@ -165,19 +149,37 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
                 let v = need(&mut it, "--scale")?;
                 out.scale = v.parse().map_err(|e| ParseError(format!("--scale: {e}")))?;
             }
+            "--timeout" => {
+                let v = need(&mut it, "--timeout")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| ParseError(format!("--timeout: {e}")))?;
+                // Upper bound keeps Duration::from_secs_f64 from
+                // panicking on absurd values (a year exceeds any solve).
+                if !secs.is_finite() || secs <= 0.0 || secs > 31_536_000.0 {
+                    return Err(ParseError(
+                        "--timeout must be a positive number of seconds (max 31536000)".into(),
+                    ));
+                }
+                out.timeout_secs = Some(secs);
+            }
             "--evaluate" => out.evaluate = true,
+            "--json" => out.json = true,
             "--list-datasets" => out.list_datasets = true,
+            "--list-solvers" => out.list_solvers = true,
             "--help" | "-h" => out.help = true,
             other => return Err(ParseError(format!("unknown argument '{other}'"))),
         }
     }
-    if !out.help && !out.list_datasets {
+    if !out.help && !out.list_datasets && !out.list_solvers {
         match (&out.graph_path, &out.dataset) {
             (None, None) => {
                 return Err(ParseError("one of --graph or --dataset is required".into()))
             }
             (Some(_), Some(_)) => {
-                return Err(ParseError("--graph and --dataset are mutually exclusive".into()))
+                return Err(ParseError(
+                    "--graph and --dataset are mutually exclusive".into(),
+                ))
             }
             _ => {}
         }
@@ -199,7 +201,8 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).map_err(|e| e.to_string())
     } else {
-        s.parse().map_err(|e: std::num::ParseIntError| e.to_string())
+        s.parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
     }
 }
 
@@ -214,17 +217,33 @@ mod tests {
     #[test]
     fn parses_full_invocation() {
         let a = parse(&[
-            "--algo", "forest", "--k", "5", "--epsilon", "0.3", "--seed", "0xFF",
-            "--threads", "2", "--dataset", "karate", "--evaluate",
+            "--algo",
+            "forest",
+            "--k",
+            "5",
+            "--epsilon",
+            "0.3",
+            "--seed",
+            "0xFF",
+            "--threads",
+            "2",
+            "--dataset",
+            "karate",
+            "--evaluate",
+            "--json",
+            "--timeout",
+            "2.5",
         ])
         .unwrap();
-        assert_eq!(a.algo, Algorithm::Forest);
+        assert_eq!(a.algo, "forest");
         assert_eq!(a.k, 5);
         assert_eq!(a.epsilon, 0.3);
         assert_eq!(a.seed, 255);
         assert_eq!(a.threads, 2);
         assert_eq!(a.dataset.as_deref(), Some("karate"));
         assert!(a.evaluate);
+        assert!(a.json);
+        assert_eq!(a.timeout_secs, Some(2.5));
     }
 
     #[test]
@@ -244,30 +263,36 @@ mod tests {
         assert!(parse(&["--dataset", "karate", "--epsilon", "2.0"]).is_err());
         assert!(parse(&["--dataset", "karate", "--k", "0"]).is_err());
         assert!(parse(&["--dataset", "karate", "--scale", "0"]).is_err());
+        assert!(parse(&["--dataset", "karate", "--timeout", "0"]).is_err());
+        assert!(parse(&["--dataset", "karate", "--timeout", "nan"]).is_err());
+        assert!(parse(&["--dataset", "karate", "--timeout", "1e300"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--algo", "nope", "--dataset", "karate"]).is_err());
         assert!(parse(&["--k"]).is_err(), "missing value");
     }
 
     #[test]
-    fn help_and_list_do_not_require_source() {
-        assert!(parse(&["--help"]).unwrap().help);
-        assert!(parse(&["--list-datasets"]).unwrap().list_datasets);
+    fn unknown_algo_error_lists_the_registry() {
+        let err = parse(&["--algo", "nope", "--dataset", "karate"]).unwrap_err();
+        assert!(err.0.contains("schur"), "error should list names: {err}");
     }
 
     #[test]
-    fn algorithm_names_roundtrip() {
-        for a in [
-            Algorithm::Schur,
-            Algorithm::Forest,
-            Algorithm::Approx,
-            Algorithm::Exact,
-            Algorithm::Optimum,
-            Algorithm::Degree,
-            Algorithm::TopCfcc,
-        ] {
-            assert_eq!(Algorithm::parse(a.name()), Some(a));
+    fn help_and_lists_do_not_require_source() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["--list-datasets"]).unwrap().list_datasets);
+        assert!(parse(&["--list-solvers"]).unwrap().list_solvers);
+    }
+
+    #[test]
+    fn algo_names_and_aliases_canonicalize_through_the_registry() {
+        for name in registry::names() {
+            let a = parse(&["--algo", name, "--dataset", "karate"]).unwrap();
+            assert_eq!(a.algo, name);
         }
-        assert_eq!(Algorithm::parse("SCHURCFCM"), Some(Algorithm::Schur));
+        let a = parse(&["--algo", "SCHURCFCM", "--dataset", "karate"]).unwrap();
+        assert_eq!(a.algo, "schur");
+        let a = parse(&["--algo", "opt", "--dataset", "karate", "--k", "3"]).unwrap();
+        assert_eq!(a.algo, "optimum");
     }
 }

@@ -2,17 +2,19 @@
 //!
 //! Library backing the `cfcm` command-line binary: argument parsing (no
 //! external dependency — a deliberate, testable hand-rolled parser), graph
-//! loading (edge-list files or bundled datasets), algorithm dispatch, and
-//! report formatting.
+//! loading (edge-list files or bundled datasets), registry-driven solver
+//! dispatch (`cfcc_core::registry` — no per-algorithm match anywhere), and
+//! report formatting (text or `--json`).
 //!
 //! ```text
 //! cfcm --algo schur --k 20 --epsilon 0.2 --dataset hamsterster
-//! cfcm --algo forest --k 10 --graph my_edges.txt --evaluate
+//! cfcm --algo forest --k 10 --graph my_edges.txt --evaluate --json
+//! cfcm --list-solvers
 //! cfcm --list-datasets
 //! ```
 
 pub mod args;
 pub mod run;
 
-pub use args::{Algorithm, CliArgs, ParseError};
+pub use args::{CliArgs, ParseError};
 pub use run::{execute, Report};

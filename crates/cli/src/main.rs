@@ -1,7 +1,7 @@
 //! `cfcm` — run CFCM solvers from the command line.
 
 use cfcm_cli::args::{parse_args, USAGE};
-use cfcm_cli::run::{execute, render_dataset_list};
+use cfcm_cli::run::{execute, render_dataset_list, render_solver_list};
 
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
@@ -19,8 +19,18 @@ fn main() {
         print!("{}", render_dataset_list());
         return;
     }
+    if args.list_solvers {
+        print!("{}", render_solver_list());
+        return;
+    }
     match execute(&args) {
-        Ok(report) => print!("{}", report.render()),
+        Ok(report) => {
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

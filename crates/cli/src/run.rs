@@ -1,16 +1,22 @@
-//! Graph loading, algorithm dispatch, and report assembly for the CLI.
+//! Graph loading, registry-driven solver dispatch, and report assembly
+//! for the CLI. There is no per-algorithm match here: solvers come from
+//! `cfcc_core::registry` and run through a `SolveSession`.
 
-use crate::args::{Algorithm, CliArgs};
-use cfcc_core::{cfcc, CfcmParams, Selection};
+use crate::args::CliArgs;
+use cfcc_core::{cfcc, registry, CfcmParams, RunStats, SolveSession};
 use cfcc_graph::traversal::largest_connected_component;
 use cfcc_graph::Graph;
+use cfcc_util::json::{self, JsonObject};
 use cfcc_util::Stopwatch;
+use std::time::Duration;
 
 /// What a CLI run produces (rendered by the binary, inspected by tests).
 #[derive(Debug, Clone)]
 pub struct Report {
-    /// Algorithm used.
-    pub algo: Algorithm,
+    /// Canonical name of the solver that ran.
+    pub algo: String,
+    /// Solver family label (exact / monte-carlo / heuristic).
+    pub kind: String,
     /// Graph statistics after LCC extraction: (nodes, edges).
     pub graph_stats: (usize, usize),
     /// Whether the input graph was disconnected and reduced to its LCC.
@@ -21,6 +27,10 @@ pub struct Report {
     pub seconds: f64,
     /// Forests sampled (Monte-Carlo algorithms only).
     pub forests: u64,
+    /// Whether the run stopped early (deadline) with a partial selection.
+    pub partial: bool,
+    /// Per-iteration statistics of the run (internal node ids).
+    pub stats: RunStats,
     /// Evaluated C(S), when requested.
     pub cfcc: Option<f64>,
 }
@@ -30,21 +40,57 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "algorithm : {}\ngraph     : {} nodes, {} edges{}\n",
-            self.algo.name(),
+            "algorithm : {} ({})\ngraph     : {} nodes, {} edges{}\n",
+            self.algo,
+            self.kind,
             self.graph_stats.0,
             self.graph_stats.1,
-            if self.reduced_to_lcc { " (largest connected component)" } else { "" }
+            if self.reduced_to_lcc {
+                " (largest connected component)"
+            } else {
+                ""
+            }
         ));
         out.push_str(&format!("time      : {:.3}s\n", self.seconds));
         if self.forests > 0 {
             out.push_str(&format!("forests   : {}\n", self.forests));
         }
-        out.push_str(&format!("selection : {:?}\n", self.nodes));
+        out.push_str(&format!(
+            "selection : {:?}{}\n",
+            self.nodes,
+            if self.partial {
+                " (partial: timeout hit)"
+            } else {
+                ""
+            }
+        ));
         if let Some(c) = self.cfcc {
             out.push_str(&format!("C(S)      : {c:.6}\n"));
         }
         out
+    }
+
+    /// Render as a machine-consumable JSON object (one line).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .str("algorithm", &self.algo)
+            .str("kind", &self.kind)
+            .int("nodes", self.graph_stats.0 as i128)
+            .int("edges", self.graph_stats.1 as i128)
+            .bool("reduced_to_lcc", self.reduced_to_lcc)
+            .num("seconds", self.seconds)
+            .int("forests", i128::from(self.forests))
+            .bool("partial", self.partial)
+            .raw(
+                "selection",
+                json::array(self.nodes.iter().map(|u| u.to_string())),
+            )
+            .raw("stats", self.stats.to_json_with_labels(&self.nodes));
+        obj = match self.cfcc {
+            Some(c) => obj.num("cfcc", c),
+            None => obj.raw("cfcc", "null"),
+        };
+        obj.render()
     }
 }
 
@@ -77,72 +123,93 @@ pub fn load_graph(args: &CliArgs) -> Result<(Graph, Vec<u64>, bool), String> {
 /// Execute a parsed CLI invocation.
 pub fn execute(args: &CliArgs) -> Result<Report, String> {
     let (g, labels, reduced) = load_graph(args)?;
+    let solver = registry::resolve(&args.algo).map_err(|e| e.to_string())?;
     let params = CfcmParams::with_epsilon(args.epsilon)
         .seed(args.seed)
         .threads(args.threads);
+
+    let mut session = SolveSession::new(&g)
+        .k(args.k)
+        .solver_impl(solver)
+        .params(params);
+    if let Some(secs) = args.timeout_secs {
+        session = session.timeout(Duration::from_secs_f64(secs));
+    }
+
     let sw = Stopwatch::start();
-    let (nodes, forests): (Vec<u32>, u64) = match args.algo {
-        Algorithm::Schur => unpack(cfcc_core::schur_cfcm::schur_cfcm(&g, args.k, &params))?,
-        Algorithm::Forest => unpack(cfcc_core::forest_cfcm::forest_cfcm(&g, args.k, &params))?,
-        Algorithm::Approx => unpack(cfcc_core::approx_greedy::approx_greedy(&g, args.k, &params))?,
-        Algorithm::Exact => unpack(cfcc_core::exact::exact_greedy(&g, args.k))?,
-        Algorithm::Degree => unpack(cfcc_core::heuristics::degree_baseline(&g, args.k))?,
-        Algorithm::TopCfcc => {
-            unpack(cfcc_core::heuristics::top_cfcc_sampled(&g, args.k, &params))?
-        }
-        Algorithm::Optimum => {
-            if g.num_nodes() > 80 || args.k > 5 {
-                return Err(format!(
-                    "--algo optimum is exhaustive; limited to n <= 80, k <= 5 (got n={}, k={})",
-                    g.num_nodes(),
-                    args.k
-                ));
-            }
-            let opt = cfcc_core::optimum::optimum_cfcm(&g, args.k).map_err(|e| e.to_string())?;
-            (opt.nodes, 0)
-        }
-    };
+    let sel = session.run().map_err(|e| e.to_string())?;
     let seconds = sw.seconds();
+
+    if sel.nodes.is_empty() {
+        // Only possible when a cancel/deadline fired before any complete
+        // group was examined (exhaustive search). Evaluating C(∅) would
+        // mean CG solves on the singular full Laplacian — fail clearly.
+        return Err(format!(
+            "'{}' was interrupted before finding any selection; raise --timeout",
+            solver.name()
+        ));
+    }
     let cfcc_value = if args.evaluate {
-        Some(cfcc::cfcc_group_cg(&g, &nodes, 1e-8).map_err(|e| e.to_string())?)
+        Some(cfcc::cfcc_group_cg(&g, &sel.nodes, 1e-8).map_err(|e| e.to_string())?)
     } else {
         None
     };
     Ok(Report {
-        algo: args.algo,
+        algo: solver.name().to_string(),
+        kind: solver.kind().label().to_string(),
         graph_stats: (g.num_nodes(), g.num_edges()),
         reduced_to_lcc: reduced,
-        nodes: nodes.iter().map(|&u| labels[u as usize]).collect(),
+        nodes: sel.nodes.iter().map(|&u| labels[u as usize]).collect(),
         seconds,
-        forests,
+        forests: sel.stats.total_forests(),
+        partial: sel.nodes.len() < args.k,
+        stats: sel.stats,
         cfcc: cfcc_value,
     })
 }
 
-fn unpack(r: Result<Selection, cfcc_core::CfcmError>) -> Result<(Vec<u32>, u64), String> {
-    let sel = r.map_err(|e| e.to_string())?;
-    let forests = sel.stats.total_forests();
-    Ok((sel.nodes, forests))
-}
-
 /// Render the dataset registry for `--list-datasets`.
 pub fn render_dataset_list() -> String {
-    let mut t = cfcc_util::table::Table::new([
-        "name",
-        "paper n",
-        "paper m",
-        "tau",
-        "|T*|",
-        "topology",
-    ]);
+    let mut t =
+        cfcc_util::table::Table::new(["name", "paper n", "paper m", "tau", "|T*|", "topology"]);
     for s in cfcc_datasets::all_specs() {
         t.row([
             s.name.to_string(),
             s.paper_nodes.to_string(),
             s.paper_edges.to_string(),
-            if s.paper_tau > 0 { s.paper_tau.to_string() } else { "-".into() },
-            if s.paper_t_star > 0 { s.paper_t_star.to_string() } else { "-".into() },
+            if s.paper_tau > 0 {
+                s.paper_tau.to_string()
+            } else {
+                "-".into()
+            },
+            if s.paper_t_star > 0 {
+                s.paper_t_star.to_string()
+            } else {
+                "-".into()
+            },
             format!("{:?}", s.topology),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the solver registry for `--list-solvers`.
+pub fn render_solver_list() -> String {
+    let mut t = cfcc_util::table::Table::new(["name", "kind", "aliases"]);
+    for s in registry::all() {
+        let aliases: Vec<&str> = registry::aliases()
+            .iter()
+            .filter(|(_, canonical)| *canonical == s.name())
+            .map(|(alias, _)| *alias)
+            .collect();
+        t.row([
+            s.name().to_string(),
+            s.kind().label().to_string(),
+            if aliases.is_empty() {
+                "-".into()
+            } else {
+                aliases.join(", ")
+            },
         ]);
     }
     t.render()
@@ -159,12 +226,21 @@ mod tests {
 
     #[test]
     fn runs_on_bundled_dataset() {
-        let a = args(&["--dataset", "karate", "--algo", "exact", "--k", "3", "--evaluate"]);
+        let a = args(&[
+            "--dataset",
+            "karate",
+            "--algo",
+            "exact",
+            "--k",
+            "3",
+            "--evaluate",
+        ]);
         let r = execute(&a).unwrap();
         assert_eq!(r.graph_stats, (34, 78));
         assert_eq!(r.nodes.len(), 3);
         assert!(r.cfcc.unwrap() > 0.0);
         assert!(!r.reduced_to_lcc);
+        assert!(!r.partial);
         let text = r.render();
         assert!(text.contains("C(S)"));
         assert!(text.contains("exact"));
@@ -173,19 +249,81 @@ mod tests {
     #[test]
     fn runs_monte_carlo_and_reports_forests() {
         let a = args(&[
-            "--dataset", "dolphins", "--algo", "schur", "--k", "3", "--epsilon", "0.3",
+            "--dataset",
+            "dolphins",
+            "--algo",
+            "schur",
+            "--k",
+            "3",
+            "--epsilon",
+            "0.3",
         ]);
         let r = execute(&a).unwrap();
         assert_eq!(r.nodes.len(), 3);
         assert!(r.forests > 0);
         assert!(r.render().contains("forests"));
+        assert_eq!(r.stats.iterations.len(), 3);
     }
 
     #[test]
-    fn optimum_is_guarded() {
-        let a = args(&["--dataset", "hamsterster", "--scale", "0.1", "--algo", "optimum"]);
+    fn optimum_is_guarded_by_capability() {
+        let a = args(&[
+            "--dataset",
+            "hamsterster",
+            "--scale",
+            "0.1",
+            "--algo",
+            "optimum",
+        ]);
         let err = execute(&a).unwrap_err();
-        assert!(err.contains("exhaustive"));
+        assert!(
+            err.contains("exhaustive"),
+            "capability hint surfaces: {err}"
+        );
+    }
+
+    #[test]
+    fn every_registered_solver_runs_through_the_cli() {
+        for solver in registry::all() {
+            let a = args(&[
+                "--dataset",
+                "karate",
+                "--algo",
+                solver.name(),
+                "--k",
+                "2",
+                "--epsilon",
+                "0.3",
+            ]);
+            let r = execute(&a).unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+            assert_eq!(r.nodes.len(), 2, "{}", solver.name());
+            assert_eq!(r.algo, solver.name());
+        }
+    }
+
+    #[test]
+    fn json_report_is_emitted_and_structured() {
+        let a = args(&[
+            "--dataset",
+            "karate",
+            "--algo",
+            "forest",
+            "--k",
+            "2",
+            "--epsilon",
+            "0.3",
+            "--evaluate",
+            "--json",
+        ]);
+        let r = execute(&a).unwrap();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""algorithm":"forest""#));
+        assert!(j.contains(r#""kind":"monte-carlo""#));
+        assert!(j.contains(r#""selection":["#));
+        assert!(j.contains(r#""iterations":["#));
+        assert!(j.contains(r#""cfcc":"#));
+        assert!(!j.contains("NaN"), "NaN gains must serialize as null: {j}");
     }
 
     #[test]
@@ -211,6 +349,16 @@ mod tests {
             "selection must be reported in original labels, got {:?}",
             r.nodes
         );
+        // The JSON report must use the same label space everywhere:
+        // per-iteration `chosen` ids match the `selection` array.
+        let j = r.to_json();
+        let expect = format!(r#""selection":[{}]"#, r.nodes[0]);
+        assert!(j.contains(&expect), "{j}");
+        let expect = format!(r#""chosen":{}"#, r.nodes[0]);
+        assert!(
+            j.contains(&expect),
+            "iteration ids must be re-labeled to input ids: {j}"
+        );
     }
 
     #[test]
@@ -224,5 +372,14 @@ mod tests {
         let text = render_dataset_list();
         assert!(text.contains("karate"));
         assert!(text.contains("soc-livejournal"));
+    }
+
+    #[test]
+    fn solver_list_renders_every_registered_name() {
+        let text = render_solver_list();
+        for solver in registry::all() {
+            assert!(text.contains(solver.name()), "missing {}", solver.name());
+        }
+        assert!(text.contains("monte-carlo"));
     }
 }

@@ -96,7 +96,11 @@ mod tests {
     #[test]
     fn never_stops_on_first_checkpoint() {
         let mut rule = StopRule::new();
-        let best = Candidate { node: 3, score: 10.0, halfwidth: 0.01 };
+        let best = Candidate {
+            node: 3,
+            score: 10.0,
+            halfwidth: 0.01,
+        };
         assert!(!rule.check(best, None, 0.2));
         // Second checkpoint with the same stable winner stops.
         assert!(rule.check(best, None, 0.2));
@@ -105,32 +109,112 @@ mod tests {
     #[test]
     fn requires_stable_argbest() {
         let mut rule = StopRule::new();
-        rule.check(Candidate { node: 1, score: 5.0, halfwidth: 0.0 }, None, 0.2);
+        rule.check(
+            Candidate {
+                node: 1,
+                score: 5.0,
+                halfwidth: 0.0,
+            },
+            None,
+            0.2,
+        );
         // Winner changed → no stop.
-        assert!(!rule.check(Candidate { node: 2, score: 5.0, halfwidth: 0.0 }, None, 0.2));
+        assert!(!rule.check(
+            Candidate {
+                node: 2,
+                score: 5.0,
+                halfwidth: 0.0
+            },
+            None,
+            0.2
+        ));
         // Now stable → stop.
-        assert!(rule.check(Candidate { node: 2, score: 5.0, halfwidth: 0.0 }, None, 0.2));
+        assert!(rule.check(
+            Candidate {
+                node: 2,
+                score: 5.0,
+                halfwidth: 0.0
+            },
+            None,
+            0.2
+        ));
     }
 
     #[test]
     fn requires_score_stability() {
         let mut rule = StopRule::new();
-        rule.check(Candidate { node: 1, score: 10.0, halfwidth: 0.0 }, None, 0.2);
+        rule.check(
+            Candidate {
+                node: 1,
+                score: 10.0,
+                halfwidth: 0.0,
+            },
+            None,
+            0.2,
+        );
         // Score jumped 50% → keep sampling.
-        assert!(!rule.check(Candidate { node: 1, score: 20.0, halfwidth: 0.0 }, None, 0.2));
+        assert!(!rule.check(
+            Candidate {
+                node: 1,
+                score: 20.0,
+                halfwidth: 0.0
+            },
+            None,
+            0.2
+        ));
     }
 
     #[test]
     fn requires_separation_from_runner_up() {
         let mut rule = StopRule::new();
-        let second = Some(Candidate { node: 9, score: 9.9, halfwidth: 1.0 });
-        rule.check(Candidate { node: 1, score: 10.0, halfwidth: 1.0 }, second, 0.2);
+        let second = Some(Candidate {
+            node: 9,
+            score: 9.9,
+            halfwidth: 1.0,
+        });
+        rule.check(
+            Candidate {
+                node: 1,
+                score: 10.0,
+                halfwidth: 1.0,
+            },
+            second,
+            0.2,
+        );
         // Overlapping intervals and wide halfwidths → no stop.
-        assert!(!rule.check(Candidate { node: 1, score: 10.0, halfwidth: 1.0 }, second, 0.2));
+        assert!(!rule.check(
+            Candidate {
+                node: 1,
+                score: 10.0,
+                halfwidth: 1.0
+            },
+            second,
+            0.2
+        ));
         // Tight halfwidths (≤ ε/2·score even though gap < widths) → stop.
-        let tight_second = Some(Candidate { node: 9, score: 9.9, halfwidth: 0.2 });
+        let tight_second = Some(Candidate {
+            node: 9,
+            score: 9.9,
+            halfwidth: 0.2,
+        });
         let mut rule2 = StopRule::new();
-        rule2.check(Candidate { node: 1, score: 10.0, halfwidth: 0.2 }, tight_second, 0.2);
-        assert!(rule2.check(Candidate { node: 1, score: 10.0, halfwidth: 0.2 }, tight_second, 0.2));
+        rule2.check(
+            Candidate {
+                node: 1,
+                score: 10.0,
+                halfwidth: 0.2,
+            },
+            tight_second,
+            0.2,
+        );
+        assert!(rule2.check(
+            Candidate {
+                node: 1,
+                score: 10.0,
+                halfwidth: 0.2
+            },
+            tight_second,
+            0.2
+        ));
     }
 }

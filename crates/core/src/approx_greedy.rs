@@ -18,8 +18,9 @@
 //! iteration performs `2w` solves of cost `O(m·√κ)`, preserving the
 //! baseline's edge-count-dominated scaling that Table II exercises.
 
-use crate::error::validate;
+use crate::context::SolveContext;
 use crate::result::{IterStats, RunStats, Selection};
+use crate::solver::{CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::cg::{solve_grounded, solve_pseudoinverse, CgConfig};
@@ -30,12 +31,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// ApproxGreedy solver.
+///
+/// Thin wrapper over [`approx_greedy_ctx`] with a plain-parameter context.
 pub fn approx_greedy(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
-    params.validate()?;
+    approx_greedy_ctx(g, k, &SolveContext::from_params(params))
+}
+
+/// Context-aware ApproxGreedy: honors cancellation/deadline (returning the
+/// partial selection accumulated so far) and reports per-iteration progress.
+pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
+    let params = &ctx.params;
     let n = g.num_nodes();
     let w = params.width(n);
-    let cg = CgConfig { rel_tol: params.cg_tol, max_iter: 50_000 };
+    let cg = CgConfig {
+        rel_tol: params.cg_tol,
+        max_iter: 50_000,
+    };
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xA99);
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
@@ -55,7 +67,9 @@ pub fn approx_greedy(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selecti
         x.fill(0.0);
         let st = solve_pseudoinverse(g, &rhs, &mut x, &cg);
         if !st.converged {
-            return Err(CfcmError::Numerical("pseudoinverse CG did not converge".into()));
+            return Err(CfcmError::Numerical(
+                "pseudoinverse CG did not converge".into(),
+            ));
         }
         for u in 0..n {
             diag[u] += x[u] * x[u];
@@ -67,16 +81,21 @@ pub fn approx_greedy(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selecti
     let mut in_s = vec![false; n];
     in_s[first as usize] = true;
     let mut nodes = vec![first];
-    stats.iterations.push(IterStats {
+    let it = IterStats {
         chosen: first,
         forests: 0,
         walk_steps: 0,
         seconds: sw.lap().as_secs_f64(),
         gain: f64::NAN,
-    });
+    };
+    ctx.emit(&it);
+    stats.iterations.push(it);
 
     // ---- iterations 2..k ----
     for _ in 1..k {
+        if ctx.interrupted() {
+            break;
+        }
         let op = LaplacianSubmatrix::new(g, &in_s);
         let d = op.dim();
         let sketch = JlSketch::sample(w, d, &mut rng);
@@ -129,15 +148,34 @@ pub fn approx_greedy(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selecti
         let u = op.node_of(best_c);
         in_s[u as usize] = true;
         nodes.push(u);
-        stats.iterations.push(IterStats {
+        let it = IterStats {
             chosen: u,
             forests: 0,
             walk_steps: 0,
             seconds: sw.lap().as_secs_f64(),
             gain: best_gain,
-        });
+        };
+        ctx.emit(&it);
+        stats.iterations.push(it);
     }
     Ok(Selection { nodes, stats })
+}
+
+/// Registry entry for the ApproxGreedy baseline (Li et al., WWW'19).
+pub struct ApproxSolver;
+
+impl CfcmSolver for ApproxSolver {
+    fn name(&self) -> &'static str {
+        "approx"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::MonteCarlo
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        approx_greedy_ctx(g, k, ctx)
+    }
 }
 
 #[cfg(test)]

@@ -23,10 +23,14 @@ pub fn group_mask(g: &Graph, group: &[Node]) -> Result<Vec<bool>, CfcmError> {
     let mut mask = vec![false; n];
     for &u in group {
         if u as usize >= n {
-            return Err(CfcmError::InvalidParameter(format!("node {u} out of range")));
+            return Err(CfcmError::InvalidParameter(format!(
+                "node {u} out of range"
+            )));
         }
         if mask[u as usize] {
-            return Err(CfcmError::InvalidParameter(format!("duplicate node {u} in group")));
+            return Err(CfcmError::InvalidParameter(format!(
+                "duplicate node {u} in group"
+            )));
         }
         mask[u as usize] = true;
     }
@@ -52,7 +56,9 @@ pub fn grounded_trace_cg(g: &Graph, group: &[Node], tol: f64) -> Result<f64, Cfc
     let mask = group_mask(g, group)?;
     let (trace, converged) = trace_inverse_exact_cg(g, &mask, &CgConfig::with_tol(tol));
     if !converged {
-        return Err(CfcmError::Numerical("CG failed to converge for trace".into()));
+        return Err(CfcmError::Numerical(
+            "CG failed to converge for trace".into(),
+        ));
     }
     Ok(trace)
 }
@@ -79,7 +85,9 @@ pub fn cfcc_group_hutchinson(
         &mut rng,
     );
     if !est.all_converged {
-        return Err(CfcmError::Numerical("CG failed to converge for trace probes".into()));
+        return Err(CfcmError::Numerical(
+            "CG failed to converge for trace probes".into(),
+        ));
     }
     Ok(g.num_nodes() as f64 / est.trace)
 }
@@ -90,7 +98,9 @@ pub fn cfcc_single_exact(g: &Graph) -> Vec<f64> {
     let n = g.num_nodes();
     let pinv = pseudoinverse_dense(g);
     let trace = pinv.trace();
-    (0..n).map(|u| n as f64 / (trace + n as f64 * pinv.get(u, u))).collect()
+    (0..n)
+        .map(|u| n as f64 / (trace + n as f64 * pinv.get(u, u)))
+        .collect()
 }
 
 /// Resistance distance `R(u, v)` (dense, small graphs).
@@ -166,11 +176,11 @@ mod tests {
         let n = g.num_nodes();
         let c = cfcc_single_exact(&g);
         let pinv = pseudoinverse_dense(&g);
-        for u in 0..n {
+        for (u, &cu) in c.iter().enumerate() {
             let sum_r: f64 = (0..n)
                 .map(|v| cfcc_linalg::pinv::resistance_distance(&pinv, u, v))
                 .sum();
-            assert!((c[u] - n as f64 / sum_r).abs() < 1e-9);
+            assert!((cu - n as f64 / sum_r).abs() < 1e-9);
         }
     }
 
@@ -205,7 +215,9 @@ mod tests {
     fn star_center_is_most_centrall() {
         let g = generators::star(12);
         let c = cfcc_single_exact(&g);
-        let best = (0..12).max_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap()).unwrap();
+        let best = (0..12)
+            .max_by(|&a, &b| c[a].partial_cmp(&c[b]).unwrap())
+            .unwrap();
         assert_eq!(best, 0);
     }
 

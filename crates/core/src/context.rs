@@ -1,0 +1,244 @@
+//! Execution context shared by every CFCM solver: parameters, cooperative
+//! cancellation, wall-clock deadlines, and per-iteration progress reporting.
+//!
+//! [`SolveContext`] is the single entry point for problem validation — every
+//! solver calls [`SolveContext::check_problem`] before touching the graph,
+//! so invalid `k`, disconnected inputs, and out-of-range parameters are
+//! rejected uniformly (historically `exact_greedy` and the heuristics
+//! skipped the parameter checks the Monte-Carlo solvers performed).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::result::IterStats;
+use crate::{CfcmError, CfcmParams};
+use cfcc_graph::Graph;
+
+/// Cooperative cancellation flag, cheaply cloneable across threads.
+///
+/// Solvers poll the token between greedy iterations; once cancelled they
+/// return promptly with the partial [`crate::Selection`] accumulated so far
+/// (fewer than `k` nodes, per-iteration stats intact).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-iteration progress callback.
+pub type ProgressSink = dyn Fn(&IterStats) + Send + Sync;
+
+/// Everything a [`crate::solver::CfcmSolver`] needs besides the problem
+/// instance: tuning parameters plus run control (cancellation, deadline,
+/// progress). Construct directly for library use, or let
+/// [`crate::SolveSession`] assemble one.
+pub struct SolveContext {
+    /// Solver tuning parameters.
+    pub params: CfcmParams,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    progress: Option<Box<ProgressSink>>,
+}
+
+impl std::fmt::Debug for SolveContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveContext")
+            .field("params", &self.params)
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field(
+                "progress",
+                &self.progress.as_ref().map(|_| "Fn(&IterStats)"),
+            )
+            .finish()
+    }
+}
+
+impl Default for SolveContext {
+    fn default() -> Self {
+        Self::new(CfcmParams::default())
+    }
+}
+
+impl SolveContext {
+    /// A context with the given parameters and no run control attached.
+    pub fn new(params: CfcmParams) -> Self {
+        Self {
+            params,
+            cancel: None,
+            deadline: None,
+            progress: None,
+        }
+    }
+
+    /// Convenience: borrow-and-clone construction from existing parameters
+    /// (the path the legacy free functions take).
+    pub fn from_params(params: &CfcmParams) -> Self {
+        Self::new(params.clone())
+    }
+
+    /// Attach a cancellation token (builder style).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach an absolute wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a deadline `timeout` from now (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Attach a per-iteration progress callback (builder style). Every
+    /// greedy loop invokes it once per iteration, as the iteration's
+    /// [`IterStats`] is recorded.
+    pub fn with_progress<F>(mut self, sink: F) -> Self
+    where
+        F: Fn(&IterStats) + Send + Sync + 'static,
+    {
+        self.progress = Some(Box::new(sink));
+        self
+    }
+
+    /// Attach an already-boxed progress sink (session internals).
+    pub(crate) fn with_progress_box(mut self, sink: Box<ProgressSink>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// The uniform precondition check every solver runs first: `k` range,
+    /// parameter ranges, then connectivity (cheapest first).
+    pub fn check_problem(&self, g: &Graph, k: usize) -> Result<(), CfcmError> {
+        let n = g.num_nodes();
+        if k == 0 || k >= n {
+            return Err(CfcmError::InvalidK { k, n });
+        }
+        self.params.validate()?;
+        if !g.is_connected() {
+            return Err(CfcmError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// Should the solver stop early? True once the cancel token fires or
+    /// the deadline passes. Solvers poll this between iterations and return
+    /// the partial selection accumulated so far.
+    pub fn interrupted(&self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Report one completed iteration to the progress sink, if any.
+    pub fn emit(&self, iteration: &IterStats) {
+        if let Some(sink) = &self.progress {
+            sink(iteration);
+        }
+    }
+
+    /// Replay a whole run's iterations to the progress sink — for
+    /// single-shot solvers (heuristics, exhaustive search) that produce
+    /// their per-node stats after the fact rather than iteratively.
+    pub fn emit_all(&self, iterations: &[IterStats]) {
+        for it in iterations {
+            self.emit(it);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn cancel_token_propagates_to_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled() && !t2.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled() && t2.is_cancelled());
+    }
+
+    #[test]
+    fn interrupted_tracks_cancel_and_deadline() {
+        let ctx = SolveContext::default();
+        assert!(!ctx.interrupted());
+
+        let token = CancelToken::new();
+        let ctx = SolveContext::default().with_cancel(token.clone());
+        assert!(!ctx.interrupted());
+        token.cancel();
+        assert!(ctx.interrupted());
+
+        let past = Instant::now() - Duration::from_secs(1);
+        assert!(SolveContext::default().with_deadline(past).interrupted());
+        let future = Duration::from_secs(3600);
+        assert!(!SolveContext::default().with_timeout(future).interrupted());
+    }
+
+    #[test]
+    fn check_problem_orders_errors() {
+        let g = generators::cycle(6);
+        let bad_params = SolveContext::new(CfcmParams::with_epsilon(2.0));
+        // k errors trump parameter errors; valid k surfaces the bad epsilon.
+        assert!(matches!(
+            bad_params.check_problem(&g, 0),
+            Err(CfcmError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            bad_params.check_problem(&g, 2),
+            Err(CfcmError::InvalidParameter(_))
+        ));
+        let disconnected = cfcc_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            SolveContext::default().check_problem(&disconnected, 2),
+            Err(CfcmError::Disconnected)
+        );
+        assert!(SolveContext::default().check_problem(&g, 2).is_ok());
+    }
+
+    #[test]
+    fn emit_reaches_the_sink() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        let ctx = SolveContext::default().with_progress(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        let it = IterStats {
+            chosen: 0,
+            forests: 0,
+            walk_steps: 0,
+            seconds: 0.0,
+            gain: f64::NAN,
+        };
+        ctx.emit(&it);
+        ctx.emit(&it);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

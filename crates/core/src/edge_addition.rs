@@ -96,7 +96,7 @@ pub fn greedy_edge_addition(
                 continue;
             }
             let gain = norm2_sq(m.row(cu)) / (1.0 + m.get(cu, cu));
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((cu, gain));
             }
         }
@@ -111,7 +111,11 @@ pub fn greedy_edge_addition(
             .find(|&(si, _)| !existing[si].contains(&u))
             .expect("some group node is free by the filter above");
         existing[si].insert(u);
-        edges.push(AddedEdge { group_end: group[si], outside_end: u, trace_drop: gain });
+        edges.push(AddedEdge {
+            group_end: group[si],
+            outside_end: u,
+            trace_drop: gain,
+        });
 
         // Sherman–Morrison update of M for v = e_{cu}:
         // M' = M − (M e_cu)(e_cuᵀ M) / (1 + M_cucu)
@@ -142,7 +146,11 @@ pub fn greedy_edge_addition(
             .map_err(|e| CfcmError::InvalidParameter(e.to_string()))?;
         crate::cfcc::grounded_trace_exact(&g2, group)
     };
-    Ok(EdgeAdditionResult { edges, trace_before, trace_after })
+    Ok(EdgeAdditionResult {
+        edges,
+        trace_before,
+        trace_after,
+    })
 }
 
 /// Sampled pricing of outside nodes for large graphs: the same gain
@@ -166,7 +174,10 @@ pub fn sampled_edge_gains(
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xEDCE);
     let sketch = JlSketch::sample(w, n, &mut rng);
     let mut acc = ElectricalAccumulator::new(g, &mask, Some(sketch), DiagMode::Diagonal, None);
-    let cfg = SamplerConfig { seed: params.seed ^ 0xADDE, threads: params.threads };
+    let cfg = SamplerConfig {
+        seed: params.seed ^ 0xADDE,
+        threads: params.threads,
+    };
     absorb_batch(g, &mask, 0, params.max_forests.min(2048), &cfg, &mut acc);
     let y = acc.y_matrix();
     let z = acc.diag_means();

@@ -19,6 +19,11 @@ pub enum CfcmError {
     /// A linear-algebra subroutine failed (e.g. an estimated Schur
     /// complement stayed indefinite after regularization).
     Numerical(String),
+    /// No registered solver under this name (see `registry::all`).
+    UnknownSolver(String),
+    /// The selected solver declared itself unable to run at this problem
+    /// size (its `supports` capability hint).
+    Unsupported(String),
 }
 
 impl fmt::Display for CfcmError {
@@ -28,10 +33,20 @@ impl fmt::Display for CfcmError {
                 write!(f, "group size k={k} must satisfy 1 <= k < n={n}")
             }
             CfcmError::Disconnected => {
-                write!(f, "graph must be connected (run on the largest connected component)")
+                write!(
+                    f,
+                    "graph must be connected (run on the largest connected component)"
+                )
             }
             CfcmError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CfcmError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            CfcmError::UnknownSolver(name) => {
+                write!(
+                    f,
+                    "unknown solver '{name}' (see registry::all for the available names)"
+                )
+            }
+            CfcmError::Unsupported(msg) => write!(f, "solver unsupported here: {msg}"),
         }
     }
 }
@@ -72,7 +87,9 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert!(CfcmError::InvalidK { k: 3, n: 2 }.to_string().contains("k=3"));
+        assert!(CfcmError::InvalidK { k: 3, n: 2 }
+            .to_string()
+            .contains("k=3"));
         assert!(CfcmError::Disconnected.to_string().contains("connected"));
         assert!(CfcmError::Numerical("x".into()).to_string().contains('x'));
     }

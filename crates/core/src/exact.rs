@@ -13,8 +13,9 @@
 //! `Δ(u,S) = (L_{-S}^{-2})_{uu} / (L_{-S}^{-1})_{uu} = ‖M e_u‖² / M_{uu}`
 //! (Eq. 5), and equals exactly the trace drop of the update above.
 
-use crate::error::validate;
+use crate::context::SolveContext;
 use crate::result::{IterStats, RunStats, Selection};
+use crate::solver::{CfcmSolver, SolverKind};
 use crate::CfcmError;
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::dense::DenseMatrix;
@@ -24,8 +25,17 @@ use cfcc_linalg::vector::norm2_sq;
 use cfcc_util::Stopwatch;
 
 /// Exact greedy CFCM solver.
+///
+/// Thin wrapper over [`exact_greedy_ctx`] with a default context (the
+/// dense baseline takes no tuning parameters).
 pub fn exact_greedy(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
+    exact_greedy_ctx(g, k, &SolveContext::default())
+}
+
+/// Context-aware exact greedy: honors cancellation/deadline (returning the
+/// partial selection accumulated so far) and reports per-iteration progress.
+pub fn exact_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
     let n = g.num_nodes();
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
@@ -36,15 +46,20 @@ pub fn exact_greedy(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
         .min_by(|&a, &b| pinv.get(a, a).partial_cmp(&pinv.get(b, b)).unwrap())
         .unwrap() as Node;
     let mut chosen = vec![first];
-    stats.iterations.push(IterStats {
+    let it = IterStats {
         chosen: first,
         forests: 0,
         walk_steps: 0,
         seconds: sw.lap().as_secs_f64(),
         gain: f64::NAN,
-    });
+    };
+    ctx.emit(&it);
+    stats.iterations.push(it);
     if k == 1 {
-        return Ok(Selection { nodes: chosen, stats });
+        return Ok(Selection {
+            nodes: chosen,
+            stats,
+        });
     }
 
     // Dense inverse of L_{-S1}; `nodes[c]` maps compact index → node id.
@@ -57,6 +72,9 @@ pub fn exact_greedy(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
     let mut nodes = keep;
 
     for _ in 1..k {
+        if ctx.interrupted() {
+            break;
+        }
         let d = m.rows();
         // Δ(c) = ‖M e_c‖² / M_cc — symmetric M, so row c is column c.
         let mut best_c = 0usize;
@@ -70,20 +88,42 @@ pub fn exact_greedy(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
         }
         let u = nodes[best_c];
         chosen.push(u);
-        stats.iterations.push(IterStats {
+        let it = IterStats {
             chosen: u,
             forests: 0,
             walk_steps: 0,
             seconds: sw.lap().as_secs_f64(),
             gain: best_gain,
-        });
+        };
+        ctx.emit(&it);
+        stats.iterations.push(it);
         if chosen.len() == k {
             break;
         }
         m = remove_index(&m, best_c);
         nodes.remove(best_c);
     }
-    Ok(Selection { nodes: chosen, stats })
+    Ok(Selection {
+        nodes: chosen,
+        stats,
+    })
+}
+
+/// Registry entry for the dense exact greedy baseline.
+pub struct ExactSolver;
+
+impl CfcmSolver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::Exact
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        exact_greedy_ctx(g, k, ctx)
+    }
 }
 
 /// Rank-one removal update: the inverse of the submatrix obtained by
@@ -99,9 +139,9 @@ pub fn remove_index(m: &DenseMatrix, c: usize) -> DenseMatrix {
         let row_src = m.row(oi);
         let row_dst = out.row_mut(i);
         let scale = mic / mcc;
-        for j in 0..d - 1 {
+        for (j, dst) in row_dst.iter_mut().enumerate() {
             let oj = if j < c { j } else { j + 1 };
-            row_dst[j] = row_src[oj] - scale * m.get(c, oj);
+            *dst = row_src[oj] - scale * m.get(c, oj);
         }
     }
     out
@@ -186,7 +226,10 @@ mod tests {
             if u == sel.nodes[2] {
                 continue;
             }
-            assert!(gain <= chosen_gain + 1e-9, "node {u} gain {gain} beats chosen {chosen_gain}");
+            assert!(
+                gain <= chosen_gain + 1e-9,
+                "node {u} gain {gain} beats chosen {chosen_gain}"
+            );
         }
     }
 

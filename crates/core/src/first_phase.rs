@@ -40,14 +40,12 @@ pub fn first_phase(g: &Graph, params: &CfcmParams) -> FirstPhase {
     in_root[s as usize] = true;
 
     let scale = 2.0 / n as f64;
-    let mut acc = ElectricalAccumulator::new(
-        g,
-        &in_root,
-        None,
-        DiagMode::FirstPhase { scale },
-        None,
-    );
-    let cfg = SamplerConfig { seed: params.seed ^ 0xF157, threads: params.threads };
+    let mut acc =
+        ElectricalAccumulator::new(g, &in_root, None, DiagMode::FirstPhase { scale }, None);
+    let cfg = SamplerConfig {
+        seed: params.seed ^ 0xF157,
+        threads: params.threads,
+    };
     let cap = params.forest_cap(n, 0, g.max_degree());
     let mut rule = StopRule::new();
     let mut sampled = 0u64;
@@ -90,7 +88,7 @@ fn top2_min(xs: &[f64]) -> (Node, Option<Node>) {
         if xs[i] < xs[best] {
             second = Some(best);
             best = i;
-        } else if second.map_or(true, |s| xs[i] < xs[s]) {
+        } else if second.is_none_or(|s| xs[i] < xs[s]) {
             second = Some(i);
         }
     }
@@ -100,8 +98,8 @@ fn top2_min(xs: &[f64]) -> (Node, Option<Node>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfcc_linalg::pinv::pseudoinverse_dense;
     use cfcc_graph::generators;
+    use cfcc_linalg::pinv::pseudoinverse_dense;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

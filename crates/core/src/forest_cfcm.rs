@@ -1,10 +1,11 @@
 //! ForestCFCM (paper Algorithm 3): greedy CFCM with forest-sampled
 //! marginal gains — the paper's first contribution.
 
-use crate::error::validate;
+use crate::context::SolveContext;
 use crate::first_phase::first_phase;
 use crate::forest_delta::forest_delta;
 use crate::result::{IterStats, RunStats, Selection};
+use crate::solver::{CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::Graph;
 use cfcc_util::Stopwatch;
@@ -14,9 +15,17 @@ use cfcc_util::Stopwatch;
 /// Approximation factor `1 − (k/(k−1))·(1/e) − ε` with probability
 /// `1 − 1/n` (paper Theorem 3.11), in nearly-linear expected time for
 /// real-world graphs.
+///
+/// Thin wrapper over [`forest_cfcm_ctx`] with a plain-parameter context.
 pub fn forest_cfcm(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
-    params.validate()?;
+    forest_cfcm_ctx(g, k, &SolveContext::from_params(params))
+}
+
+/// Context-aware ForestCFCM: honors cancellation/deadline (returning the
+/// partial selection accumulated so far) and reports per-iteration progress.
+pub fn forest_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
+    let params = &ctx.params;
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
 
@@ -25,28 +34,52 @@ pub fn forest_cfcm(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection
     let mut in_s = vec![false; g.num_nodes()];
     in_s[fp.chosen as usize] = true;
     let mut nodes = vec![fp.chosen];
-    stats.iterations.push(IterStats {
+    let it = IterStats {
         chosen: fp.chosen,
         forests: fp.forests,
         walk_steps: fp.walk_steps,
         seconds: sw.lap().as_secs_f64(),
         gain: f64::NAN,
-    });
+    };
+    ctx.emit(&it);
+    stats.iterations.push(it);
 
     // Iterations 2..k: greedy argmax of Δ'(u, S) (Lines 15–18).
     for i in 1..k {
+        if ctx.interrupted() {
+            break;
+        }
         let est = forest_delta(g, &in_s, params, i as u64);
         in_s[est.best as usize] = true;
         nodes.push(est.best);
-        stats.iterations.push(IterStats {
+        let it = IterStats {
             chosen: est.best,
             forests: est.forests,
             walk_steps: est.walk_steps,
             seconds: sw.lap().as_secs_f64(),
             gain: est.deltas[est.best as usize],
-        });
+        };
+        ctx.emit(&it);
+        stats.iterations.push(it);
     }
     Ok(Selection { nodes, stats })
+}
+
+/// Registry entry for ForestCFCM (paper Algorithm 3).
+pub struct ForestSolver;
+
+impl CfcmSolver for ForestSolver {
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::MonteCarlo
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        forest_cfcm_ctx(g, k, ctx)
+    }
 }
 
 #[cfg(test)]
@@ -62,8 +95,10 @@ mod tests {
     fn validates_inputs() {
         let g = generators::cycle(5);
         assert!(forest_cfcm(&g, 0, &CfcmParams::default()).is_err());
-        let mut bad = CfcmParams::default();
-        bad.epsilon = 2.0;
+        let bad = CfcmParams {
+            epsilon: 2.0,
+            ..Default::default()
+        };
         assert!(forest_cfcm(&g, 2, &bad).is_err());
     }
 

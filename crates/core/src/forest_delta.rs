@@ -46,13 +46,7 @@ pub fn forest_delta(
     let mut sketch_rng =
         StdRng::seed_from_u64(params.seed ^ 0xD317A ^ iteration.wrapping_mul(0x9E37));
     let sketch = JlSketch::sample(w, n, &mut sketch_rng);
-    let mut acc = ElectricalAccumulator::new(
-        g,
-        in_s,
-        Some(sketch),
-        DiagMode::Diagonal,
-        None,
-    );
+    let mut acc = ElectricalAccumulator::new(g, in_s, Some(sketch), DiagMode::Diagonal, None);
     let cfg = SamplerConfig {
         seed: params.seed ^ 0xDE17A ^ iteration.wrapping_mul(0x85EB),
         threads: params.threads,
@@ -129,13 +123,16 @@ pub(crate) fn top2_max(xs: &[f64]) -> (Node, Option<Node>) {
                 best = Some(i);
             }
             _ => {
-                if second.map_or(true, |s| x > xs[s]) {
+                if second.is_none_or(|s| x > xs[s]) {
                     second = Some(i);
                 }
             }
         }
     }
-    (best.expect("at least one candidate") as Node, second.map(|s| s as Node))
+    (
+        best.expect("at least one candidate") as Node,
+        second.map(|s| s as Node),
+    )
 }
 
 #[cfg(test)]
@@ -190,7 +187,11 @@ mod tests {
         let est = forest_delta(&g, &in_s, &params, 0);
         assert!(est.deltas[4].is_nan());
         assert!(est.deltas[9].is_nan());
-        assert!(est.deltas.iter().enumerate().all(|(u, d)| in_s[u] || d.is_finite()));
+        assert!(est
+            .deltas
+            .iter()
+            .enumerate()
+            .all(|(u, d)| in_s[u] || d.is_finite()));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! these lag the greedy algorithms — single-node rankings cannot capture
 //! group effects.
 
-use crate::error::validate;
+use crate::context::SolveContext;
 use crate::first_phase::first_phase;
 use crate::result::{IterStats, RunStats, Selection};
+use crate::solver::{Capability, CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_util::Stopwatch;
@@ -21,22 +22,40 @@ fn selection_from(nodes: Vec<Node>, seconds: f64) -> Selection {
             gain: f64::NAN,
         })
         .collect();
-    Selection { nodes, stats: RunStats { iterations } }
+    Selection {
+        nodes,
+        stats: RunStats { iterations },
+    }
 }
 
 /// `Degree`: the `k` highest-degree nodes.
 pub fn degree_baseline(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
+    degree_baseline_ctx(g, k, &SolveContext::default())
+}
+
+/// Context-aware `Degree` (single-shot ranking; progress fires once per
+/// selected node as the finished ranking is reported).
+pub fn degree_baseline_ctx(
+    g: &Graph,
+    k: usize,
+    ctx: &SolveContext,
+) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
     let sw = Stopwatch::start();
     let mut nodes = g.nodes_by_degree_desc();
     nodes.truncate(k);
-    Ok(selection_from(nodes, sw.seconds()))
+    Ok(emit_all(ctx, selection_from(nodes, sw.seconds())))
 }
 
 /// `Top-CFCC` (exact): the `k` nodes with the largest single-node CFCC,
 /// ranked by the dense `L†` diagonal — `O(n³)`, small graphs.
 pub fn top_cfcc_exact(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
+    top_cfcc_exact_ctx(g, k, &SolveContext::default())
+}
+
+/// Context-aware exact `Top-CFCC`.
+pub fn top_cfcc_exact_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
     let sw = Stopwatch::start();
     let pinv = cfcc_linalg::pinv::pseudoinverse_dense(g);
     let mut order: Vec<Node> = (0..g.num_nodes() as Node).collect();
@@ -48,16 +67,24 @@ pub fn top_cfcc_exact(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
             .then(a.cmp(&b))
     });
     order.truncate(k);
-    Ok(selection_from(order, sw.seconds()))
+    Ok(emit_all(ctx, selection_from(order, sw.seconds())))
 }
 
 /// `Top-CFCC` (sampled): same ranking from the forest first-phase
 /// estimates of `L†_uu` — nearly-linear, any graph size.
 pub fn top_cfcc_sampled(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
-    params.validate()?;
+    top_cfcc_sampled_ctx(g, k, &SolveContext::from_params(params))
+}
+
+/// Context-aware sampled `Top-CFCC`.
+pub fn top_cfcc_sampled_ctx(
+    g: &Graph,
+    k: usize,
+    ctx: &SolveContext,
+) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
     let sw = Stopwatch::start();
-    let fp = first_phase(g, params);
+    let fp = first_phase(g, &ctx.params);
     let mut order: Vec<Node> = (0..g.num_nodes() as Node).collect();
     order.sort_by(|&a, &b| {
         fp.estimates[a as usize]
@@ -71,7 +98,79 @@ pub fn top_cfcc_sampled(g: &Graph, k: usize, params: &CfcmParams) -> Result<Sele
         first.forests = fp.forests;
         first.walk_steps = fp.walk_steps;
     }
-    Ok(sel)
+    Ok(emit_all(ctx, sel))
+}
+
+fn emit_all(ctx: &SolveContext, sel: Selection) -> Selection {
+    ctx.emit_all(&sel.stats.iterations);
+    sel
+}
+
+/// Registry entry for the `Degree` heuristic.
+pub struct DegreeSolver;
+
+impl CfcmSolver for DegreeSolver {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::Heuristic
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        degree_baseline_ctx(g, k, ctx)
+    }
+}
+
+/// Registry entry for sampled `Top-CFCC` (scales to any graph).
+pub struct TopCfccSolver;
+
+impl CfcmSolver for TopCfccSolver {
+    fn name(&self) -> &'static str {
+        "top-cfcc"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::Heuristic
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        top_cfcc_sampled_ctx(g, k, ctx)
+    }
+}
+
+/// Registry entry for exact `Top-CFCC` (dense `L†`; small graphs only).
+pub struct TopCfccExactSolver;
+
+/// Largest node count the dense `Top-CFCC` ranking accepts through the
+/// registry (an `n × n` pseudoinverse beyond this is a mistake — use the
+/// sampled variant).
+pub const TOP_CFCC_EXACT_MAX_NODES: usize = 10_000;
+
+impl CfcmSolver for TopCfccExactSolver {
+    fn name(&self) -> &'static str {
+        "top-cfcc-exact"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::Heuristic
+    }
+
+    fn supports(&self, n: usize, _m: usize, _k: usize) -> Capability {
+        if n > TOP_CFCC_EXACT_MAX_NODES {
+            Capability::Unsupported(format!(
+                "top-cfcc-exact inverts a dense n x n matrix; limited to \
+                 n <= {TOP_CFCC_EXACT_MAX_NODES} (got n={n}) — use 'top-cfcc'"
+            ))
+        } else {
+            Capability::Supported
+        }
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        top_cfcc_exact_ctx(g, k, ctx)
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +197,10 @@ mod tests {
         let scores = cfcc_single_exact(&g);
         let mut order: Vec<usize> = (0..30).collect();
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
-        assert_eq!(sel.nodes, order[..3].iter().map(|&u| u as Node).collect::<Vec<_>>());
+        assert_eq!(
+            sel.nodes,
+            order[..3].iter().map(|&u| u as Node).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -106,11 +208,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(36);
         let g = generators::barabasi_albert(50, 3, &mut rng);
         let exact = top_cfcc_exact(&g, 5).unwrap();
-        let sampled =
-            top_cfcc_sampled(&g, 5, &CfcmParams::with_epsilon(0.15).seed(11)).unwrap();
+        let sampled = top_cfcc_sampled(&g, 5, &CfcmParams::with_epsilon(0.15).seed(11)).unwrap();
         let es: std::collections::HashSet<_> = exact.nodes.iter().collect();
         let overlap = sampled.nodes.iter().filter(|u| es.contains(u)).count();
-        assert!(overlap >= 3, "only {overlap}/5 overlap: {:?} vs {:?}", sampled.nodes, exact.nodes);
+        assert!(
+            overlap >= 3,
+            "only {overlap}/5 overlap: {:?} vs {:?}",
+            sampled.nodes,
+            exact.nodes
+        );
     }
 
     #[test]

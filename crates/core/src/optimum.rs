@@ -12,12 +12,15 @@
 //! Total cost ≈ `C(n, k−1)·n²`, which makes Dolphins-sized (62 nodes, k=5)
 //! instances take seconds instead of hours.
 
-use crate::error::validate;
+use crate::context::SolveContext;
+use crate::result::{IterStats, RunStats, Selection};
+use crate::solver::{Capability, CfcmSolver, SolverKind};
 use crate::CfcmError;
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::dense::DenseMatrix;
 use cfcc_linalg::laplacian::laplacian_submatrix_dense;
 use cfcc_linalg::vector::norm2_sq;
+use cfcc_util::Stopwatch;
 
 /// Result of the exhaustive search.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +39,14 @@ pub struct Optimum {
 ///
 /// Practical for `n ≲ 80, k ≤ 5` (the paper's Fig. 1 regime).
 pub fn optimum_cfcm(g: &Graph, k: usize) -> Result<Optimum, CfcmError> {
-    validate(g, k)?;
+    optimum_cfcm_ctx(g, k, &SolveContext::default())
+}
+
+/// Context-aware exhaustive search. Cancellation is polled between
+/// depth-1 branches; an interrupted run returns the best group found so
+/// far (possibly empty, if no complete group was examined yet).
+pub fn optimum_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Optimum, CfcmError> {
+    ctx.check_problem(g, k)?;
     let n = g.num_nodes();
     let mut best_trace = f64::INFINITY;
     let mut best: Vec<Node> = Vec::new();
@@ -44,6 +54,9 @@ pub fn optimum_cfcm(g: &Graph, k: usize) -> Result<Optimum, CfcmError> {
 
     // Depth 1: every singleton gets a fresh dense inverse.
     for first in 0..n as Node {
+        if ctx.interrupted() {
+            break;
+        }
         let mask = crate::cfcc::group_mask(g, &[first])?;
         let (sub, keep) = laplacian_submatrix_dense(g, &mask);
         let m = sub
@@ -61,7 +74,6 @@ pub fn optimum_cfcm(g: &Graph, k: usize) -> Result<Optimum, CfcmError> {
             continue;
         }
         dfs(
-            g,
             k,
             &m,
             &keep,
@@ -73,12 +85,71 @@ pub fn optimum_cfcm(g: &Graph, k: usize) -> Result<Optimum, CfcmError> {
         );
     }
     best.sort_unstable();
-    Ok(Optimum { nodes: best, trace: best_trace, cfcc: n as f64 / best_trace, examined })
+    Ok(Optimum {
+        nodes: best,
+        trace: best_trace,
+        cfcc: n as f64 / best_trace,
+        examined,
+    })
+}
+
+/// Registry entry for the exhaustive optimum. Its [`CfcmSolver::supports`]
+/// hint encodes the practicality wall (`n ≤ 80`, `k ≤ 5`) that the CLI
+/// used to enforce with an ad-hoc guard.
+pub struct OptimumSolver;
+
+/// Largest node count the exhaustive search accepts through the registry.
+pub const OPTIMUM_MAX_NODES: usize = 80;
+/// Largest group size the exhaustive search accepts through the registry.
+pub const OPTIMUM_MAX_K: usize = 5;
+
+impl CfcmSolver for OptimumSolver {
+    fn name(&self) -> &'static str {
+        "optimum"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::Exact
+    }
+
+    fn supports(&self, n: usize, _m: usize, k: usize) -> Capability {
+        if n > OPTIMUM_MAX_NODES || k > OPTIMUM_MAX_K {
+            Capability::Unsupported(format!(
+                "optimum is exhaustive; limited to n <= {OPTIMUM_MAX_NODES}, \
+                 k <= {OPTIMUM_MAX_K} (got n={n}, k={k})"
+            ))
+        } else {
+            Capability::Supported
+        }
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        let sw = Stopwatch::start();
+        let opt = optimum_cfcm_ctx(g, k, ctx)?;
+        let seconds = sw.seconds();
+        let per_node = seconds / opt.nodes.len().max(1) as f64;
+        let iterations: Vec<IterStats> = opt
+            .nodes
+            .iter()
+            .map(|&u| IterStats {
+                chosen: u,
+                forests: 0,
+                walk_steps: 0,
+                seconds: per_node,
+                gain: f64::NAN,
+            })
+            .collect();
+        let sel = Selection {
+            nodes: opt.nodes,
+            stats: RunStats { iterations },
+        };
+        ctx.emit_all(&sel.stats.iterations);
+        Ok(sel)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    g: &Graph,
     k: usize,
     m: &DenseMatrix,
     nodes: &[Node],
@@ -118,7 +189,16 @@ fn dfs(
                 .map(|(_, &x)| x)
                 .collect();
             prefix.push(u);
-            dfs(g, k, &child, &child_nodes, prefix, u, best_trace, best, examined);
+            dfs(
+                k,
+                &child,
+                &child_nodes,
+                prefix,
+                u,
+                best_trace,
+                best,
+                examined,
+            );
             prefix.pop();
         }
     }
@@ -213,5 +293,21 @@ mod tests {
         let g = generators::cycle(10);
         let opt = optimum_cfcm(&g, 2).unwrap();
         assert!((opt.cfcc - 10.0 / opt.trace).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_elapsed_deadline_yields_empty_result() {
+        use crate::context::SolveContext;
+        use std::time::{Duration, Instant};
+        let g = generators::cycle(10);
+        let past = Instant::now() - Duration::from_secs(1);
+        let ctx = SolveContext::default().with_deadline(past);
+        // Interrupted before any depth-1 branch: no group examined.
+        let opt = optimum_cfcm_ctx(&g, 2, &ctx).unwrap();
+        assert!(opt.nodes.is_empty());
+        assert_eq!(opt.examined, 0);
+        let sel = OptimumSolver.solve(&g, 2, &ctx).unwrap();
+        assert!(sel.nodes.is_empty());
+        assert!(sel.stats.iterations.is_empty());
     }
 }

@@ -58,7 +58,10 @@ impl Default for CfcmParams {
 impl CfcmParams {
     /// Defaults with the given `ε`.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        Self { epsilon, ..Self::default() }
+        Self {
+            epsilon,
+            ..Self::default()
+        }
     }
 
     /// Builder-style seed override.
@@ -112,7 +115,9 @@ impl CfcmParams {
             )));
         }
         if self.min_batch == 0 {
-            return Err(crate::CfcmError::InvalidParameter("min_batch must be >= 1".into()));
+            return Err(crate::CfcmError::InvalidParameter(
+                "min_batch must be >= 1".into(),
+            ));
         }
         if !(0.0 < self.delta_confidence && self.delta_confidence < 1.0) {
             return Err(crate::CfcmError::InvalidParameter(
@@ -134,21 +139,35 @@ pub fn t_star(g: &Graph) -> usize {
         return 1;
     }
     let by_degree = g.nodes_by_degree_desc();
-    // Residual degrees after removing hubs one at a time.
-    let mut residual: Vec<i64> = (0..n as Node).map(|u| g.degree(u) as i64).collect();
+    // Residual degrees after removing hubs one at a time, tracked with a
+    // bucket count per degree value so the residual maximum updates in
+    // O(1) amortized per removal (degrees only decrease, so the max
+    // pointer only ever moves down): O(n + m) total instead of the O(n)
+    // full rescan per removal (O(n²)) this used to do.
+    let mut residual: Vec<usize> = (0..n as Node).map(|u| g.degree(u)).collect();
+    let max_degree = residual.iter().copied().max().unwrap_or(0);
+    let mut bucket = vec![0usize; max_degree + 1];
+    for &d in &residual {
+        bucket[d] += 1;
+    }
+    let mut dmax = max_degree;
     let mut removed = vec![false; n];
     for (c, &hub) in by_degree.iter().enumerate() {
         removed[hub as usize] = true;
+        bucket[residual[hub as usize]] -= 1;
         for &v in g.neighbors(hub) {
-            residual[v as usize] -= 1;
+            let v = v as usize;
+            if !removed[v] {
+                bucket[residual[v]] -= 1;
+                residual[v] -= 1;
+                bucket[residual[v]] += 1;
+            }
         }
-        let dmax = (0..n)
-            .filter(|&u| !removed[u])
-            .map(|u| residual[u])
-            .max()
-            .unwrap_or(0);
+        while dmax > 0 && bucket[dmax] == 0 {
+            dmax -= 1;
+        }
         let size = c + 1;
-        if size as i64 >= dmax {
+        if size >= dmax {
             return size.max(1);
         }
     }
@@ -174,8 +193,10 @@ mod tests {
         assert!(CfcmParams::default().validate().is_ok());
         assert!(CfcmParams::with_epsilon(1.5).validate().is_err());
         assert!(CfcmParams::with_epsilon(0.0).validate().is_err());
-        let mut p = CfcmParams::default();
-        p.min_batch = 0;
+        let p = CfcmParams {
+            min_batch: 0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -211,7 +232,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::scale_free_with_edges(2000, 8000, &mut rng);
         let c = t_star(&g);
-        assert!(c >= 1 && c < 2000);
+        assert!((1..2000).contains(&c));
         // At the balance point, c is at least the residual max degree.
         let t = top_degree_nodes(&g, c);
         let mut in_t = vec![false; 2000];
@@ -219,6 +240,56 @@ mod tests {
             in_t[h as usize] = true;
         }
         assert!(c >= g.max_degree_excluding(&in_t));
+    }
+
+    /// The pre-optimization reference: full residual-degree rescan per
+    /// removed hub (O(n²)). Kept as the oracle for the incremental version.
+    fn t_star_naive(g: &Graph) -> usize {
+        let n = g.num_nodes();
+        if n <= 2 {
+            return 1;
+        }
+        let by_degree = g.nodes_by_degree_desc();
+        let mut residual: Vec<i64> = (0..n as Node).map(|u| g.degree(u) as i64).collect();
+        let mut removed = vec![false; n];
+        for (c, &hub) in by_degree.iter().enumerate() {
+            removed[hub as usize] = true;
+            for &v in g.neighbors(hub) {
+                residual[v as usize] -= 1;
+            }
+            let dmax = (0..n)
+                .filter(|&u| !removed[u])
+                .map(|u| residual[u])
+                .max()
+                .unwrap_or(0);
+            let size = c + 1;
+            if size as i64 >= dmax {
+                return size.max(1);
+            }
+        }
+        n - 1
+    }
+
+    #[test]
+    fn incremental_t_star_matches_naive_scan() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..12u64 {
+            let g = match trial % 4 {
+                0 => generators::barabasi_albert(150 + 17 * trial as usize, 3, &mut rng),
+                1 => generators::scale_free_with_edges(400, 1600, &mut rng),
+                2 => generators::erdos_renyi_gnm(200, 800, &mut rng),
+                _ => generators::geometric_with_edges(300, 900, &mut rng),
+            };
+            assert_eq!(t_star(&g), t_star_naive(&g), "trial {trial}");
+        }
+        // Structured corner cases.
+        for g in [
+            generators::star(50),
+            generators::cycle(40),
+            generators::complete(12),
+        ] {
+            assert_eq!(t_star(&g), t_star_naive(&g));
+        }
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Result types: the selected group and per-iteration run statistics.
+//!
+//! All three types serialize to JSON via hand-rolled `to_json` methods
+//! (`cfcc_util::json`; the offline build has no serde), so CLI reports and
+//! harness outputs are machine-consumable.
 
 use cfcc_graph::Node;
+use cfcc_util::json::{self, JsonObject};
 
 /// Statistics of one greedy iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +21,27 @@ pub struct IterStats {
     /// Estimated marginal gain Δ'(chosen, S) — `NaN` in the first iteration
     /// where the objective is `argmin L†_uu` instead.
     pub gain: f64,
+}
+
+impl IterStats {
+    /// JSON object (`gain` is `null` in the first iteration, where it is
+    /// NaN by construction).
+    pub fn to_json(&self) -> String {
+        self.to_json_with_chosen(u64::from(self.chosen))
+    }
+
+    /// JSON object with `chosen` replaced by `chosen_as` — for consumers
+    /// (e.g. CLI reports) that re-label internal node ids back to the
+    /// original input ids.
+    pub fn to_json_with_chosen(&self, chosen_as: u64) -> String {
+        JsonObject::new()
+            .int("chosen", i128::from(chosen_as))
+            .int("forests", i128::from(self.forests))
+            .int("walk_steps", i128::from(self.walk_steps))
+            .num("seconds", self.seconds)
+            .num("gain", self.gain)
+            .render()
+    }
 }
 
 /// Aggregate statistics of one CFCM run.
@@ -39,6 +65,35 @@ impl RunStats {
     /// Total wall-clock seconds across iterations.
     pub fn total_seconds(&self) -> f64 {
         self.iterations.iter().map(|i| i.seconds).sum()
+    }
+
+    /// JSON object with aggregates and the per-iteration detail array.
+    pub fn to_json(&self) -> String {
+        self.render_json(None)
+    }
+
+    /// Like [`RunStats::to_json`] but with each iteration's `chosen`
+    /// re-labeled through `labels` (positional: iterations are in
+    /// selection order, so `labels[i]` is the external id of the node
+    /// chosen in iteration `i`). Lengths must match.
+    pub fn to_json_with_labels(&self, labels: &[u64]) -> String {
+        debug_assert_eq!(labels.len(), self.iterations.len());
+        self.render_json(Some(labels))
+    }
+
+    fn render_json(&self, labels: Option<&[u64]>) -> String {
+        let iterations = json::array(self.iterations.iter().enumerate().map(|(i, it)| {
+            match labels.and_then(|l| l.get(i)) {
+                Some(&label) => it.to_json_with_chosen(label),
+                None => it.to_json(),
+            }
+        }));
+        JsonObject::new()
+            .int("total_forests", i128::from(self.total_forests()))
+            .int("total_walk_steps", i128::from(self.total_walk_steps()))
+            .num("total_seconds", self.total_seconds())
+            .raw("iterations", iterations)
+            .render()
     }
 }
 
@@ -65,6 +120,17 @@ impl Selection {
     pub fn prefix(&self, k: usize) -> &[Node] {
         &self.nodes[..k.min(self.nodes.len())]
     }
+
+    /// JSON object: the selected nodes (greedy order) plus run stats.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw(
+                "nodes",
+                json::array(self.nodes.iter().map(|u| u.to_string())),
+            )
+            .raw("stats", self.stats.to_json())
+            .render()
+    }
 }
 
 #[cfg(test)]
@@ -76,9 +142,27 @@ mod tests {
             nodes: vec![5, 2, 9],
             stats: RunStats {
                 iterations: vec![
-                    IterStats { chosen: 5, forests: 10, walk_steps: 100, seconds: 0.5, gain: f64::NAN },
-                    IterStats { chosen: 2, forests: 20, walk_steps: 150, seconds: 0.25, gain: 1.5 },
-                    IterStats { chosen: 9, forests: 30, walk_steps: 200, seconds: 0.25, gain: 0.5 },
+                    IterStats {
+                        chosen: 5,
+                        forests: 10,
+                        walk_steps: 100,
+                        seconds: 0.5,
+                        gain: f64::NAN,
+                    },
+                    IterStats {
+                        chosen: 2,
+                        forests: 20,
+                        walk_steps: 150,
+                        seconds: 0.25,
+                        gain: 1.5,
+                    },
+                    IterStats {
+                        chosen: 9,
+                        forests: 30,
+                        walk_steps: 200,
+                        seconds: 0.25,
+                        gain: 0.5,
+                    },
                 ],
             },
         }
@@ -98,5 +182,18 @@ mod tests {
         assert_eq!(s.sorted_nodes(), vec![2, 5, 9]);
         assert_eq!(s.prefix(2), &[5, 2]);
         assert_eq!(s.prefix(10), &[5, 2, 9]);
+    }
+
+    #[test]
+    fn json_round_structure() {
+        let s = sel();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""nodes":[5,2,9]"#));
+        assert!(j.contains(r#""total_forests":60"#));
+        // First-iteration NaN gain must serialize as null, not NaN.
+        assert!(j.contains(r#""gain":null"#));
+        assert!(!j.contains("NaN"));
+        assert!(j.contains(r#""gain":1.5"#));
     }
 }

@@ -38,10 +38,7 @@ pub fn schur_complement_dense(m: &DenseMatrix, t_idx: &[usize], u_idx: &[usize])
             muu.set(i, j, m.get(ui, uj));
         }
     }
-    let muu_inv = muu
-        .lu()
-        .expect("M_UU invertible")
-        .inverse();
+    let muu_inv = muu.lu().expect("M_UU invertible").inverse();
     let correction = mtu.matmul(&muu_inv).matmul(&mut_);
     for i in 0..t {
         for j in 0..t {
@@ -106,7 +103,11 @@ pub fn invert_estimated_schur(mut sigma: DenseMatrix) -> Result<(DenseMatrix, f6
             Err(_) => {
                 // Escalate from a negligible perturbation up past the
                 // diagonal scale (Gershgorin guarantees success by then).
-                ridge = if attempt == 0 { 1e-10 * scale } else { ridge * 30.0 };
+                ridge = if attempt == 0 {
+                    1e-10 * scale
+                } else {
+                    ridge * 30.0
+                };
             }
         }
     }
@@ -118,9 +119,9 @@ pub fn invert_estimated_schur(mut sigma: DenseMatrix) -> Result<(DenseMatrix, f6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfcc_forest::estimators::{DiagMode, ElectricalAccumulator};
     use cfcc_forest::rooted::RootIndex;
     use cfcc_forest::sampler::{absorb_batch, SamplerConfig};
-    use cfcc_forest::estimators::{DiagMode, ElectricalAccumulator};
     use cfcc_graph::generators;
     use cfcc_linalg::laplacian::{laplacian_dense, laplacian_submatrix_dense};
     use rand::rngs::StdRng;
@@ -134,9 +135,10 @@ mod tests {
         let g = generators::barabasi_albert(18, 2, &mut rng);
         let n = g.num_nodes();
         let s = vec![0usize, 4];
-        let t = vec![1usize, 2, 7];
-        let u: Vec<usize> =
-            (0..n).filter(|i| !s.contains(i) && !t.contains(i)).collect();
+        let t = [1usize, 2, 7];
+        let u: Vec<usize> = (0..n)
+            .filter(|i| !s.contains(i) && !t.contains(i))
+            .collect();
 
         // Left side: S_T(L_{-S}) — indices of T within L_{-S}.
         let mut in_s = vec![false; n];
@@ -144,8 +146,7 @@ mod tests {
             in_s[x] = true;
         }
         let (l_minus_s, keep) = laplacian_submatrix_dense(&g, &in_s);
-        let pos =
-            |node: usize| keep.iter().position(|&x| x as usize == node).unwrap();
+        let pos = |node: usize| keep.iter().position(|&x| x as usize == node).unwrap();
         let t_in_sub: Vec<usize> = t.iter().map(|&x| pos(x)).collect();
         let u_in_sub: Vec<usize> = u.iter().map(|&x| pos(x)).collect();
         let left = schur_complement_dense(&l_minus_s, &t_in_sub, &u_in_sub);
@@ -173,7 +174,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let g = generators::barabasi_albert(16, 2, &mut rng);
         let n = g.num_nodes();
-        let s_nodes = vec![0u32];
+        let s_nodes = [0u32];
         let t_nodes = vec![1u32, 3u32];
         let mut in_root = vec![false; n];
         for &x in s_nodes.iter().chain(t_nodes.iter()) {
@@ -195,22 +196,25 @@ mod tests {
 
         // Estimated from forests.
         let idx = Arc::new(RootIndex::new(n, &t_nodes));
-        let mut acc = ElectricalAccumulator::new(
-            &g,
-            &in_root,
-            None,
-            DiagMode::Diagonal,
-            Some(idx),
-        );
+        let mut acc = ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, Some(idx));
         absorb_batch(
             &g,
             &in_root,
             0,
             30_000,
-            &SamplerConfig { seed: 3, threads: 1 },
+            &SamplerConfig {
+                seed: 3,
+                threads: 1,
+            },
             &mut acc,
         );
-        let est = estimated_schur(&g, &in_root, &t_nodes, acc.rooted().unwrap(), acc.num_forests());
+        let est = estimated_schur(
+            &g,
+            &in_root,
+            &t_nodes,
+            acc.rooted().unwrap(),
+            acc.num_forests(),
+        );
         assert!(
             est.max_abs_diff(&exact) < 0.1,
             "diff {} too large",

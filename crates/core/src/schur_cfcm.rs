@@ -3,12 +3,13 @@
 //! ForestCFCM because (i) Wilson walks absorb sooner on `S ∪ T` and
 //! (ii) `L_{-S∪T}^{-1}` is more diagonally dominant than `L_{-S}^{-1}`.
 
-use crate::error::validate;
+use crate::context::SolveContext;
 use crate::first_phase::first_phase;
 use crate::forest_delta::forest_delta;
 use crate::params::{t_star, top_degree_nodes};
 use crate::result::{IterStats, RunStats, Selection};
 use crate::schur_delta::schur_delta;
+use crate::solver::{CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_util::Stopwatch;
@@ -19,9 +20,17 @@ use cfcc_util::Stopwatch;
 /// to the balance point `|T*|` of §V-A); each iteration uses `T ∖ S_i` as
 /// the auxiliary root set. Falls back to plain ForestDelta if `T ∖ S_i`
 /// ever empties (only possible for tiny `c`).
+///
+/// Thin wrapper over [`schur_cfcm_ctx`] with a plain-parameter context.
 pub fn schur_cfcm(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection, CfcmError> {
-    validate(g, k)?;
-    params.validate()?;
+    schur_cfcm_ctx(g, k, &SolveContext::from_params(params))
+}
+
+/// Context-aware SchurCFCM: honors cancellation/deadline (returning the
+/// partial selection accumulated so far) and reports per-iteration progress.
+pub fn schur_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+    ctx.check_problem(g, k)?;
+    let params = &ctx.params;
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
 
@@ -34,35 +43,72 @@ pub fn schur_cfcm(g: &Graph, k: usize, params: &CfcmParams) -> Result<Selection,
     let mut in_s = vec![false; g.num_nodes()];
     in_s[fp.chosen as usize] = true;
     let mut nodes = vec![fp.chosen];
-    stats.iterations.push(IterStats {
+    let it = IterStats {
         chosen: fp.chosen,
         forests: fp.forests,
         walk_steps: fp.walk_steps,
         seconds: sw.lap().as_secs_f64(),
         gain: f64::NAN,
-    });
+    };
+    ctx.emit(&it);
+    stats.iterations.push(it);
 
     for i in 1..k {
-        let t_nodes: Vec<Node> =
-            t_pool.iter().copied().filter(|&t| !in_s[t as usize]).collect();
+        if ctx.interrupted() {
+            break;
+        }
+        let t_nodes: Vec<Node> = t_pool
+            .iter()
+            .copied()
+            .filter(|&t| !in_s[t as usize])
+            .collect();
         let (best, forests, walk_steps, gain) = if t_nodes.is_empty() {
             let est = forest_delta(g, &in_s, params, i as u64);
-            (est.best, est.forests, est.walk_steps, est.deltas[est.best as usize])
+            (
+                est.best,
+                est.forests,
+                est.walk_steps,
+                est.deltas[est.best as usize],
+            )
         } else {
             let est = schur_delta(g, &in_s, &t_nodes, params, i as u64)?;
-            (est.best, est.forests, est.walk_steps, est.deltas[est.best as usize])
+            (
+                est.best,
+                est.forests,
+                est.walk_steps,
+                est.deltas[est.best as usize],
+            )
         };
         in_s[best as usize] = true;
         nodes.push(best);
-        stats.iterations.push(IterStats {
+        let it = IterStats {
             chosen: best,
             forests,
             walk_steps,
             seconds: sw.lap().as_secs_f64(),
             gain,
-        });
+        };
+        ctx.emit(&it);
+        stats.iterations.push(it);
     }
     Ok(Selection { nodes, stats })
+}
+
+/// Registry entry for SchurCFCM (paper Algorithm 5, the flagship).
+pub struct SchurSolver;
+
+impl CfcmSolver for SchurSolver {
+    fn name(&self) -> &'static str {
+        "schur"
+    }
+
+    fn kind(&self) -> SolverKind {
+        SolverKind::MonteCarlo
+    }
+
+    fn solve(&self, g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
+        schur_cfcm_ctx(g, k, ctx)
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,10 @@ pub fn schur_delta(
 ) -> Result<SchurDeltaEstimates, CfcmError> {
     let n = g.num_nodes();
     assert!(!t_nodes.is_empty());
-    debug_assert!(t_nodes.iter().all(|&t| !in_s[t as usize]), "T must be disjoint from S");
+    debug_assert!(
+        t_nodes.iter().all(|&t| !in_s[t as usize]),
+        "T must be disjoint from S"
+    );
     let mut in_root = in_s.to_vec();
     for &t in t_nodes {
         in_root[t as usize] = true;
@@ -89,15 +92,8 @@ pub fn schur_delta(
     for total in batch_schedule(params.min_batch, cap) {
         absorb_batch(g, &in_root, sampled, total - sampled, &cfg, &mut acc);
         sampled = total;
-        last_ridge = compute_schur_deltas(
-            g,
-            in_s,
-            t_nodes,
-            &acc,
-            &sketch_w,
-            &sketch_q,
-            &mut deltas,
-        )?;
+        last_ridge =
+            compute_schur_deltas(g, in_s, t_nodes, &acc, &sketch_w, &sketch_q, &mut deltas)?;
         let (best, second) = top2_max(&deltas);
         let mk = |u: Node| Candidate {
             node: u,
@@ -307,7 +303,10 @@ mod tests {
         let est = schur_delta(&g, &in_s, &t_nodes, &params, 0).unwrap();
         assert!(est.deltas[5].is_nan());
         for &t in &t_nodes {
-            assert!(est.deltas[t as usize].is_finite(), "T node {t} must be scored");
+            assert!(
+                est.deltas[t as usize].is_finite(),
+                "T node {t} must be scored"
+            );
         }
     }
 

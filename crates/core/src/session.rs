@@ -1,0 +1,251 @@
+//! [`SolveSession`] — the builder-style front door to every solver:
+//!
+//! ```
+//! use cfcc_core::SolveSession;
+//! use cfcc_graph::generators;
+//!
+//! let g = generators::barbell(8, 3);
+//! let sel = SolveSession::new(&g)
+//!     .k(2)
+//!     .epsilon(0.3)
+//!     .solver("schur")
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(sel.nodes.len(), 2);
+//! ```
+//!
+//! A session resolves its solver through [`crate::registry`], refuses runs
+//! the solver declares itself incapable of (capability hints), and wires
+//! parameters, cancellation, deadline, and progress reporting into one
+//! [`SolveContext`].
+
+use std::time::{Duration, Instant};
+
+use crate::context::{CancelToken, ProgressSink, SolveContext};
+use crate::registry;
+use crate::result::{IterStats, Selection};
+use crate::solver::{Capability, CfcmSolver};
+use crate::{CfcmError, CfcmParams};
+use cfcc_graph::Graph;
+
+/// Builder for one CFCM solve. See the module docs for an example.
+pub struct SolveSession<'g> {
+    graph: &'g Graph,
+    k: usize,
+    solver: SolverChoice,
+    params: CfcmParams,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    progress: Option<Box<ProgressSink>>,
+}
+
+enum SolverChoice {
+    Named(String),
+    Resolved(&'static dyn CfcmSolver),
+}
+
+impl<'g> SolveSession<'g> {
+    /// A session on `graph` with the defaults: the flagship `"schur"`
+    /// solver, `k = 1`, and default [`CfcmParams`].
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            k: 1,
+            solver: SolverChoice::Named("schur".into()),
+            params: CfcmParams::default(),
+            cancel: None,
+            deadline: None,
+            progress: None,
+        }
+    }
+
+    /// Group size to select.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Select the solver by registry name or alias (resolved at
+    /// [`SolveSession::run`]; unknown names error there).
+    pub fn solver(mut self, name: &str) -> Self {
+        self.solver = SolverChoice::Named(name.to_string());
+        self
+    }
+
+    /// Select a solver instance directly (e.g. one not in the registry).
+    pub fn solver_impl(mut self, solver: &'static dyn CfcmSolver) -> Self {
+        self.solver = SolverChoice::Resolved(solver);
+        self
+    }
+
+    /// Replace the whole parameter set.
+    pub fn params(mut self, params: CfcmParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Error parameter `ε` of the approximation guarantee.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.params.epsilon = epsilon;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Worker threads for forest sampling.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads.max(1);
+        self
+    }
+
+    /// Cooperative cancellation: keep a clone of the token, call
+    /// [`CancelToken::cancel`] from anywhere (another thread, a progress
+    /// callback), and the run returns promptly with the partial selection.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Absolute wall-clock deadline; the run returns its partial selection
+    /// once the deadline passes.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Relative deadline: `timeout` from now.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Per-iteration progress callback — invoked once per greedy iteration
+    /// with that iteration's [`IterStats`].
+    pub fn on_progress<F>(mut self, sink: F) -> Self
+    where
+        F: Fn(&IterStats) + Send + Sync + 'static,
+    {
+        self.progress = Some(Box::new(sink));
+        self
+    }
+
+    /// Resolve the solver, check its capability hint, and run.
+    pub fn run(self) -> Result<Selection, CfcmError> {
+        let solver = match self.solver {
+            SolverChoice::Named(ref name) => registry::resolve(name)?,
+            SolverChoice::Resolved(solver) => solver,
+        };
+        let (n, m) = (self.graph.num_nodes(), self.graph.num_edges());
+        if let Capability::Unsupported(reason) = solver.supports(n, m, self.k) {
+            return Err(CfcmError::Unsupported(reason));
+        }
+        let mut ctx = SolveContext::new(self.params);
+        if let Some(token) = self.cancel {
+            ctx = ctx.with_cancel(token);
+        }
+        if let Some(deadline) = self.deadline {
+            ctx = ctx.with_deadline(deadline);
+        }
+        if let Some(sink) = self.progress {
+            ctx = ctx.with_progress_box(sink);
+        }
+        solver.solve(self.graph, self.k, &ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_the_default_flagship() {
+        let g = generators::barbell(6, 3);
+        let sel = SolveSession::new(&g)
+            .k(2)
+            .epsilon(0.3)
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(sel.nodes.len(), 2);
+    }
+
+    #[test]
+    fn unknown_solver_is_reported_at_run() {
+        let g = generators::cycle(8);
+        let err = SolveSession::new(&g)
+            .k(2)
+            .solver("warp-drive")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CfcmError::UnknownSolver(_)));
+    }
+
+    #[test]
+    fn capability_gate_refuses_oversized_optimum() {
+        let g = generators::cycle(120);
+        let err = SolveSession::new(&g)
+            .k(2)
+            .solver("optimum")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CfcmError::Unsupported(_)));
+        assert!(err.to_string().contains("exhaustive"));
+    }
+
+    #[test]
+    fn progress_fires_once_per_iteration() {
+        let g = generators::cycle(12);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        let sel = SolveSession::new(&g)
+            .k(3)
+            .solver("exact")
+            .on_progress(move |_| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            })
+            .run()
+            .unwrap();
+        assert_eq!(sel.nodes.len(), 3);
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cancel_from_progress_returns_partial_promptly() {
+        let g = generators::barbell(10, 4);
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let sel = SolveSession::new(&g)
+            .k(8)
+            .solver("forest")
+            .epsilon(0.3)
+            .seed(2)
+            .cancel_token(token)
+            .on_progress(move |_| t2.cancel())
+            .run()
+            .unwrap();
+        // Cancelled after the first iteration's progress report: the run
+        // stops at the next iteration boundary with stats intact.
+        assert_eq!(sel.nodes.len(), 1);
+        assert_eq!(sel.stats.iterations.len(), 1);
+    }
+
+    #[test]
+    fn elapsed_deadline_yields_partial_selection() {
+        let g = generators::cycle(10);
+        let sel = SolveSession::new(&g)
+            .k(5)
+            .solver("exact")
+            .deadline(Instant::now() - Duration::from_secs(1))
+            .run()
+            .unwrap();
+        // The first iteration always completes; the rest are skipped.
+        assert_eq!(sel.nodes.len(), 1);
+    }
+}

@@ -45,38 +45,286 @@ pub struct DatasetSpec {
 /// All datasets from the paper (Fig. 1 tiny graphs + Table II).
 pub const SPECS: [DatasetSpec; 31] = [
     // --- tiny (Fig. 1) ---
-    DatasetSpec { name: "zebra", paper_nodes: 23, paper_edges: 105, paper_tau: 0, paper_t_star: 0, topology: Topology::ScaleFree, seed: 9001 },
-    DatasetSpec { name: "karate", paper_nodes: 34, paper_edges: 78, paper_tau: 5, paper_t_star: 0, topology: Topology::Real, seed: 0 },
-    DatasetSpec { name: "contiguous-usa", paper_nodes: 49, paper_edges: 107, paper_tau: 11, paper_t_star: 0, topology: Topology::Real, seed: 0 },
-    DatasetSpec { name: "dolphins", paper_nodes: 62, paper_edges: 159, paper_tau: 8, paper_t_star: 0, topology: Topology::ScaleFree, seed: 9002 },
+    DatasetSpec {
+        name: "zebra",
+        paper_nodes: 23,
+        paper_edges: 105,
+        paper_tau: 0,
+        paper_t_star: 0,
+        topology: Topology::ScaleFree,
+        seed: 9001,
+    },
+    DatasetSpec {
+        name: "karate",
+        paper_nodes: 34,
+        paper_edges: 78,
+        paper_tau: 5,
+        paper_t_star: 0,
+        topology: Topology::Real,
+        seed: 0,
+    },
+    DatasetSpec {
+        name: "contiguous-usa",
+        paper_nodes: 49,
+        paper_edges: 107,
+        paper_tau: 11,
+        paper_t_star: 0,
+        topology: Topology::Real,
+        seed: 0,
+    },
+    DatasetSpec {
+        name: "dolphins",
+        paper_nodes: 62,
+        paper_edges: 159,
+        paper_tau: 8,
+        paper_t_star: 0,
+        topology: Topology::ScaleFree,
+        seed: 9002,
+    },
     // --- Table II ---
-    DatasetSpec { name: "euroroads", paper_nodes: 1039, paper_edges: 1305, paper_tau: 62, paper_t_star: 7, topology: Topology::Road, seed: 9101 },
-    DatasetSpec { name: "hamsterster", paper_nodes: 2000, paper_edges: 16097, paper_tau: 10, paper_t_star: 58, topology: Topology::ScaleFree, seed: 9102 },
-    DatasetSpec { name: "facebook", paper_nodes: 4039, paper_edges: 88234, paper_tau: 8, paper_t_star: 127, topology: Topology::ScaleFree, seed: 9103 },
-    DatasetSpec { name: "gr-qc", paper_nodes: 4158, paper_edges: 13428, paper_tau: 17, paper_t_star: 34, topology: Topology::ScaleFree, seed: 9104 },
-    DatasetSpec { name: "web-epa", paper_nodes: 4253, paper_edges: 8897, paper_tau: 10, paper_t_star: 43, topology: Topology::ScaleFree, seed: 9105 },
-    DatasetSpec { name: "routeviews", paper_nodes: 6474, paper_edges: 13895, paper_tau: 9, paper_t_star: 45, topology: Topology::ScaleFree, seed: 9106 },
-    DatasetSpec { name: "soc-pagesgov", paper_nodes: 7057, paper_edges: 89429, paper_tau: 10, paper_t_star: 113, topology: Topology::ScaleFree, seed: 9107 },
-    DatasetSpec { name: "hep-th", paper_nodes: 8638, paper_edges: 24827, paper_tau: 18, paper_t_star: 37, topology: Topology::ScaleFree, seed: 9108 },
-    DatasetSpec { name: "astro-ph", paper_nodes: 17903, paper_edges: 197031, paper_tau: 14, paper_t_star: 138, topology: Topology::ScaleFree, seed: 9109 },
-    DatasetSpec { name: "caida", paper_nodes: 26475, paper_edges: 53381, paper_tau: 17, paper_t_star: 86, topology: Topology::ScaleFree, seed: 9110 },
-    DatasetSpec { name: "email-enron", paper_nodes: 33696, paper_edges: 180811, paper_tau: 13, paper_t_star: 177, topology: Topology::ScaleFree, seed: 9111 },
-    DatasetSpec { name: "brightkite", paper_nodes: 56739, paper_edges: 212945, paper_tau: 18, paper_t_star: 146, topology: Topology::ScaleFree, seed: 9112 },
-    DatasetSpec { name: "buzznet", paper_nodes: 101163, paper_edges: 2763066, paper_tau: 4, paper_t_star: 664, topology: Topology::ScaleFree, seed: 9113 },
-    DatasetSpec { name: "livemocha", paper_nodes: 104103, paper_edges: 2193083, paper_tau: 6, paper_t_star: 631, topology: Topology::ScaleFree, seed: 9114 },
-    DatasetSpec { name: "wordnet", paper_nodes: 145145, paper_edges: 656230, paper_tau: 16, paper_t_star: 205, topology: Topology::ScaleFree, seed: 9115 },
-    DatasetSpec { name: "gowalla", paper_nodes: 196591, paper_edges: 950327, paper_tau: 16, paper_t_star: 258, topology: Topology::ScaleFree, seed: 9116 },
-    DatasetSpec { name: "com-dblp", paper_nodes: 317080, paper_edges: 1049866, paper_tau: 23, paper_t_star: 131, topology: Topology::ScaleFree, seed: 9117 },
-    DatasetSpec { name: "amazon", paper_nodes: 334863, paper_edges: 925872, paper_tau: 47, paper_t_star: 96, topology: Topology::Road, seed: 9118 },
-    DatasetSpec { name: "actor", paper_nodes: 374511, paper_edges: 15014839, paper_tau: 13, paper_t_star: 1174, topology: Topology::ScaleFree, seed: 9119 },
-    DatasetSpec { name: "dogster", paper_nodes: 426485, paper_edges: 8543321, paper_tau: 11, paper_t_star: 1174, topology: Topology::ScaleFree, seed: 9120 },
-    DatasetSpec { name: "foursquare", paper_nodes: 639014, paper_edges: 3214986, paper_tau: 4, paper_t_star: 201, topology: Topology::ScaleFree, seed: 9121 },
-    DatasetSpec { name: "skitter", paper_nodes: 1694616, paper_edges: 11094209, paper_tau: 31, paper_t_star: 965, topology: Topology::ScaleFree, seed: 9122 },
-    DatasetSpec { name: "flixster", paper_nodes: 2523386, paper_edges: 7918801, paper_tau: 7, paper_t_star: 945, topology: Topology::ScaleFree, seed: 9123 },
-    DatasetSpec { name: "orkut", paper_nodes: 2997166, paper_edges: 106349209, paper_tau: 9, paper_t_star: 1462, topology: Topology::ScaleFree, seed: 9124 },
-    DatasetSpec { name: "youtube", paper_nodes: 3216075, paper_edges: 9369874, paper_tau: 31, paper_t_star: 892, topology: Topology::ScaleFree, seed: 9125 },
-    DatasetSpec { name: "soc-livejournal", paper_nodes: 5189808, paper_edges: 48687945, paper_tau: 23, paper_t_star: 951, topology: Topology::ScaleFree, seed: 9126 },
-    DatasetSpec { name: "sc-rel9", paper_nodes: 5921786, paper_edges: 23667162, paper_tau: 7, paper_t_star: 125, topology: Topology::ScaleFree, seed: 9127 },
+    DatasetSpec {
+        name: "euroroads",
+        paper_nodes: 1039,
+        paper_edges: 1305,
+        paper_tau: 62,
+        paper_t_star: 7,
+        topology: Topology::Road,
+        seed: 9101,
+    },
+    DatasetSpec {
+        name: "hamsterster",
+        paper_nodes: 2000,
+        paper_edges: 16097,
+        paper_tau: 10,
+        paper_t_star: 58,
+        topology: Topology::ScaleFree,
+        seed: 9102,
+    },
+    DatasetSpec {
+        name: "facebook",
+        paper_nodes: 4039,
+        paper_edges: 88234,
+        paper_tau: 8,
+        paper_t_star: 127,
+        topology: Topology::ScaleFree,
+        seed: 9103,
+    },
+    DatasetSpec {
+        name: "gr-qc",
+        paper_nodes: 4158,
+        paper_edges: 13428,
+        paper_tau: 17,
+        paper_t_star: 34,
+        topology: Topology::ScaleFree,
+        seed: 9104,
+    },
+    DatasetSpec {
+        name: "web-epa",
+        paper_nodes: 4253,
+        paper_edges: 8897,
+        paper_tau: 10,
+        paper_t_star: 43,
+        topology: Topology::ScaleFree,
+        seed: 9105,
+    },
+    DatasetSpec {
+        name: "routeviews",
+        paper_nodes: 6474,
+        paper_edges: 13895,
+        paper_tau: 9,
+        paper_t_star: 45,
+        topology: Topology::ScaleFree,
+        seed: 9106,
+    },
+    DatasetSpec {
+        name: "soc-pagesgov",
+        paper_nodes: 7057,
+        paper_edges: 89429,
+        paper_tau: 10,
+        paper_t_star: 113,
+        topology: Topology::ScaleFree,
+        seed: 9107,
+    },
+    DatasetSpec {
+        name: "hep-th",
+        paper_nodes: 8638,
+        paper_edges: 24827,
+        paper_tau: 18,
+        paper_t_star: 37,
+        topology: Topology::ScaleFree,
+        seed: 9108,
+    },
+    DatasetSpec {
+        name: "astro-ph",
+        paper_nodes: 17903,
+        paper_edges: 197031,
+        paper_tau: 14,
+        paper_t_star: 138,
+        topology: Topology::ScaleFree,
+        seed: 9109,
+    },
+    DatasetSpec {
+        name: "caida",
+        paper_nodes: 26475,
+        paper_edges: 53381,
+        paper_tau: 17,
+        paper_t_star: 86,
+        topology: Topology::ScaleFree,
+        seed: 9110,
+    },
+    DatasetSpec {
+        name: "email-enron",
+        paper_nodes: 33696,
+        paper_edges: 180811,
+        paper_tau: 13,
+        paper_t_star: 177,
+        topology: Topology::ScaleFree,
+        seed: 9111,
+    },
+    DatasetSpec {
+        name: "brightkite",
+        paper_nodes: 56739,
+        paper_edges: 212945,
+        paper_tau: 18,
+        paper_t_star: 146,
+        topology: Topology::ScaleFree,
+        seed: 9112,
+    },
+    DatasetSpec {
+        name: "buzznet",
+        paper_nodes: 101163,
+        paper_edges: 2763066,
+        paper_tau: 4,
+        paper_t_star: 664,
+        topology: Topology::ScaleFree,
+        seed: 9113,
+    },
+    DatasetSpec {
+        name: "livemocha",
+        paper_nodes: 104103,
+        paper_edges: 2193083,
+        paper_tau: 6,
+        paper_t_star: 631,
+        topology: Topology::ScaleFree,
+        seed: 9114,
+    },
+    DatasetSpec {
+        name: "wordnet",
+        paper_nodes: 145145,
+        paper_edges: 656230,
+        paper_tau: 16,
+        paper_t_star: 205,
+        topology: Topology::ScaleFree,
+        seed: 9115,
+    },
+    DatasetSpec {
+        name: "gowalla",
+        paper_nodes: 196591,
+        paper_edges: 950327,
+        paper_tau: 16,
+        paper_t_star: 258,
+        topology: Topology::ScaleFree,
+        seed: 9116,
+    },
+    DatasetSpec {
+        name: "com-dblp",
+        paper_nodes: 317080,
+        paper_edges: 1049866,
+        paper_tau: 23,
+        paper_t_star: 131,
+        topology: Topology::ScaleFree,
+        seed: 9117,
+    },
+    DatasetSpec {
+        name: "amazon",
+        paper_nodes: 334863,
+        paper_edges: 925872,
+        paper_tau: 47,
+        paper_t_star: 96,
+        topology: Topology::Road,
+        seed: 9118,
+    },
+    DatasetSpec {
+        name: "actor",
+        paper_nodes: 374511,
+        paper_edges: 15014839,
+        paper_tau: 13,
+        paper_t_star: 1174,
+        topology: Topology::ScaleFree,
+        seed: 9119,
+    },
+    DatasetSpec {
+        name: "dogster",
+        paper_nodes: 426485,
+        paper_edges: 8543321,
+        paper_tau: 11,
+        paper_t_star: 1174,
+        topology: Topology::ScaleFree,
+        seed: 9120,
+    },
+    DatasetSpec {
+        name: "foursquare",
+        paper_nodes: 639014,
+        paper_edges: 3214986,
+        paper_tau: 4,
+        paper_t_star: 201,
+        topology: Topology::ScaleFree,
+        seed: 9121,
+    },
+    DatasetSpec {
+        name: "skitter",
+        paper_nodes: 1694616,
+        paper_edges: 11094209,
+        paper_tau: 31,
+        paper_t_star: 965,
+        topology: Topology::ScaleFree,
+        seed: 9122,
+    },
+    DatasetSpec {
+        name: "flixster",
+        paper_nodes: 2523386,
+        paper_edges: 7918801,
+        paper_tau: 7,
+        paper_t_star: 945,
+        topology: Topology::ScaleFree,
+        seed: 9123,
+    },
+    DatasetSpec {
+        name: "orkut",
+        paper_nodes: 2997166,
+        paper_edges: 106349209,
+        paper_tau: 9,
+        paper_t_star: 1462,
+        topology: Topology::ScaleFree,
+        seed: 9124,
+    },
+    DatasetSpec {
+        name: "youtube",
+        paper_nodes: 3216075,
+        paper_edges: 9369874,
+        paper_tau: 31,
+        paper_t_star: 892,
+        topology: Topology::ScaleFree,
+        seed: 9125,
+    },
+    DatasetSpec {
+        name: "soc-livejournal",
+        paper_nodes: 5189808,
+        paper_edges: 48687945,
+        paper_tau: 23,
+        paper_t_star: 951,
+        topology: Topology::ScaleFree,
+        seed: 9126,
+    },
+    DatasetSpec {
+        name: "sc-rel9",
+        paper_nodes: 5921786,
+        paper_edges: 23667162,
+        paper_tau: 7,
+        paper_t_star: 125,
+        topology: Topology::ScaleFree,
+        seed: 9127,
+    },
 ];
 
 /// All dataset specs.
@@ -129,20 +377,44 @@ pub mod suites {
     /// Fig. 1 tiny graphs (optimum comparison).
     pub const TINY: [&str; 4] = ["zebra", "karate", "contiguous-usa", "dolphins"];
     /// Fig. 2 small graphs.
-    pub const FIG2: [&str; 6] =
-        ["hamsterster", "web-epa", "routeviews", "soc-pagesgov", "astro-ph", "email-enron"];
+    pub const FIG2: [&str; 6] = [
+        "hamsterster",
+        "web-epa",
+        "routeviews",
+        "soc-pagesgov",
+        "astro-ph",
+        "email-enron",
+    ];
     /// Fig. 3 large graphs.
     pub const FIG3: [&str; 4] = ["livemocha", "wordnet", "gowalla", "com-dblp"];
     /// Fig. 4 runtime-vs-ε graphs.
-    pub const FIG4: [&str; 6] =
-        ["euroroads", "soc-pagesgov", "email-enron", "com-dblp", "skitter", "sc-rel9"];
+    pub const FIG4: [&str; 6] = [
+        "euroroads",
+        "soc-pagesgov",
+        "email-enron",
+        "com-dblp",
+        "skitter",
+        "sc-rel9",
+    ];
     /// Fig. 5 accuracy-vs-ε graphs.
-    pub const FIG5: [&str; 6] =
-        ["facebook", "gr-qc", "web-epa", "routeviews", "hep-th", "caida"];
+    pub const FIG5: [&str; 6] = [
+        "facebook",
+        "gr-qc",
+        "web-epa",
+        "routeviews",
+        "hep-th",
+        "caida",
+    ];
     /// Table II small tier (feasible at full scale on a laptop).
     pub const TABLE2_SMALL: [&str; 8] = [
-        "euroroads", "hamsterster", "facebook", "gr-qc", "web-epa", "routeviews",
-        "soc-pagesgov", "hep-th",
+        "euroroads",
+        "hamsterster",
+        "facebook",
+        "gr-qc",
+        "web-epa",
+        "routeviews",
+        "soc-pagesgov",
+        "hep-th",
     ];
     /// Table II medium tier.
     pub const TABLE2_MEDIUM: [&str; 3] = ["astro-ph", "caida", "email-enron"];
@@ -173,7 +445,10 @@ mod tests {
             suites::TABLE2_LARGE.as_slice(),
         ] {
             for name in suite {
-                assert!(spec(name).is_some(), "suite references unknown dataset {name}");
+                assert!(
+                    spec(name).is_some(),
+                    "suite references unknown dataset {name}"
+                );
             }
         }
     }
@@ -192,9 +467,13 @@ mod tests {
             let s = spec(name).unwrap();
             let g = generate(s, 1.0);
             assert_eq!(g.num_nodes(), s.paper_nodes, "{name} nodes");
-            let err =
-                (g.num_edges() as f64 - s.paper_edges as f64).abs() / s.paper_edges as f64;
-            assert!(err < 0.06, "{name}: edges {} vs paper {}", g.num_edges(), s.paper_edges);
+            let err = (g.num_edges() as f64 - s.paper_edges as f64).abs() / s.paper_edges as f64;
+            assert!(
+                err < 0.06,
+                "{name}: edges {} vs paper {}",
+                g.num_edges(),
+                s.paper_edges
+            );
             assert!(g.is_connected(), "{name} must be connected");
         }
     }

@@ -8,48 +8,114 @@ use cfcc_graph::{Graph, Node};
 
 /// Two-letter codes indexing the nodes `0..49`.
 pub const STATE_CODES: [&str; 49] = [
-    "AL", "AZ", "AR", "CA", "CO", "CT", "DE", "DC", "FL", "GA", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH",
-    "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX",
-    "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+    "AL", "AZ", "AR", "CA", "CO", "CT", "DE", "DC", "FL", "GA", "ID", "IL", "IN", "IA", "KS", "KY",
+    "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+    "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI",
+    "WY",
 ];
 
 /// The 107 border pairs, by state code.
 pub const USA_BORDERS: [(&str, &str); 107] = [
-    ("AL", "FL"), ("AL", "GA"), ("AL", "MS"), ("AL", "TN"),
-    ("AZ", "CA"), ("AZ", "NV"), ("AZ", "NM"), ("AZ", "UT"),
-    ("AR", "LA"), ("AR", "MS"), ("AR", "MO"), ("AR", "OK"), ("AR", "TN"), ("AR", "TX"),
-    ("CA", "NV"), ("CA", "OR"),
-    ("CO", "KS"), ("CO", "NE"), ("CO", "NM"), ("CO", "OK"), ("CO", "UT"), ("CO", "WY"),
-    ("CT", "MA"), ("CT", "NY"), ("CT", "RI"),
-    ("DE", "MD"), ("DE", "NJ"), ("DE", "PA"),
-    ("DC", "MD"), ("DC", "VA"),
+    ("AL", "FL"),
+    ("AL", "GA"),
+    ("AL", "MS"),
+    ("AL", "TN"),
+    ("AZ", "CA"),
+    ("AZ", "NV"),
+    ("AZ", "NM"),
+    ("AZ", "UT"),
+    ("AR", "LA"),
+    ("AR", "MS"),
+    ("AR", "MO"),
+    ("AR", "OK"),
+    ("AR", "TN"),
+    ("AR", "TX"),
+    ("CA", "NV"),
+    ("CA", "OR"),
+    ("CO", "KS"),
+    ("CO", "NE"),
+    ("CO", "NM"),
+    ("CO", "OK"),
+    ("CO", "UT"),
+    ("CO", "WY"),
+    ("CT", "MA"),
+    ("CT", "NY"),
+    ("CT", "RI"),
+    ("DE", "MD"),
+    ("DE", "NJ"),
+    ("DE", "PA"),
+    ("DC", "MD"),
+    ("DC", "VA"),
     ("FL", "GA"),
-    ("GA", "NC"), ("GA", "SC"), ("GA", "TN"),
-    ("ID", "MT"), ("ID", "NV"), ("ID", "OR"), ("ID", "UT"), ("ID", "WA"), ("ID", "WY"),
-    ("IL", "IN"), ("IL", "IA"), ("IL", "KY"), ("IL", "MO"), ("IL", "WI"),
-    ("IN", "KY"), ("IN", "MI"), ("IN", "OH"),
-    ("IA", "MN"), ("IA", "MO"), ("IA", "NE"), ("IA", "SD"), ("IA", "WI"),
-    ("KS", "MO"), ("KS", "NE"), ("KS", "OK"),
-    ("KY", "MO"), ("KY", "OH"), ("KY", "TN"), ("KY", "VA"), ("KY", "WV"),
-    ("LA", "MS"), ("LA", "TX"),
+    ("GA", "NC"),
+    ("GA", "SC"),
+    ("GA", "TN"),
+    ("ID", "MT"),
+    ("ID", "NV"),
+    ("ID", "OR"),
+    ("ID", "UT"),
+    ("ID", "WA"),
+    ("ID", "WY"),
+    ("IL", "IN"),
+    ("IL", "IA"),
+    ("IL", "KY"),
+    ("IL", "MO"),
+    ("IL", "WI"),
+    ("IN", "KY"),
+    ("IN", "MI"),
+    ("IN", "OH"),
+    ("IA", "MN"),
+    ("IA", "MO"),
+    ("IA", "NE"),
+    ("IA", "SD"),
+    ("IA", "WI"),
+    ("KS", "MO"),
+    ("KS", "NE"),
+    ("KS", "OK"),
+    ("KY", "MO"),
+    ("KY", "OH"),
+    ("KY", "TN"),
+    ("KY", "VA"),
+    ("KY", "WV"),
+    ("LA", "MS"),
+    ("LA", "TX"),
     ("ME", "NH"),
-    ("MD", "PA"), ("MD", "VA"), ("MD", "WV"),
-    ("MA", "NH"), ("MA", "NY"), ("MA", "RI"), ("MA", "VT"),
-    ("MI", "OH"), ("MI", "WI"),
-    ("MN", "ND"), ("MN", "SD"), ("MN", "WI"),
+    ("MD", "PA"),
+    ("MD", "VA"),
+    ("MD", "WV"),
+    ("MA", "NH"),
+    ("MA", "NY"),
+    ("MA", "RI"),
+    ("MA", "VT"),
+    ("MI", "OH"),
+    ("MI", "WI"),
+    ("MN", "ND"),
+    ("MN", "SD"),
+    ("MN", "WI"),
     ("MS", "TN"),
-    ("MO", "NE"), ("MO", "OK"), ("MO", "TN"),
-    ("MT", "ND"), ("MT", "SD"), ("MT", "WY"),
-    ("NE", "SD"), ("NE", "WY"),
-    ("NV", "OR"), ("NV", "UT"),
+    ("MO", "NE"),
+    ("MO", "OK"),
+    ("MO", "TN"),
+    ("MT", "ND"),
+    ("MT", "SD"),
+    ("MT", "WY"),
+    ("NE", "SD"),
+    ("NE", "WY"),
+    ("NV", "OR"),
+    ("NV", "UT"),
     ("NH", "VT"),
-    ("NJ", "NY"), ("NJ", "PA"),
-    ("NM", "OK"), ("NM", "TX"),
-    ("NY", "PA"), ("NY", "VT"),
-    ("NC", "SC"), ("NC", "TN"), ("NC", "VA"),
+    ("NJ", "NY"),
+    ("NJ", "PA"),
+    ("NM", "OK"),
+    ("NM", "TX"),
+    ("NY", "PA"),
+    ("NY", "VT"),
+    ("NC", "SC"),
+    ("NC", "TN"),
+    ("NC", "VA"),
     ("ND", "SD"),
-    ("OH", "PA"), ("OH", "WV"),
+    ("OH", "PA"),
+    ("OH", "WV"),
     ("OK", "TX"),
     ("OR", "WA"),
     ("PA", "WV"),
@@ -61,7 +127,10 @@ pub const USA_BORDERS: [(&str, &str); 107] = [
 
 /// Node id of a state code.
 pub fn state_index(code: &str) -> Option<Node> {
-    STATE_CODES.iter().position(|&c| c == code).map(|i| i as Node)
+    STATE_CODES
+        .iter()
+        .position(|&c| c == code)
+        .map(|i| i as Node)
 }
 
 /// Build the Contiguous-USA graph.
@@ -93,9 +162,7 @@ mod tests {
     #[test]
     fn known_adjacencies() {
         let g = contiguous_usa();
-        let e = |a: &str, b: &str| {
-            g.has_edge(state_index(a).unwrap(), state_index(b).unwrap())
-        };
+        let e = |a: &str, b: &str| g.has_edge(state_index(a).unwrap(), state_index(b).unwrap());
         assert!(e("CA", "OR"));
         assert!(e("NY", "VT"));
         assert!(!e("CA", "TX"));

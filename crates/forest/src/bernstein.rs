@@ -45,7 +45,8 @@ pub fn hoeffding_cap(
 ) -> u64 {
     let tau = tau.max(1) as f64;
     let d = dmax_s.max(1) as f64;
-    let raw = 2.0 * (epsilon / 15.0).powi(-2)
+    let raw = 2.0
+        * (epsilon / 15.0).powi(-2)
         * tau
         * tau
         * d.powf((2.0 * tau + 2.0).min(64.0))

@@ -94,11 +94,14 @@ impl ElectricalAccumulator {
     ) -> Self {
         let n = g.num_nodes();
         assert_eq!(in_root.len(), n);
-        let roots: Vec<Node> =
-            (0..n as Node).filter(|&u| in_root[u as usize]).collect();
+        let roots: Vec<Node> = (0..n as Node).filter(|&u| in_root[u as usize]).collect();
         assert!(!roots.is_empty(), "root set must be non-empty");
         let bfs = bfs_from_set(g, &roots);
-        assert_eq!(bfs.order.len(), n, "graph must be connected to the root set");
+        assert_eq!(
+            bfs.order.len(),
+            n,
+            "graph must be connected to the root set"
+        );
         if let Some(q) = &sketch {
             assert_eq!(q.dim(), n, "sketch must span all node ids");
         }
@@ -133,8 +136,16 @@ impl ElectricalAccumulator {
             diag_sup: vec![0.0; n],
             rooted,
             sw: vec![0.0; n * w],
-            ssize: if first_phase { vec![0.0; n] } else { Vec::new() },
-            yones: if first_phase { vec![0.0; n] } else { Vec::new() },
+            ssize: if first_phase {
+                vec![0.0; n]
+            } else {
+                Vec::new()
+            },
+            yones: if first_phase {
+                vec![0.0; n]
+            } else {
+                Vec::new()
+            },
             xdiag: vec![0.0; n],
             root_scratch: Vec::new(),
             tour: EulerTour::default(),
@@ -366,7 +377,10 @@ impl ForestAccumulator for ElectricalAccumulator {
     }
 
     fn merge(&mut self, other: Self) {
-        assert!(Arc::ptr_eq(&self.ctx, &other.ctx), "merging incompatible accumulators");
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx),
+            "merging incompatible accumulators"
+        );
         self.num_forests += other.num_forests;
         self.total_walk_steps += other.total_walk_steps;
         for (a, b) in self.edge_acc.iter_mut().zip(&other.edge_acc) {
@@ -448,9 +462,11 @@ mod tests {
         let in_root = mask(30, &[0, 9]);
         let (sub, keep) = laplacian_submatrix_dense(&g, &in_root);
         let inv = sub.cholesky().unwrap().inverse();
-        let mut acc =
-            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
-        let cfg = SamplerConfig { seed: 77, threads: 1 };
+        let mut acc = ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
+        let cfg = SamplerConfig {
+            seed: 77,
+            threads: 1,
+        };
         absorb_batch(&g, &in_root, 0, 30_000, &cfg, &mut acc);
         for (ci, &u) in keep.iter().enumerate() {
             let expect = inv.get(ci, ci);
@@ -473,28 +489,25 @@ mod tests {
         let inv = sub.cholesky().unwrap().inverse();
         let sketch = JlSketch::sample(6, n, &mut rng);
         let sketch_copy = sketch.clone();
-        let mut acc = ElectricalAccumulator::new(
-            &g,
-            &in_root,
-            Some(sketch),
-            DiagMode::Diagonal,
-            None,
-        );
-        let cfg = SamplerConfig { seed: 99, threads: 1 };
+        let mut acc =
+            ElectricalAccumulator::new(&g, &in_root, Some(sketch), DiagMode::Diagonal, None);
+        let cfg = SamplerConfig {
+            seed: 99,
+            threads: 1,
+        };
         absorb_batch(&g, &in_root, 0, 40_000, &cfg, &mut acc);
         let y = acc.y_matrix();
         // expected: (W L^{-1})_{j,u} = Σ_v W_{jv} inv[cv][cu]
         for (cu, &u) in keep.iter().enumerate() {
             let col = y.column(u);
-            for j in 0..6 {
+            for (j, &got) in col.iter().enumerate().take(6) {
                 let mut expect = 0.0;
                 for (cv, &v) in keep.iter().enumerate() {
                     expect += sketch_copy.column(v as usize)[j] * inv.get(cv, cu);
                 }
                 assert!(
-                    (col[j] - expect).abs() < 0.05,
-                    "u={u} j={j}: got {} expect {expect}",
-                    col[j]
+                    (got - expect).abs() < 0.05,
+                    "u={u} j={j}: got {got} expect {expect}"
                 );
             }
         }
@@ -511,14 +524,12 @@ mod tests {
         let (sub, keep) = laplacian_submatrix_dense(&g, &in_root);
         let inv = sub.cholesky().unwrap().inverse();
         let scale = 2.0 / n as f64;
-        let mut acc = ElectricalAccumulator::new(
-            &g,
-            &in_root,
-            None,
-            DiagMode::FirstPhase { scale },
-            None,
-        );
-        let cfg = SamplerConfig { seed: 1234, threads: 1 };
+        let mut acc =
+            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::FirstPhase { scale }, None);
+        let cfg = SamplerConfig {
+            seed: 1234,
+            threads: 1,
+        };
         absorb_batch(&g, &in_root, 0, 40_000, &cfg, &mut acc);
         for (cu, &u) in keep.iter().enumerate() {
             let ones_col: f64 = (0..keep.len()).map(|cv| inv.get(cv, cu)).sum();
@@ -537,13 +548,31 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(43);
         let g = generators::barabasi_albert(40, 2, &mut rng);
         let in_root = mask(40, &[0]);
-        let build = || {
-            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None)
-        };
+        let build = || ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
         let mut serial = build();
-        absorb_batch(&g, &in_root, 0, 512, &SamplerConfig { seed: 5, threads: 1 }, &mut serial);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            512,
+            &SamplerConfig {
+                seed: 5,
+                threads: 1,
+            },
+            &mut serial,
+        );
         let mut par = build();
-        absorb_batch(&g, &in_root, 0, 512, &SamplerConfig { seed: 5, threads: 3 }, &mut par);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            512,
+            &SamplerConfig {
+                seed: 5,
+                threads: 3,
+            },
+            &mut par,
+        );
         assert_eq!(serial.num_forests(), par.num_forests());
         for u in 0..40 {
             assert!(
@@ -560,13 +589,7 @@ mod tests {
         let t_nodes = vec![1u32, 2u32];
         let in_root = mask(20, &[0, 1, 2]);
         let idx = Arc::new(RootIndex::new(20, &t_nodes));
-        let mut acc = ElectricalAccumulator::new(
-            &g,
-            &in_root,
-            None,
-            DiagMode::Diagonal,
-            Some(idx),
-        );
+        let mut acc = ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, Some(idx));
         absorb_batch(&g, &in_root, 0, 500, &SamplerConfig::default(), &mut acc);
         let rooted = acc.rooted().unwrap();
         // Probabilities per node sum to ≤ 1 (the remainder roots in S).
@@ -587,8 +610,7 @@ mod tests {
     fn diag_sup_bounded_by_bfs_depth_in_diag_mode() {
         let g = generators::grid(5, 5);
         let in_root = mask(25, &[12]);
-        let mut acc =
-            ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
+        let mut acc = ElectricalAccumulator::new(&g, &in_root, None, DiagMode::Diagonal, None);
         absorb_batch(&g, &in_root, 0, 200, &SamplerConfig::default(), &mut acc);
         for u in 0..25u32 {
             assert!(

@@ -34,8 +34,7 @@ impl EulerTour {
     /// Ancestor-or-self test in O(1).
     #[inline]
     pub fn is_ancestor_or_self(&self, a: Node, u: Node) -> bool {
-        self.tin[a as usize] <= self.tin[u as usize]
-            && self.tin[u as usize] < self.tout[a as usize]
+        self.tin[a as usize] <= self.tin[u as usize] && self.tin[u as usize] < self.tout[a as usize]
     }
 }
 
@@ -161,7 +160,11 @@ impl Forest {
         let n = g.num_nodes();
         assert_eq!(self.parent.len(), n);
         let non_roots = in_root.iter().filter(|&&r| !r).count();
-        assert_eq!(self.bottomup.len(), non_roots, "bottom-up covers all non-roots");
+        assert_eq!(
+            self.bottomup.len(),
+            non_roots,
+            "bottom-up covers all non-roots"
+        );
         let mut seen = vec![false; n];
         for &x in &self.bottomup {
             assert!(!in_root[x as usize], "root in bottom-up order");
@@ -259,7 +262,7 @@ mod tests {
             let t = f.euler_tour();
             // naive ancestor check by walking up
             for u in 0..60u32 {
-                let mut anc = vec![false; 60];
+                let mut anc = [false; 60];
                 let mut i = u;
                 loop {
                     anc[i as usize] = true;
@@ -269,11 +272,7 @@ mod tests {
                     i = f.parent[i as usize];
                 }
                 for a in 0..60u32 {
-                    assert_eq!(
-                        t.is_ancestor_or_self(a, u),
-                        anc[a as usize],
-                        "a={a} u={u}"
-                    );
+                    assert_eq!(t.is_ancestor_or_self(a, u), anc[a as usize], "a={a} u={u}");
                 }
             }
         }

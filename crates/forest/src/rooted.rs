@@ -26,7 +26,10 @@ impl RootIndex {
             assert_eq!(map[t as usize], 0, "duplicate root {t}");
             map[t as usize] = i as u32 + 1;
         }
-        Self { map, nodes: t_nodes.to_vec() }
+        Self {
+            map,
+            nodes: t_nodes.to_vec(),
+        }
     }
 
     /// Number of tracked roots `|T|`.
@@ -69,7 +72,10 @@ pub struct RootedCounts {
 impl RootedCounts {
     /// Empty counts over `n` nodes.
     pub fn new(n: usize, index: Arc<RootIndex>) -> Self {
-        Self { index, counts: vec![Vec::new(); n] }
+        Self {
+            index,
+            counts: vec![Vec::new(); n],
+        }
     }
 
     /// The root index in use.
@@ -189,7 +195,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(21);
         let g = generators::barabasi_albert(25, 2, &mut rng);
         let n = g.num_nodes();
-        let s = vec![0u32];
+        let s = [0u32];
         let t = vec![1u32, 2u32];
         let mut in_root = vec![false; n];
         for &r in s.iter().chain(t.iter()) {
@@ -222,7 +228,7 @@ mod tests {
         for (i, &ui) in u_nodes.iter().enumerate() {
             let probs: std::collections::HashMap<usize, f64> =
                 counts.probabilities(ui, trials).into_iter().collect();
-            for j in 0..t.len() {
+            for (j, _) in t.iter().enumerate() {
                 let expect = -f_exact.get(i, j);
                 let got = probs.get(&j).copied().unwrap_or(0.0);
                 assert!(

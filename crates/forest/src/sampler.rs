@@ -36,7 +36,10 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { seed: 0xC0FFEE, threads: 1 }
+        Self {
+            seed: 0xC0FFEE,
+            threads: 1,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ mod tests {
         let g = generators::barabasi_albert(50, 2, &mut SmallRng::seed_from_u64(0));
         let mut in_root = vec![false; 50];
         in_root[0] = true;
-        let cfg = SamplerConfig { seed: 42, threads: 1 };
+        let cfg = SamplerConfig {
+            seed: 42,
+            threads: 1,
+        };
         let mut a = Tally::default();
         absorb_batch(&g, &in_root, 0, 64, &cfg, &mut a);
         let mut b = Tally::default();
@@ -173,9 +179,29 @@ mod tests {
         let mut in_root = vec![false; 50];
         in_root[3] = true;
         let mut a = Tally::default();
-        absorb_batch(&g, &in_root, 0, 32, &SamplerConfig { seed: 1, threads: 1 }, &mut a);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            32,
+            &SamplerConfig {
+                seed: 1,
+                threads: 1,
+            },
+            &mut a,
+        );
         let mut b = Tally::default();
-        absorb_batch(&g, &in_root, 0, 32, &SamplerConfig { seed: 2, threads: 1 }, &mut b);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            32,
+            &SamplerConfig {
+                seed: 2,
+                threads: 1,
+            },
+            &mut b,
+        );
         assert_ne!(a.parent_sum, b.parent_sum);
     }
 
@@ -185,7 +211,10 @@ mod tests {
         let g = generators::cycle(40);
         let mut in_root = vec![false; 40];
         in_root[11] = true;
-        let cfg = SamplerConfig { seed: 7, threads: 1 };
+        let cfg = SamplerConfig {
+            seed: 7,
+            threads: 1,
+        };
         let mut split = Tally::default();
         absorb_batch(&g, &in_root, 0, 32, &cfg, &mut split);
         absorb_batch(&g, &in_root, 32, 32, &cfg, &mut split);
@@ -202,9 +231,29 @@ mod tests {
         in_root[0] = true;
         in_root[9] = true;
         let mut serial = Tally::default();
-        absorb_batch(&g, &in_root, 0, 40, &SamplerConfig { seed: 9, threads: 1 }, &mut serial);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            40,
+            &SamplerConfig {
+                seed: 9,
+                threads: 1,
+            },
+            &mut serial,
+        );
         let mut par = Tally::default();
-        absorb_batch(&g, &in_root, 0, 40, &SamplerConfig { seed: 9, threads: 4 }, &mut par);
+        absorb_batch(
+            &g,
+            &in_root,
+            0,
+            40,
+            &SamplerConfig {
+                seed: 9,
+                threads: 4,
+            },
+            &mut par,
+        );
         // Order-insensitive quantities must match exactly.
         assert_eq!(serial.parent_sum, par.parent_sum);
         assert_eq!(serial.count(), par.count());

@@ -114,7 +114,7 @@ mod tests {
         let in_root = root_mask(36, &[0]);
         for _ in 0..10 {
             let f = sample_forest(&g, &in_root, &mut rng);
-            let mut seen = vec![false; 36];
+            let mut seen = [false; 36];
             for &x in &f.bottomup {
                 let p = f.parent[x as usize];
                 // children first: a node's parent must not have been seen yet
@@ -184,7 +184,9 @@ mod tests {
         let trials = 40_000;
         for _ in 0..trials {
             let f = sample_forest(&g, &in_root, &mut rng);
-            *counts.entry((f.parent[1], f.parent[2], f.parent[3])).or_insert(0) += 1;
+            *counts
+                .entry((f.parent[1], f.parent[2], f.parent[3]))
+                .or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 4);
         for &c in counts.values() {

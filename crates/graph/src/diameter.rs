@@ -12,7 +12,11 @@ use crate::traversal::bfs;
 /// Panics if the graph is disconnected (unreached nodes).
 pub fn eccentricity(g: &Graph, u: Node) -> u32 {
     let t = bfs(g, u);
-    assert_eq!(t.order.len(), g.num_nodes(), "eccentricity requires a connected graph");
+    assert_eq!(
+        t.order.len(),
+        g.num_nodes(),
+        "eccentricity requires a connected graph"
+    );
     t.max_depth()
 }
 
@@ -20,7 +24,10 @@ pub fn eccentricity(g: &Graph, u: Node) -> u32 {
 /// graphs and test oracles.
 pub fn diameter_exact(g: &Graph) -> u32 {
     assert!(g.num_nodes() > 0);
-    (0..g.num_nodes() as Node).map(|u| eccentricity(g, u)).max().unwrap()
+    (0..g.num_nodes() as Node)
+        .map(|u| eccentricity(g, u))
+        .max()
+        .unwrap()
 }
 
 /// Double-sweep diameter estimate: BFS from `start`, then BFS from the
@@ -103,7 +110,10 @@ mod tests {
             let est = diameter_double_sweep(&g, 0, 4);
             assert!(est <= exact);
             // Double sweep is near-exact on these graphs.
-            assert!(est + 1 >= exact, "estimate {est} too far below exact {exact}");
+            assert!(
+                est + 1 >= exact,
+                "estimate {est} too far below exact {exact}"
+            );
         }
     }
 

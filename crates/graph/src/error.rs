@@ -33,7 +33,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
@@ -67,10 +70,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
         assert!(e.to_string().contains("node 9"));
-        assert!(GraphError::Disconnected.to_string().contains("not connected"));
-        let p = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(GraphError::Disconnected
+            .to_string()
+            .contains("not connected"));
+        let p = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 3"));
     }
 

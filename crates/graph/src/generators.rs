@@ -244,7 +244,9 @@ pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
 /// topology class.
 pub fn geometric_with_edges<R: Rng>(n: usize, target_edges: usize, rng: &mut R) -> Graph {
     assert!(n >= 2);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     // Sort nodes along a space-filling-ish sweep (x then y) and chain them:
     // guarantees connectivity with geometrically short edges.
     let mut order: Vec<Node> = (0..n as Node).collect();
@@ -256,9 +258,9 @@ pub fn geometric_with_edges<R: Rng>(n: usize, target_edges: usize, rng: &mut R) 
     let mut set = cfcc_util::FxHashSet::default();
     let mut edges: Vec<(Node, Node)> = Vec::with_capacity(target_edges);
     let add = |set: &mut cfcc_util::FxHashSet<(Node, Node)>,
-                   edges: &mut Vec<(Node, Node)>,
-                   a: Node,
-                   b: Node| {
+               edges: &mut Vec<(Node, Node)>,
+               a: Node,
+               b: Node| {
         if a == b {
             return;
         }
@@ -308,7 +310,7 @@ pub fn geometric_with_edges<R: Rng>(n: usize, target_edges: usize, rng: &mut R) 
                     }
                     let q = pts[v as usize];
                     let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
-                    if best.map_or(true, |(bd, _)| d2 < bd) {
+                    if best.is_none_or(|(bd, _)| d2 < bd) {
                         best = Some((d2, v));
                     }
                 }
@@ -381,7 +383,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = scale_free_with_edges(2000, 8000, &mut rng);
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(g.max_degree() as f64 > 5.0 * avg, "hub degree should dwarf the average");
+        assert!(
+            g.max_degree() as f64 > 5.0 * avg,
+            "hub degree should dwarf the average"
+        );
     }
 
     #[test]

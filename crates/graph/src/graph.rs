@@ -29,10 +29,16 @@ impl Graph {
     pub fn from_edges(num_nodes: usize, edges: &[(Node, Node)]) -> Result<Self, GraphError> {
         for &(a, b) in edges {
             if a as usize >= num_nodes {
-                return Err(GraphError::NodeOutOfRange { node: a as u64, num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    node: a as u64,
+                    num_nodes,
+                });
             }
             if b as usize >= num_nodes {
-                return Err(GraphError::NodeOutOfRange { node: b as u64, num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    node: b as u64,
+                    num_nodes,
+                });
             }
         }
         // Count degrees with duplicates, build, then dedup per row.
@@ -83,7 +89,11 @@ impl Graph {
         }
         targets.truncate(write);
         let num_edges = write / 2;
-        Ok(Self { offsets: new_offsets, targets, num_edges })
+        Ok(Self {
+            offsets: new_offsets,
+            targets,
+            num_edges,
+        })
     }
 
     /// Number of nodes `n`.
@@ -136,7 +146,10 @@ impl Graph {
 
     /// Maximum degree over all nodes. Returns 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes() as Node).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.num_nodes() as Node)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The node of maximum degree (ties broken by smallest id).
@@ -246,7 +259,13 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = Graph::from_edges(2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            }
+        ));
     }
 
     #[test]

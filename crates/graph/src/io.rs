@@ -40,14 +40,26 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphErro
         let mut it = line.split_whitespace();
         let a: u64 = it
             .next()
-            .ok_or_else(|| GraphError::Parse { line: line_no, message: "missing source".into() })?
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "missing source".into(),
+            })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: line_no, message: format!("source: {e}") })?;
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("source: {e}"),
+            })?;
         let b: u64 = it
             .next()
-            .ok_or_else(|| GraphError::Parse { line: line_no, message: "missing target".into() })?
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "missing target".into(),
+            })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: line_no, message: format!("target: {e}") })?;
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("target: {e}"),
+            })?;
         // Extra columns (weights, timestamps) are ignored.
         let na = intern(a, &mut labels, &mut remap);
         let nb = intern(b, &mut labels, &mut remap);

@@ -30,13 +30,20 @@ impl BfsTree {
 
     /// Maximum finite depth (0 for an all-roots BFS).
     pub fn max_depth(&self) -> u32 {
-        self.order.iter().map(|&u| self.depth[u as usize]).max().unwrap_or(0)
+        self.order
+            .iter()
+            .map(|&u| self.depth[u as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of finite depths — the total BFS-path length, which is the work
     /// bound for the per-node diagonal estimator.
     pub fn total_depth(&self) -> u64 {
-        self.order.iter().map(|&u| self.depth[u as usize] as u64).sum()
+        self.order
+            .iter()
+            .map(|&u| self.depth[u as usize] as u64)
+            .sum()
     }
 }
 
@@ -65,7 +72,11 @@ pub fn bfs_from_set(g: &Graph, roots: &[Node]) -> BfsTree {
             }
         }
     }
-    BfsTree { parent, depth, order }
+    BfsTree {
+        parent,
+        depth,
+        order,
+    }
 }
 
 /// BFS from a single root.

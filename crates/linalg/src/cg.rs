@@ -23,14 +23,20 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        Self { rel_tol: 1e-8, max_iter: 20_000 }
+        Self {
+            rel_tol: 1e-8,
+            max_iter: 20_000,
+        }
     }
 }
 
 impl CgConfig {
     /// Config with the given relative tolerance.
     pub fn with_tol(rel_tol: f64) -> Self {
-        Self { rel_tol, ..Self::default() }
+        Self {
+            rel_tol,
+            ..Self::default()
+        }
     }
 }
 
@@ -70,21 +76,33 @@ pub fn solve_grounded(
     let mut rz = dot(&r, &z);
     let mut res = norm2(&r) / b_norm;
     if res <= cfg.rel_tol {
-        return CgStats { iterations: 0, rel_residual: res, converged: true };
+        return CgStats {
+            iterations: 0,
+            rel_residual: res,
+            converged: true,
+        };
     }
     for it in 1..=cfg.max_iter {
         op.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Numerical breakdown: report divergence rather than looping.
-            return CgStats { iterations: it, rel_residual: res, converged: false };
+            return CgStats {
+                iterations: it,
+                rel_residual: res,
+                converged: false,
+            };
         }
         let alpha = rz / pap;
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         res = norm2(&r) / b_norm;
         if res <= cfg.rel_tol {
-            return CgStats { iterations: it, rel_residual: res, converged: true };
+            return CgStats {
+                iterations: it,
+                rel_residual: res,
+                converged: true,
+            };
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -94,7 +112,11 @@ pub fn solve_grounded(
         rz = rz_new;
         xpby(&z, beta, &mut p);
     }
-    CgStats { iterations: cfg.max_iter, rel_residual: res, converged: false }
+    CgStats {
+        iterations: cfg.max_iter,
+        rel_residual: res,
+        converged: false,
+    }
 }
 
 /// Solve the pseudoinverse system `x = L† b` for `b ⊥ 1` (the component
@@ -105,7 +127,9 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
     let n = g.num_nodes();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    let inv_diag: Vec<f64> = (0..n as u32).map(|u| 1.0 / g.degree(u).max(1) as f64).collect();
+    let inv_diag: Vec<f64> = (0..n as u32)
+        .map(|u| 1.0 / g.degree(u).max(1) as f64)
+        .collect();
 
     let apply = |v: &[f64], out: &mut [f64]| {
         for u in 0..n {
@@ -135,13 +159,21 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
     let mut rz = dot(&r, &z);
     let mut res = norm2(&r) / b_norm;
     if res <= cfg.rel_tol {
-        return CgStats { iterations: 0, rel_residual: res, converged: true };
+        return CgStats {
+            iterations: 0,
+            rel_residual: res,
+            converged: true,
+        };
     }
     for it in 1..=cfg.max_iter {
         apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
-            return CgStats { iterations: it, rel_residual: res, converged: false };
+            return CgStats {
+                iterations: it,
+                rel_residual: res,
+                converged: false,
+            };
         }
         let alpha = rz / pap;
         axpy(alpha, &p, x);
@@ -150,7 +182,11 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
         res = norm2(&r) / b_norm;
         if res <= cfg.rel_tol {
             project_out_ones(x);
-            return CgStats { iterations: it, rel_residual: res, converged: true };
+            return CgStats {
+                iterations: it,
+                rel_residual: res,
+                converged: true,
+            };
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -162,7 +198,11 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
         xpby(&z, beta, &mut p);
     }
     project_out_ones(x);
-    CgStats { iterations: cfg.max_iter, rel_residual: res, converged: false }
+    CgStats {
+        iterations: cfg.max_iter,
+        rel_residual: res,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +230,12 @@ mod tests {
         assert!(stats.converged, "stats: {stats:?}");
         let exact = ch.solve(&b);
         for i in 0..x.len() {
-            assert!((x[i] - exact[i]).abs() < 1e-7, "i={i} {} vs {}", x[i], exact[i]);
+            assert!(
+                (x[i] - exact[i]).abs() < 1e-7,
+                "i={i} {} vs {}",
+                x[i],
+                exact[i]
+            );
         }
     }
 
@@ -218,7 +263,7 @@ mod tests {
         };
         let op = LaplacianSubmatrix::new(&g, &in_s);
         let mut x = vec![0.0; 9];
-        let stats = solve_grounded(&op, &vec![0.0; 9], &mut x, &CgConfig::default());
+        let stats = solve_grounded(&op, &[0.0; 9], &mut x, &CgConfig::default());
         assert!(stats.converged);
         assert_eq!(stats.iterations, 0);
     }
@@ -238,7 +283,12 @@ mod tests {
         let mut expect = vec![0.0; n];
         pinv.matvec(&b, &mut expect);
         for i in 0..n {
-            assert!((x[i] - expect[i]).abs() < 1e-7, "i={i}: {} vs {}", x[i], expect[i]);
+            assert!(
+                (x[i] - expect[i]).abs() < 1e-7,
+                "i={i}: {} vs {}",
+                x[i],
+                expect[i]
+            );
         }
     }
 
@@ -268,7 +318,10 @@ mod tests {
         let op = LaplacianSubmatrix::new(&g, &in_s);
         let b: Vec<f64> = (0..op.dim()).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut x = vec![0.0; op.dim()];
-        let cfg = CgConfig { rel_tol: 1e-14, max_iter: 3 };
+        let cfg = CgConfig {
+            rel_tol: 1e-14,
+            max_iter: 3,
+        };
         let stats = solve_grounded(&op, &b, &mut x, &cfg);
         assert!(!stats.converged);
         assert_eq!(stats.iterations, 3);

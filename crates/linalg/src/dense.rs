@@ -20,7 +20,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -41,7 +45,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -110,8 +118,8 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for i in 0..self.rows {
-            y[i] = vector::dot(self.row(i), x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vector::dot(self.row(i), x);
         }
     }
 
@@ -310,7 +318,10 @@ impl Cholesky {
 
     /// `log det A = 2 Σ log L_ii` (used by matrix-forest-theorem tests).
     pub fn log_det(&self) -> f64 {
-        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum::<f64>() * 2.0
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 
     /// `Tr(A^{-1}) = ‖L^{-1}‖_F²` via triangular inversion only — roughly
@@ -325,10 +336,7 @@ impl Cholesky {
             col[j] = 1.0 / self.l[j * n + j];
             acc += col[j] * col[j];
             for i in (j + 1)..n {
-                let mut s = 0.0;
-                for k in j..i {
-                    s += self.l[i * n + k] * col[k];
-                }
+                let s = vector::dot(&self.l[i * n + j..i * n + i], &col[j..i]);
                 col[i] = -s / self.l[i * n + i];
                 acc += col[i] * col[i];
             }
@@ -394,10 +402,7 @@ impl Lu {
         }
         // backward: U x = y
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.lu[i * n + k] * x[k];
-            }
+            let s = x[i] - vector::dot(&self.lu[i * n + i + 1..(i + 1) * n], &x[i + 1..n]);
             x[i] = s / self.lu[i * n + i];
         }
         x
@@ -412,8 +417,8 @@ impl Lu {
             e.fill(0.0);
             e[j] = 1.0;
             let col = self.solve(&e);
-            for i in 0..n {
-                inv.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                inv.set(i, j, v);
             }
         }
         inv
@@ -488,7 +493,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

@@ -33,13 +33,22 @@ impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinalgError::NotPositiveDefinite { row, pivot } => {
-                write!(f, "matrix not positive definite at row {row} (pivot {pivot:e})")
+                write!(
+                    f,
+                    "matrix not positive definite at row {row} (pivot {pivot:e})"
+                )
             }
             LinalgError::Singular { column } => {
                 write!(f, "matrix singular at column {column}")
             }
-            LinalgError::DidNotConverge { iterations, residual } => {
-                write!(f, "solver did not converge after {iterations} iterations (residual {residual:e})")
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "solver did not converge after {iterations} iterations (residual {residual:e})"
+                )
             }
             LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
         }
@@ -54,10 +63,18 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = LinalgError::NotPositiveDefinite { row: 3, pivot: -1e-9 };
+        let e = LinalgError::NotPositiveDefinite {
+            row: 3,
+            pivot: -1e-9,
+        };
         assert!(e.to_string().contains("row 3"));
-        assert!(LinalgError::Singular { column: 2 }.to_string().contains("column 2"));
-        let c = LinalgError::DidNotConverge { iterations: 100, residual: 0.5 };
+        assert!(LinalgError::Singular { column: 2 }
+            .to_string()
+            .contains("column 2"));
+        let c = LinalgError::DidNotConverge {
+            iterations: 100,
+            residual: 0.5,
+        };
         assert!(c.to_string().contains("100"));
     }
 }

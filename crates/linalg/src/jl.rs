@@ -127,10 +127,10 @@ mod tests {
         let x: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; 8];
         q.apply(&x, &mut y);
-        for j in 0..8 {
+        for (j, &yj) in y.iter().enumerate() {
             let row = q.row(j);
             let naive: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
-            assert!((y[j] - naive).abs() < 1e-12);
+            assert!((yj - naive).abs() < 1e-12);
         }
     }
 

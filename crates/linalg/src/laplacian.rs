@@ -30,7 +30,9 @@ pub fn laplacian_dense(g: &Graph) -> DenseMatrix {
 /// increasing node order. Returns the matrix and the kept nodes.
 pub fn laplacian_submatrix_dense(g: &Graph, in_s: &[bool]) -> (DenseMatrix, Vec<Node>) {
     assert_eq!(in_s.len(), g.num_nodes());
-    let keep: Vec<Node> = (0..g.num_nodes() as Node).filter(|&u| !in_s[u as usize]).collect();
+    let keep: Vec<Node> = (0..g.num_nodes() as Node)
+        .filter(|&u| !in_s[u as usize])
+        .collect();
     let mut pos = vec![usize::MAX; g.num_nodes()];
     for (i, &u) in keep.iter().enumerate() {
         pos[u as usize] = i;
@@ -63,8 +65,9 @@ impl<'g> LaplacianSubmatrix<'g> {
     /// Build the operator from a grounded-set mask (`in_s[u]` ⇒ `u ∈ S`).
     pub fn new(graph: &'g Graph, in_s: &[bool]) -> Self {
         assert_eq!(in_s.len(), graph.num_nodes());
-        let keep: Vec<Node> =
-            (0..graph.num_nodes() as Node).filter(|&u| !in_s[u as usize]).collect();
+        let keep: Vec<Node> = (0..graph.num_nodes() as Node)
+            .filter(|&u| !in_s[u as usize])
+            .collect();
         let mut pos = vec![usize::MAX; graph.num_nodes()];
         for (i, &u) in keep.iter().enumerate() {
             pos[u as usize] = i;
@@ -114,7 +117,10 @@ impl<'g> LaplacianSubmatrix<'g> {
 
     /// Diagonal of `L_{-S}` (the full degrees) — the Jacobi preconditioner.
     pub fn diagonal(&self) -> Vec<f64> {
-        self.keep.iter().map(|&u| self.graph.degree(u) as f64).collect()
+        self.keep
+            .iter()
+            .map(|&u| self.graph.degree(u) as f64)
+            .collect()
     }
 }
 
@@ -152,8 +158,8 @@ mod tests {
             x.fill(0.0);
             x[j] = 1.0;
             op.apply(&x, &mut y);
-            for i in 0..op.dim() {
-                assert!((y[i] - dense.get(i, j)).abs() < 1e-12);
+            for (i, &yi) in y.iter().enumerate() {
+                assert!((yi - dense.get(i, j)).abs() < 1e-12);
             }
         }
     }

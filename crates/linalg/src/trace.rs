@@ -55,7 +55,12 @@ pub fn trace_inverse_hutchinson<R: Rng>(
     } else {
         0.0
     };
-    TraceEstimate { trace: acc.mean(), probes, std_error: se, all_converged }
+    TraceEstimate {
+        trace: acc.mean(),
+        probes,
+        std_error: se,
+        all_converged,
+    }
 }
 
 /// Exact trace of `L_{-S}^{-1}` by `|V∖S|` CG solves against basis vectors.

@@ -1,0 +1,132 @@
+//! Minimal JSON emission — enough for machine-consumable reports without
+//! an external serialization dependency (the build environment has no
+//! registry access, so serde is not an option).
+//!
+//! Values are emitted eagerly into strings; non-finite floats become
+//! `null`, per RFC 8259 (JSON has no NaN/Infinity).
+
+use std::fmt::Write;
+
+/// Escape a string for embedding in JSON (adds the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for NaN/±∞).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Builder for a JSON object: `{"k": v, …}` in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pre-rendered JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields
+            .push(format!("{}:{}", escape(key), value.into()));
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = escape(value);
+        self.raw(key, v)
+    }
+
+    /// Add a float field (`null` for non-finite values).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let v = number(value);
+        self.raw(key, v)
+    }
+
+    /// Add an integer field.
+    pub fn int(self, key: &str, value: impl Into<i128>) -> Self {
+        let v = value.into().to_string();
+        self.raw(key, v)
+    }
+
+    /// Add a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Render `{…}`.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Render an iterator of pre-rendered JSON values as `[…]`.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let joined: Vec<String> = items.into_iter().collect();
+    format!("[{}]", joined.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_null_for_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let obj = JsonObject::new()
+            .str("name", "schur")
+            .int("k", 5)
+            .num("gain", f64::NAN)
+            .bool("done", true)
+            .raw("nodes", array([1, 2].iter().map(|n| n.to_string())));
+        assert_eq!(
+            obj.render(),
+            r#"{"name":"schur","k":5,"gain":null,"done":true,"nodes":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonObject::new().render(), "{}");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

@@ -9,8 +9,10 @@
 //!   adaptive (empirical Bernstein) sampling loops.
 //! * [`timing`] — a tiny stopwatch for benchmark harnesses.
 //! * [`table`] — fixed-width text tables matching the paper's row formats.
+//! * [`json`] — minimal JSON emission for machine-consumable reports.
 
 pub mod fx;
+pub mod json;
 pub mod stats;
 pub mod table;
 pub mod timing;

@@ -72,8 +72,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -120,10 +120,10 @@ impl WelfordVec {
         assert_eq!(xs.len(), self.mean.len());
         self.count += 1;
         let c = self.count as f64;
-        for i in 0..xs.len() {
-            let delta = xs[i] - self.mean[i];
-            self.mean[i] += delta / c;
-            self.m2[i] += delta * (xs[i] - self.mean[i]);
+        for ((&x, mean), m2) in xs.iter().zip(&mut self.mean).zip(&mut self.m2) {
+            let delta = x - *mean;
+            *mean += delta / c;
+            *m2 += delta * (x - *mean);
         }
     }
 
@@ -235,16 +235,21 @@ mod tests {
     fn vec_matches_scalar() {
         let mut wv = WelfordVec::new(3);
         let mut ws = [Welford::new(), Welford::new(), Welford::new()];
-        let samples = [[1.0, 2.0, 3.0], [4.0, -1.0, 0.0], [2.5, 2.5, 2.5], [0.0, 9.0, -7.0]];
+        let samples = [
+            [1.0, 2.0, 3.0],
+            [4.0, -1.0, 0.0],
+            [2.5, 2.5, 2.5],
+            [0.0, 9.0, -7.0],
+        ];
         for s in &samples {
             wv.push(s);
             for (w, &x) in ws.iter_mut().zip(s.iter()) {
                 w.push(x);
             }
         }
-        for i in 0..3 {
-            assert!((wv.mean_at(i) - ws[i].mean()).abs() < 1e-12);
-            assert!((wv.variance_at(i) - ws[i].variance()).abs() < 1e-12);
+        for (i, w) in ws.iter().enumerate() {
+            assert!((wv.mean_at(i) - w.mean()).abs() < 1e-12);
+            assert!((wv.variance_at(i) - w.variance()).abs() < 1e-12);
         }
     }
 

@@ -18,7 +18,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Start (or restart) timing now.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release --example p2p_placement`
 
-use cfcc_core::{heuristics, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_core::SolveSession;
 use cfcc_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,12 +43,25 @@ fn main() {
     let g = generators::scale_free_with_edges(2_000, 8_000, &mut rng);
     println!("overlay: {} peers, {} links", g.num_nodes(), g.num_edges());
 
+    // Placements run through the SolveSession front door; the CFCM group
+    // and the heuristic baseline differ only in the registry name.
     let k = 8;
-    let params = CfcmParams::with_epsilon(0.15).seed(5).threads(2);
-    let cfcm = schur_cfcm(&g, k, &params).expect("placement");
-    let topc = heuristics::top_cfcc_sampled(&g, k, &params).expect("top-cfcc");
+    let place = |solver: &str| {
+        SolveSession::new(&g)
+            .k(k)
+            .solver(solver)
+            .epsilon(0.15)
+            .seed(5)
+            .threads(2)
+            .run()
+            .expect("placement")
+    };
+    let cfcm = place("schur");
+    let topc = place("top-cfcc");
     // Baseline: an arbitrary spread of peer ids.
-    let random: Vec<u32> = (0..k as u32).map(|i| (i * 251 + 97) % g.num_nodes() as u32).collect();
+    let random: Vec<u32> = (0..k as u32)
+        .map(|i| (i * 251 + 97) % g.num_nodes() as u32)
+        .collect();
 
     println!("\nreplicating on {k} peers:");
     for (name, replicas) in [

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release --example power_grid`
 
-use cfcc_core::{cfcc, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_core::{cfcc, SolveSession};
 use cfcc_graph::traversal::largest_connected_component;
 use cfcc_graph::{generators, Graph, Node};
 use rand::rngs::StdRng;
@@ -40,9 +40,18 @@ fn main() {
         cfcc_graph::diameter::diameter_double_sweep(&g, 0, 3)
     );
 
+    // Critical-group analysis through the SolveSession front door, with a
+    // progress callback so long grid runs stay observable.
     let k = 5;
-    let params = CfcmParams::with_epsilon(0.2).seed(77).threads(2);
-    let sel = schur_cfcm(&g, k, &params).expect("analysis");
+    let sel = SolveSession::new(&g)
+        .k(k)
+        .solver("schur")
+        .epsilon(0.2)
+        .seed(77)
+        .threads(2)
+        .on_progress(|it| println!("  hardening candidate: bus {}", it.chosen))
+        .run()
+        .expect("analysis");
     let c_group = cfcc::cfcc_group_cg(&g, &sel.nodes, 1e-8).expect("eval");
     println!("\nmost flow-critical {k}-bus group (CFCM): {:?}", sel.nodes);
     println!("group CFCC C(S) = {c_group:.4}");
@@ -71,13 +80,21 @@ fn main() {
 
     let baseline = survivors_mean_r(&[], &mut rng);
     let after_cfcm = survivors_mean_r(&sel.nodes, &mut rng);
-    let random: Vec<Node> = (0..k as Node).map(|i| i * 97 % g.num_nodes() as Node).collect();
+    let random: Vec<Node> = (0..k as Node)
+        .map(|i| i * 97 % g.num_nodes() as Node)
+        .collect();
     let after_random = survivors_mean_r(&random, &mut rng);
 
     println!("\nmean sampled pairwise resistance of the surviving grid:");
     println!("  intact grid           : {baseline:.3}");
-    println!("  after losing CFCM set : {after_cfcm:.3}  (+{:.1}%)", 100.0 * (after_cfcm / baseline - 1.0));
-    println!("  after losing random k : {after_random:.3}  (+{:.1}%)", 100.0 * (after_random / baseline - 1.0));
+    println!(
+        "  after losing CFCM set : {after_cfcm:.3}  (+{:.1}%)",
+        100.0 * (after_cfcm / baseline - 1.0)
+    );
+    println!(
+        "  after losing random k : {after_random:.3}  (+{:.1}%)",
+        100.0 * (after_random / baseline - 1.0)
+    );
     println!("\nThe CFCM group's removal degrades grid conductance far more than a random");
     println!("outage of equal size — these buses are the ones worth hardening.");
 }

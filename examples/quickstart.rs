@@ -1,12 +1,14 @@
 //! Quickstart: maximize current-flow group closeness on a graph.
 //!
 //! Builds a small scale-free network, runs the paper's flagship algorithm
-//! (SchurCFCM), and compares the selected group against the exact greedy
-//! baseline and the degree heuristic.
+//! (SchurCFCM) through the `SolveSession` front door — with live progress
+//! reporting — and compares the selected group against the exact greedy
+//! baseline and the degree heuristic, both resolved from the solver
+//! registry by name.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use cfcc_core::{cfcc, exact::exact_greedy, heuristics, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_core::{cfcc, registry, SolveSession};
 use cfcc_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,12 +19,25 @@ fn main() {
     let g = generators::scale_free_with_edges(1_000, 4_000, &mut rng);
     println!("graph: n={} m={}", g.num_nodes(), g.num_edges());
 
-    // 2. Configure: ε controls the accuracy/time trade-off (paper uses 0.2).
-    let params = CfcmParams::with_epsilon(0.2).seed(42).threads(2);
+    // 2. Maximize C(S) over groups of size k. The session resolves the
+    //    solver by registry name, validates the problem once, and streams
+    //    per-iteration progress. ε controls the accuracy/time trade-off
+    //    (the paper uses 0.2).
     let k = 10;
-
-    // 3. Maximize C(S) over groups of size k.
-    let sel = schur_cfcm(&g, k, &params).expect("connected graph, valid k");
+    let sel = SolveSession::new(&g)
+        .k(k)
+        .solver("schur")
+        .epsilon(0.2)
+        .seed(42)
+        .threads(2)
+        .on_progress(|it| {
+            println!(
+                "  picked node {:>4}  ({} forests, gain {:.4})",
+                it.chosen, it.forests, it.gain
+            )
+        })
+        .run()
+        .expect("connected graph, valid k");
     println!("SchurCFCM selected (in greedy order): {:?}", sel.nodes);
     println!(
         "  sampled {} spanning forests, {} random-walk steps, {:.2}s",
@@ -31,12 +46,20 @@ fn main() {
         sel.stats.total_seconds()
     );
 
-    // 4. Evaluate the group's CFCC and compare against baselines.
+    // 3. Evaluate the group's CFCC and compare against baselines — any
+    //    registered solver runs through the same front door.
+    let run = |name: &str| {
+        let sel = SolveSession::new(&g)
+            .k(k)
+            .solver(name)
+            .seed(42)
+            .run()
+            .expect("baseline solver");
+        cfcc::cfcc_group_exact(&g, &sel.nodes)
+    };
     let c_schur = cfcc::cfcc_group_exact(&g, &sel.nodes);
-    let exact = exact_greedy(&g, k).expect("exact greedy");
-    let c_exact = cfcc::cfcc_group_exact(&g, &exact.nodes);
-    let degree = heuristics::degree_baseline(&g, k).expect("degree");
-    let c_degree = cfcc::cfcc_group_exact(&g, &degree.nodes);
+    let c_exact = run("exact");
+    let c_degree = run("degree");
 
     println!("C(S) SchurCFCM     = {c_schur:.4}");
     println!("C(S) exact greedy  = {c_exact:.4}   (O(n^3) reference)");
@@ -45,4 +68,5 @@ fn main() {
         "SchurCFCM achieves {:.1}% of the exact-greedy objective.",
         100.0 * c_schur / c_exact
     );
+    println!("\nregistered solvers: {}", registry::name_list());
 }

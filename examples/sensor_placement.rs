@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release --example sensor_placement`
 
-use cfcc_core::{cfcc, heuristics, schur_cfcm::schur_cfcm, CfcmParams};
+use cfcc_core::{cfcc, SolveSession};
 use cfcc_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,15 +39,27 @@ fn main() {
         cfcc_graph::diameter::diameter_double_sweep(&g, 0, 3)
     );
 
+    // Both placements run through the SolveSession front door; only the
+    // registry name differs.
     let k = 6;
-    let params = CfcmParams::with_epsilon(0.2).seed(99).threads(2);
-
-    let cfcm = schur_cfcm(&g, k, &params).expect("placement");
-    let degree = heuristics::degree_baseline(&g, k).expect("degree");
+    let place = |solver: &str| {
+        SolveSession::new(&g)
+            .k(k)
+            .solver(solver)
+            .epsilon(0.2)
+            .seed(99)
+            .threads(2)
+            .run()
+            .expect("placement")
+    };
+    let cfcm = place("schur");
+    let degree = place("degree");
 
     println!("\nplacing {k} sensors:");
-    for (name, placement) in [("CFCM (SchurCFCM)", &cfcm.nodes), ("degree heuristic", &degree.nodes)]
-    {
+    for (name, placement) in [
+        ("CFCM (SchurCFCM)", &cfcm.nodes),
+        ("degree heuristic", &degree.nodes),
+    ] {
         let c = cfcc::cfcc_group_cg(&g, placement, 1e-8).expect("eval");
         let (mean_r, worst_r) = coverage_report(&g, placement);
         println!(

@@ -1,0 +1,16 @@
+//! # cfcc
+//!
+//! Workspace facade for the CFCM reproduction (*"Fast Maximization of
+//! Current Flow Group Closeness Centrality"*, Xia & Zhang, ICDE 2025):
+//! re-exports every sub-crate under one roof and hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Start with [`core::SolveSession`] — the builder front door to every
+//! solver — or see `cfcc-core`'s crate docs for the full API tour.
+
+pub use cfcc_core as core;
+pub use cfcc_datasets as datasets;
+pub use cfcc_forest as forest;
+pub use cfcc_graph as graph;
+pub use cfcc_linalg as linalg;
+pub use cfcc_util as util;

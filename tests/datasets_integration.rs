@@ -2,8 +2,9 @@
 //! generates a usable workload and the full pipeline runs on representative
 //! proxies at reduced scale.
 
-use cfcc_core::{cfcc, forest_cfcm::forest_cfcm, params::t_star, schur_cfcm::schur_cfcm,
-    CfcmParams};
+use cfcc_core::{
+    cfcc, forest_cfcm::forest_cfcm, params::t_star, schur_cfcm::schur_cfcm, CfcmParams,
+};
 use cfcc_graph::diameter::diameter_double_sweep;
 
 #[test]
@@ -72,7 +73,10 @@ fn end_to_end_on_euroroads_proxy() {
     assert!(cf > ca, "forest {cf} vs arbitrary {ca}");
     assert!(cs > ca, "schur {cs} vs arbitrary {ca}");
     // And land within 10% of each other.
-    assert!((cf - cs).abs() / cf.max(cs) < 0.1, "forest {cf} vs schur {cs}");
+    assert!(
+        (cf - cs).abs() / cf.max(cs) < 0.1,
+        "forest {cf} vs schur {cs}"
+    );
 }
 
 #[test]

@@ -60,8 +60,14 @@ fn absorption_cost_explains_schur_speedup_on_karate() {
     assert!(cost_st < cost_s);
     let sampled_s = kemeny::absorption_cost_sampled(&g, &s, 8000, 7, 2).unwrap();
     let sampled_st = kemeny::absorption_cost_sampled(&g, &st, 8000, 7, 2).unwrap();
-    assert!((sampled_s - cost_s).abs() / cost_s < 0.08, "{sampled_s} vs {cost_s}");
-    assert!((sampled_st - cost_st).abs() / cost_st < 0.08, "{sampled_st} vs {cost_st}");
+    assert!(
+        (sampled_s - cost_s).abs() / cost_s < 0.08,
+        "{sampled_s} vs {cost_s}"
+    );
+    assert!(
+        (sampled_st - cost_st).abs() / cost_st < 0.08,
+        "{sampled_st} vs {cost_st}"
+    );
 }
 
 #[test]

@@ -3,9 +3,9 @@
 //! precisely — never hang, never return garbage silently.
 
 use cfcc_core::{
-    approx_greedy::approx_greedy, cfcc, edge_addition::greedy_edge_addition,
-    exact::exact_greedy, forest_cfcm::forest_cfcm, heuristics, kemeny,
-    optimum::optimum_cfcm, schur_cfcm::schur_cfcm, CfcmError, CfcmParams,
+    approx_greedy::approx_greedy, cfcc, edge_addition::greedy_edge_addition, exact::exact_greedy,
+    forest_cfcm::forest_cfcm, heuristics, kemeny, optimum::optimum_cfcm, schur_cfcm::schur_cfcm,
+    CfcmError, CfcmParams,
 };
 use cfcc_graph::{generators, Graph, GraphError};
 
@@ -18,11 +18,26 @@ fn all_solvers_reject_bad_k() {
     let g = generators::cycle(8);
     let p = CfcmParams::default();
     for k in [0usize, 8, 100] {
-        assert!(matches!(exact_greedy(&g, k), Err(CfcmError::InvalidK { .. })), "exact k={k}");
-        assert!(matches!(forest_cfcm(&g, k, &p), Err(CfcmError::InvalidK { .. })), "forest k={k}");
-        assert!(matches!(schur_cfcm(&g, k, &p), Err(CfcmError::InvalidK { .. })), "schur k={k}");
-        assert!(matches!(approx_greedy(&g, k, &p), Err(CfcmError::InvalidK { .. })), "approx k={k}");
-        assert!(matches!(optimum_cfcm(&g, k), Err(CfcmError::InvalidK { .. })), "optimum k={k}");
+        assert!(
+            matches!(exact_greedy(&g, k), Err(CfcmError::InvalidK { .. })),
+            "exact k={k}"
+        );
+        assert!(
+            matches!(forest_cfcm(&g, k, &p), Err(CfcmError::InvalidK { .. })),
+            "forest k={k}"
+        );
+        assert!(
+            matches!(schur_cfcm(&g, k, &p), Err(CfcmError::InvalidK { .. })),
+            "schur k={k}"
+        );
+        assert!(
+            matches!(approx_greedy(&g, k, &p), Err(CfcmError::InvalidK { .. })),
+            "approx k={k}"
+        );
+        assert!(
+            matches!(optimum_cfcm(&g, k), Err(CfcmError::InvalidK { .. })),
+            "optimum k={k}"
+        );
         assert!(heuristics::degree_baseline(&g, k).is_err(), "degree k={k}");
     }
 }
@@ -34,10 +49,19 @@ fn all_solvers_reject_disconnected_graphs() {
     assert_eq!(exact_greedy(&g, 2).unwrap_err(), CfcmError::Disconnected);
     assert_eq!(forest_cfcm(&g, 2, &p).unwrap_err(), CfcmError::Disconnected);
     assert_eq!(schur_cfcm(&g, 2, &p).unwrap_err(), CfcmError::Disconnected);
-    assert_eq!(approx_greedy(&g, 2, &p).unwrap_err(), CfcmError::Disconnected);
+    assert_eq!(
+        approx_greedy(&g, 2, &p).unwrap_err(),
+        CfcmError::Disconnected
+    );
     assert_eq!(optimum_cfcm(&g, 2).unwrap_err(), CfcmError::Disconnected);
-    assert_eq!(heuristics::top_cfcc_sampled(&g, 2, &p).unwrap_err(), CfcmError::Disconnected);
-    assert_eq!(greedy_edge_addition(&g, &[0], 1, &p).unwrap_err(), CfcmError::Disconnected);
+    assert_eq!(
+        heuristics::top_cfcc_sampled(&g, 2, &p).unwrap_err(),
+        CfcmError::Disconnected
+    );
+    assert_eq!(
+        greedy_edge_addition(&g, &[0], 1, &p).unwrap_err(),
+        CfcmError::Disconnected
+    );
 }
 
 #[test]
@@ -49,7 +73,10 @@ fn invalid_epsilon_rejected_before_any_sampling() {
             matches!(forest_cfcm(&g, 2, &p), Err(CfcmError::InvalidParameter(_))),
             "epsilon {eps} must be rejected"
         );
-        assert!(matches!(schur_cfcm(&g, 2, &p), Err(CfcmError::InvalidParameter(_))));
+        assert!(matches!(
+            schur_cfcm(&g, 2, &p),
+            Err(CfcmError::InvalidParameter(_))
+        ));
     }
 }
 
@@ -79,7 +106,10 @@ fn kemeny_utilities_validate_roots() {
 #[test]
 fn graph_construction_errors_are_precise() {
     match Graph::from_edges(3, &[(0, 7)]) {
-        Err(GraphError::NodeOutOfRange { node: 7, num_nodes: 3 }) => {}
+        Err(GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        }) => {}
         other => panic!("unexpected {other:?}"),
     }
     // Edge-list parse errors carry line numbers.
@@ -123,7 +153,7 @@ fn tiny_forest_budgets_still_terminate_and_select() {
     // are terrible but the algorithm must terminate with a valid group.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let g = generators::barabasi_albert(30, 2, &mut rng);
-    let mut p = CfcmParams::with_epsilon(0.9_999).seed(3);
+    let mut p = CfcmParams::with_epsilon(0.999_9).seed(3);
     p.min_batch = 1;
     p.max_forests = 2;
     let sel = forest_cfcm(&g, 4, &p).unwrap();

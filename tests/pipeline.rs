@@ -91,8 +91,16 @@ fn forest_and_schur_agree_on_clear_structure() {
     let exact = exact_greedy(&g, 1).unwrap();
     let bridge: Vec<u32> = (10..13).collect();
     assert!(bridge.contains(&exact.nodes[0]));
-    assert!(bridge.contains(&forest.nodes[0]), "forest chose {}", forest.nodes[0]);
-    assert!(bridge.contains(&schur.nodes[0]), "schur chose {}", schur.nodes[0]);
+    assert!(
+        bridge.contains(&forest.nodes[0]),
+        "forest chose {}",
+        forest.nodes[0]
+    );
+    assert!(
+        bridge.contains(&schur.nodes[0]),
+        "schur chose {}",
+        schur.nodes[0]
+    );
 }
 
 #[test]

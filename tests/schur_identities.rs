@@ -66,19 +66,28 @@ fn block_inverse_identity() {
         for (j, &uj) in u_idx.iter().enumerate() {
             let expect = direct.get(ui, uj);
             let got = luu_inv.get(i, j) + top_left_corr.get(i, j);
-            assert!((got - expect).abs() < 1e-8, "UU block ({i},{j}): {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-8,
+                "UU block ({i},{j}): {got} vs {expect}"
+            );
         }
         for (j, &tj) in t_idx.iter().enumerate() {
             let expect = direct.get(ui, tj);
             let got = fsig.get(i, j);
-            assert!((got - expect).abs() < 1e-8, "UT block ({i},{j}): {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-8,
+                "UT block ({i},{j}): {got} vs {expect}"
+            );
         }
     }
     for (i, &ti) in t_idx.iter().enumerate() {
         for (j, &tj) in t_idx.iter().enumerate() {
             let expect = direct.get(ti, tj);
             let got = sigma_inv.get(i, j);
-            assert!((got - expect).abs() < 1e-8, "TT block ({i},{j}): {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-8,
+                "TT block ({i},{j}): {got} vs {expect}"
+            );
         }
     }
 }
@@ -92,7 +101,12 @@ fn schur_and_forest_delta_agree() {
     let n = g.num_nodes();
     let mut in_s = vec![false; n];
     in_s[g.max_degree_node().unwrap() as usize] = true;
-    let params = CfcmParams::with_epsilon(0.15).seed(11);
+    // Near-tied gains make the top-5 ranking noise-sensitive; a generous
+    // fixed forest budget keeps both estimators well past the adaptive
+    // stop's accuracy so the overlap check probes agreement, not variance.
+    let mut params = CfcmParams::with_epsilon(0.15).seed(11);
+    params.min_batch = 1024;
+    params.max_forests = 16_384;
 
     let fd = forest_delta(&g, &in_s, &params, 1);
     let c = t_star(&g).max(3);
@@ -113,7 +127,10 @@ fn schur_and_forest_delta_agree() {
     let tf = top5(&fd.deltas);
     let ts = top5(&sd.deltas);
     let overlap = tf.iter().filter(|u| ts.contains(u)).count();
-    assert!(overlap >= 3, "top-5 overlap only {overlap}: {tf:?} vs {ts:?}");
+    assert!(
+        overlap >= 3,
+        "top-5 overlap only {overlap}: {tf:?} vs {ts:?}"
+    );
 
     // And against the exact oracle.
     let exact = cfcc_core::exact::exact_deltas(&g, &[g.max_degree_node().unwrap()]);
