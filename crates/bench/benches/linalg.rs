@@ -1,0 +1,216 @@
+//! Before/after microbenchmark of the blocked dense-kernel rebuild:
+//! GEMM, Cholesky, Schur complement, and the exact-greedy pipeline at
+//! n = 128/256/512/1024, each against the retained pre-rebuild reference
+//! kernels (`matmul_naive`, `cholesky_naive`, `inverse_naive`,
+//! per-column LU inversion).
+//!
+//! * `CFCC_PRESET=smoke` (default): tiny sizes — the CI regression gate.
+//! * `CFCC_PRESET=paper`: the full ladder; emits `BENCH_PR2.json` at the
+//!   workspace root (override the path with `CFCC_BENCH_OUT`; setting it
+//!   also forces emission under `smoke`).
+
+use cfcc_bench::report::BenchReport;
+use cfcc_bench::{banner, fmt_ratio, Preset};
+use cfcc_core::exact::{exact_greedy, remove_index};
+use cfcc_core::schur::schur_complement_dense;
+use cfcc_graph::{generators, Graph, Node};
+use cfcc_linalg::dense::DenseMatrix;
+use cfcc_linalg::laplacian::{laplacian_dense, laplacian_submatrix_dense};
+use cfcc_linalg::vector::norm2_sq;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Best-of-`reps` wall clock in milliseconds.
+fn time_ms<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+/// Pre-rebuild Schur complement: explicit per-column LU inversion plus
+/// three zero-branch `ikj` products — the seed's exact code path.
+fn schur_pre_rebuild(m: &DenseMatrix, t_idx: &[usize], u_idx: &[usize]) -> DenseMatrix {
+    let t = t_idx.len();
+    let u = u_idx.len();
+    let mut mtt = DenseMatrix::zeros(t, t);
+    let mut mtu = DenseMatrix::zeros(t, u);
+    let mut mut_ = DenseMatrix::zeros(u, t);
+    let mut muu = DenseMatrix::zeros(u, u);
+    for (i, &ti) in t_idx.iter().enumerate() {
+        for (j, &tj) in t_idx.iter().enumerate() {
+            mtt.set(i, j, m.get(ti, tj));
+        }
+        for (j, &uj) in u_idx.iter().enumerate() {
+            mtu.set(i, j, m.get(ti, uj));
+        }
+    }
+    for (i, &ui) in u_idx.iter().enumerate() {
+        for (j, &tj) in t_idx.iter().enumerate() {
+            mut_.set(i, j, m.get(ui, tj));
+        }
+        for (j, &uj) in u_idx.iter().enumerate() {
+            muu.set(i, j, m.get(ui, uj));
+        }
+    }
+    let lu = muu.lu().expect("M_UU invertible");
+    // Per-column inversion, exactly as the seed's `Lu::inverse`.
+    let mut muu_inv = DenseMatrix::zeros(u, u);
+    let mut e = vec![0.0f64; u];
+    for j in 0..u {
+        e.fill(0.0);
+        e[j] = 1.0;
+        for (i, &v) in lu.solve(&e).iter().enumerate() {
+            muu_inv.set(i, j, v);
+        }
+    }
+    let correction = mtu.matmul_naive(&muu_inv).matmul_naive(&mut_);
+    for i in 0..t {
+        for j in 0..t {
+            mtt.add_to(i, j, -correction.get(i, j));
+        }
+    }
+    mtt
+}
+
+/// Pre-rebuild exact greedy: scalar Cholesky + scalar triangular
+/// inversion for both the pseudoinverse first pick and the maintained
+/// `L_{-S}^{-1}`, as in the seed.
+fn exact_greedy_pre_rebuild(g: &Graph, k: usize) -> Vec<Node> {
+    let n = g.num_nodes();
+    let mut shifted = laplacian_dense(g);
+    let inv_n = 1.0 / n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            shifted.add_to(i, j, inv_n);
+        }
+    }
+    let pinv = shifted.cholesky_naive().unwrap().inverse_naive();
+    let first = (0..n)
+        .min_by(|&a, &b| pinv.get(a, a).partial_cmp(&pinv.get(b, b)).unwrap())
+        .unwrap() as Node;
+    let mut chosen = vec![first];
+    let mut mask = vec![false; n];
+    mask[first as usize] = true;
+    let (sub, keep) = laplacian_submatrix_dense(g, &mask);
+    let mut m = sub.cholesky_naive().unwrap().inverse_naive();
+    let mut nodes = keep;
+    while chosen.len() < k {
+        let d = m.rows();
+        let mut best_c = 0usize;
+        let mut best_gain = f64::NEG_INFINITY;
+        for c in 0..d {
+            let gain = norm2_sq(m.row(c)) / m.get(c, c);
+            if gain > best_gain {
+                best_gain = gain;
+                best_c = c;
+            }
+        }
+        chosen.push(nodes[best_c]);
+        if chosen.len() == k {
+            break;
+        }
+        m = remove_index(&m, best_c);
+        nodes.remove(best_c);
+    }
+    chosen
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    banner(
+        "linalg",
+        "the blocked-kernel before/after ladder (BENCH_PR2)",
+        preset,
+    );
+    let sizes: &[usize] = match preset {
+        Preset::Smoke => &[96, 160],
+        _ => &[128, 256, 512, 1024],
+    };
+    let k = 8; // greedy picks in the pipeline benchmark
+    let mut report = BenchReport::new();
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>9}",
+        "kernel", "n", "naive (ms)", "blocked (ms)", "speedup"
+    );
+    for &n in sizes {
+        let reps = if n >= 1024 { 1 } else { 3 };
+        let mut rng = SmallRng::seed_from_u64(0xCAFE + n as u64);
+        let g = generators::barabasi_albert(n, 3, &mut rng);
+        let mut mask = vec![false; n];
+        mask[0] = true;
+        let (l_minus_s, _) = laplacian_submatrix_dense(&g, &mask);
+        let d = l_minus_s.rows();
+
+        // GEMM: dense (non-Laplacian) operands so the zero-skip branch of
+        // the naive kernel does not get an artificial advantage.
+        let a = {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, ((i * 31 + j * 17) % 23) as f64 * 0.1 - 1.0);
+                }
+            }
+            a
+        };
+        let naive = time_ms(reps, || a.matmul_naive(&a));
+        let blocked = time_ms(reps, || a.matmul(&a));
+        record(&mut report, "gemm", n, naive, blocked);
+
+        // Cholesky of an SPD matrix.
+        let spd = {
+            let mut s = a.gram();
+            s.add_ridge(n as f64);
+            s
+        };
+        let naive = time_ms(reps, || spd.cholesky_naive().unwrap());
+        let blocked = time_ms(reps, || spd.cholesky().unwrap());
+        record(&mut report, "cholesky", n, naive, blocked);
+
+        // Schur complement of L_{-S} onto its |T| = n/8 top rows.
+        let t_idx: Vec<usize> = (0..d / 8).collect();
+        let u_idx: Vec<usize> = (d / 8..d).collect();
+        let naive = time_ms(reps, || schur_pre_rebuild(&l_minus_s, &t_idx, &u_idx));
+        let blocked = time_ms(reps, || {
+            schur_complement_dense(&l_minus_s, &t_idx, &u_idx).unwrap()
+        });
+        record(&mut report, "schur", n, naive, blocked);
+
+        // The whole exact-greedy pipeline (first pick + maintained M).
+        let naive = time_ms(1, || exact_greedy_pre_rebuild(&g, k));
+        let blocked = time_ms(1, || exact_greedy(&g, k).unwrap().nodes);
+        record(&mut report, "exact_greedy", n, naive, blocked);
+    }
+
+    let out = std::env::var("CFCC_BENCH_OUT").ok();
+    let emit = out.is_some() || preset != Preset::Smoke;
+    if emit {
+        // cargo bench runs with the package as cwd; default to the
+        // workspace root where the BENCH_*.json trajectory lives.
+        let path = out
+            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json").into());
+        report
+            .write(&path, "linalg", preset.name())
+            .expect("write bench report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\nsmoke preset: report not written (set CFCC_BENCH_OUT to force)");
+    }
+}
+
+fn record(report: &mut BenchReport, name: &str, n: usize, naive_ms: f64, blocked_ms: f64) {
+    report.push(name, n, naive_ms, blocked_ms);
+    println!(
+        "{:<14} {:>6} {:>12.2} {:>12.2} {:>9}",
+        name,
+        n,
+        naive_ms,
+        blocked_ms,
+        fmt_ratio(naive_ms / blocked_ms)
+    );
+}

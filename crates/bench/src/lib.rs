@@ -15,6 +15,8 @@
 //! All randomized algorithms run with fixed seeds, so outputs are
 //! reproducible per preset.
 
+pub mod report;
+
 use cfcc_core::{CfcmParams, Selection, SolveSession};
 use cfcc_datasets::DatasetSpec;
 use cfcc_graph::Graph;

@@ -1,0 +1,114 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! The perf trajectory of this repo is tracked by checked-in JSON files at
+//! the workspace root — one per PR that claims a speedup. Emission is
+//! hand-rolled over [`cfcc_util::json`] (no serde offline). The linalg
+//! microbenchmark writes `BENCH_PR2.json` through this module; future
+//! kernels should append their own `BenchReport` consumers rather than
+//! inventing new formats.
+
+use cfcc_util::json::{array, JsonObject};
+use std::io::Write;
+
+/// One before/after comparison row.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Kernel or pipeline under test (`gemm`, `cholesky`, `schur`, …).
+    pub name: String,
+    /// Problem size (matrix dimension).
+    pub n: usize,
+    /// Pre-rebuild (naive reference) wall-clock, milliseconds.
+    pub baseline_ms: f64,
+    /// Blocked-kernel wall-clock, milliseconds.
+    pub blocked_ms: f64,
+}
+
+impl Comparison {
+    /// Wall-clock improvement factor.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ms / self.blocked_ms
+    }
+
+    fn render(&self) -> String {
+        JsonObject::new()
+            .str("name", &self.name)
+            .int("n", self.n as i128)
+            .num("baseline_ms", self.baseline_ms)
+            .num("blocked_ms", self.blocked_ms)
+            .num("speedup", self.speedup())
+            .render()
+    }
+}
+
+/// A named collection of comparisons destined for a `BENCH_*.json` file.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    entries: Vec<Comparison>,
+}
+
+impl BenchReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one comparison (also echoed to stdout by the caller).
+    pub fn push(&mut self, name: &str, n: usize, baseline_ms: f64, blocked_ms: f64) {
+        self.entries.push(Comparison {
+            name: name.into(),
+            n,
+            baseline_ms,
+            blocked_ms,
+        });
+    }
+
+    /// Recorded comparisons.
+    pub fn entries(&self) -> &[Comparison] {
+        &self.entries
+    }
+
+    /// Render the full report document.
+    pub fn render(&self, bench: &str, preset: &str) -> String {
+        JsonObject::new()
+            .str("bench", bench)
+            .str("preset", preset)
+            .str(
+                "regenerate",
+                "CFCC_PRESET=paper cargo bench -p cfcc-bench --bench linalg",
+            )
+            .raw(
+                "entries",
+                array(self.entries.iter().map(Comparison::render)),
+            )
+            .render()
+    }
+
+    /// Write the report to `path` (pretty enough for diffs: one entry per
+    /// line). Errors are surfaced, not swallowed — a bench that cannot
+    /// record its result should fail loudly.
+    pub fn write(&self, path: &str, bench: &str, preset: &str) -> std::io::Result<()> {
+        let doc = self
+            .render(bench, preset)
+            .replace("},{", "},\n    {")
+            .replace("\"entries\":[{", "\"entries\":[\n    {")
+            .replace("}]}", "}\n]}");
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{doc}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_entries_and_speedup() {
+        let mut r = BenchReport::new();
+        r.push("gemm", 512, 40.0, 20.0);
+        let doc = r.render("linalg", "smoke");
+        assert!(doc.contains("\"name\":\"gemm\""));
+        assert!(doc.contains("\"speedup\":2"));
+        assert!(doc.contains("\"preset\":\"smoke\""));
+        assert_eq!(r.entries()[0].speedup(), 2.0);
+    }
+}

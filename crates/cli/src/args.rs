@@ -19,7 +19,7 @@ pub struct CliArgs {
     pub epsilon: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Sampling threads.
+    /// Worker threads (forest sampling and the blocked dense kernels).
     pub threads: usize,
     /// Edge-list path (mutually exclusive with `dataset`).
     pub graph_path: Option<String>,
@@ -87,7 +87,7 @@ OPTIONS:
     --k <int>          group size (default: 10)
     --epsilon <float>  error parameter in (0,1) (default: 0.2)
     --seed <int>       RNG seed (default: 0x5EED)
-    --threads <int>    sampling threads (default: 1)
+    --threads <int>    worker threads: forest sampling + dense kernels (default: 1)
     --graph <path>     whitespace edge-list file ('#'/'%' comments ok)
     --dataset <name>   bundled dataset (see --list-datasets)
     --scale <float>    proxy scale for bundled datasets in (0,1] (default: 1.0)

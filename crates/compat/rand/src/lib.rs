@@ -69,16 +69,36 @@ pub trait UniformSample: Sized {
     fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
+/// Unbiased bounded sampling by Lemire's widening-multiply rejection
+/// method (<https://arxiv.org/abs/1805.10941>): `x·s` maps a 64-bit draw
+/// onto `s` buckets of size `⌊2⁶⁴/s⌋` plus a short remainder; draws whose
+/// low 64 bits land in the remainder (`< 2⁶⁴ mod s`, computed branch-free
+/// as `s.wrapping_neg() % s`) are rejected and redrawn. The common path is
+/// one multiply with no division; the rejection loop runs with probability
+/// `< s/2⁶⁴` — this sits inside every Wilson-walk neighbor pick, so the
+/// hot path stays a single widening multiply.
+#[inline]
+fn lemire_u64<R: RngCore + ?Sized>(rng: &mut R, s: u64) -> u64 {
+    debug_assert!(s > 0);
+    let mut m = (rng.next_u64() as u128).wrapping_mul(s as u128);
+    if (m as u64) < s {
+        // Threshold = 2⁶⁴ mod s; only computed on the rare boundary case.
+        let threshold = s.wrapping_neg() % s;
+        while (m as u64) < threshold {
+            m = (rng.next_u64() as u128).wrapping_mul(s as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! uniform_int {
     ($($t:ty),*) => {$(
         impl UniformSample for $t {
             fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
-                let span = (hi as i128 - lo as i128) as u128;
-                // Multiply-shift bounded sampling (Lemire); the bias at
-                // 64-bit spans is far below anything the workspace observes.
-                let hi128 = (rng.next_u64() as u128).wrapping_mul(span) >> 64;
-                (lo as i128 + hi128 as i128) as $t
+                // Half-open span always fits u64 (even for 64-bit types).
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + lemire_u64(rng, span) as i128) as $t
             }
         }
     )*};
@@ -274,6 +294,77 @@ mod tests {
         for &c in &counts {
             assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
         }
+    }
+
+    #[test]
+    fn non_power_of_two_ranges_are_uniform() {
+        // Pearson χ² over a span that does not divide 2⁶⁴ — the case the
+        // rejection step exists for. 6 buckets, 120k draws: χ² (5 dof)
+        // should stay far below 30 (p ≈ 1e-5) for a sound sampler.
+        let mut rng = SmallRng::seed_from_u64(0x1e31);
+        let draws = 120_000usize;
+        let mut counts = [0f64; 6];
+        for _ in 0..draws {
+            counts[rng.gen_range(0usize..6)] += 1.0;
+        }
+        let expect = draws as f64 / 6.0;
+        let chi2: f64 = counts.iter().map(|c| (c - expect).powi(2) / expect).sum();
+        assert!(chi2 < 30.0, "χ²={chi2} counts={counts:?}");
+        // Signed ranges share the same path.
+        let mut lo_hits = 0usize;
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&v));
+            if v == -3 {
+                lo_hits += 1;
+            }
+        }
+        assert!(lo_hits > 0, "range endpoints must be reachable");
+    }
+
+    /// Scripted generator for deterministic rejection-path coverage.
+    struct SeqRng {
+        vals: Vec<u64>,
+        at: usize,
+    }
+
+    impl super::RngCore for SeqRng {
+        fn next_u64(&mut self) -> u64 {
+            let v = self.vals[self.at];
+            self.at += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn lemire_rejects_remainder_zone_draws() {
+        // For s = 6, threshold = 2⁶⁴ mod 6 = 4: a draw x with
+        // low64(x·6) < 4 must be discarded and the next draw used.
+        let s = 6u64;
+        let threshold = s.wrapping_neg() % s;
+        assert_eq!(threshold, 4);
+        let rejected = (0..=u64::MAX >> 1)
+            .find(|&x| ((x as u128 * s as u128) as u64) < threshold)
+            .unwrap();
+        let accepted = 0x1234_5678_9abc_def0u64;
+        assert!(((accepted as u128 * s as u128) as u64) >= threshold);
+        let mut rng = SeqRng {
+            vals: vec![rejected, accepted],
+            at: 0,
+        };
+        let got = super::lemire_u64(&mut rng, s);
+        assert_eq!(rng.at, 2, "the remainder-zone draw must be rejected");
+        assert_eq!(got, ((accepted as u128 * s as u128) >> 64) as u64);
+        // An in-zone draw is used directly.
+        let mut rng = SeqRng {
+            vals: vec![accepted],
+            at: 0,
+        };
+        assert_eq!(
+            super::lemire_u64(&mut rng, s),
+            ((accepted as u128 * s as u128) >> 64) as u64
+        );
+        assert_eq!(rng.at, 1);
     }
 
     #[test]

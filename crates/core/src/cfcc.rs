@@ -12,7 +12,7 @@ use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::cg::CgConfig;
 use cfcc_linalg::laplacian::laplacian_submatrix_dense;
-use cfcc_linalg::pinv::pseudoinverse_dense;
+use cfcc_linalg::pinv::{pseudoinverse_dense, pseudoinverse_diag};
 use cfcc_linalg::trace::{trace_inverse_exact_cg, trace_inverse_hutchinson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,13 +93,15 @@ pub fn cfcc_group_hutchinson(
 }
 
 /// Exact single-node CFCC for every node:
-/// `C(u) = n / (Tr(L†) + n·L†_uu)` — dense, small graphs.
+/// `C(u) = n / (Tr(L†) + n·L†_uu)` — dense, small graphs. Only diagonal
+/// entries are consumed, so the full pseudoinverse is never formed.
 pub fn cfcc_single_exact(g: &Graph) -> Vec<f64> {
     let n = g.num_nodes();
-    let pinv = pseudoinverse_dense(g);
-    let trace = pinv.trace();
-    (0..n)
-        .map(|u| n as f64 / (trace + n as f64 * pinv.get(u, u)))
+    let pdiag = pseudoinverse_diag(g);
+    let trace: f64 = pdiag.iter().sum();
+    pdiag
+        .iter()
+        .map(|&duu| n as f64 / (trace + n as f64 * duu))
         .collect()
 }
 

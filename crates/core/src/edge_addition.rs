@@ -62,7 +62,7 @@ pub fn greedy_edge_addition(
     g: &Graph,
     group: &[Node],
     k: usize,
-    _params: &CfcmParams,
+    params: &CfcmParams,
 ) -> Result<EdgeAdditionResult, CfcmError> {
     validate(g, group.len())?;
     if k == 0 {
@@ -70,10 +70,12 @@ pub fn greedy_edge_addition(
     }
     let mask = crate::cfcc::group_mask(g, group)?;
     let (sub, keep) = laplacian_submatrix_dense(g, &mask);
+    // M = L_{-S}^{-1} is Sherman–Morrison-maintained across accepted
+    // edges — the genuine inverse consumer of this module.
     let mut m = sub
-        .cholesky()
+        .cholesky_threaded(params.threads)
         .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
-        .inverse();
+        .inverse_threaded(params.threads);
     let trace_before = m.trace();
     let d = keep.len();
 
@@ -87,6 +89,7 @@ pub fn greedy_edge_addition(
         .map(|&s| g.neighbors(s).iter().copied().collect())
         .collect();
     let mut edges = Vec::with_capacity(k);
+    let mut col = vec![0.0f64; d]; // reusable Sherman–Morrison workspace
     for pick in 0..k {
         // Price every outside node.
         let mut best: Option<(usize, f64)> = None;
@@ -121,7 +124,9 @@ pub fn greedy_edge_addition(
         // M' = M − (M e_cu)(e_cuᵀ M) / (1 + M_cucu)
         if pick + 1 < k {
             let denom = 1.0 + m.get(cu, cu);
-            let col: Vec<f64> = (0..d).map(|i| m.get(i, cu)).collect();
+            for (i, ci) in col.iter_mut().enumerate() {
+                *ci = m.get(i, cu);
+            }
             for i in 0..d {
                 let ci = col[i] / denom;
                 if ci == 0.0 {

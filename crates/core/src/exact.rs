@@ -20,7 +20,7 @@ use crate::CfcmError;
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::dense::DenseMatrix;
 use cfcc_linalg::laplacian::laplacian_submatrix_dense;
-use cfcc_linalg::pinv::pseudoinverse_dense;
+use cfcc_linalg::pinv::pseudoinverse_diag;
 use cfcc_linalg::vector::norm2_sq;
 use cfcc_util::Stopwatch;
 
@@ -40,10 +40,11 @@ pub fn exact_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selec
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
 
-    // Iteration 1: argmin_u L†_uu (Eq. 4: the trace term is shared).
-    let pinv = pseudoinverse_dense(g);
+    // Iteration 1: argmin_u L†_uu (Eq. 4: the trace term is shared). Only
+    // the diagonal is consumed, so no full pseudoinverse is formed.
+    let pdiag = pseudoinverse_diag(g);
     let first = (0..n)
-        .min_by(|&a, &b| pinv.get(a, a).partial_cmp(&pinv.get(b, b)).unwrap())
+        .min_by(|&a, &b| pdiag[a].partial_cmp(&pdiag[b]).unwrap())
         .unwrap() as Node;
     let mut chosen = vec![first];
     let it = IterStats {
@@ -63,13 +64,19 @@ pub fn exact_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selec
     }
 
     // Dense inverse of L_{-S1}; `nodes[c]` maps compact index → node id.
+    // Forming M = L_{-S}^{-1} once is the genuine inverse consumer here:
+    // every subsequent iteration reads M's entries and maintains it with
+    // the O(n²) rank-one removal update instead of refactorizing.
     let mask = crate::cfcc::group_mask(g, &chosen)?;
     let (sub, keep) = laplacian_submatrix_dense(g, &mask);
     let mut m = sub
-        .cholesky()
+        .cholesky_threaded(ctx.params.threads)
         .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
-        .inverse();
+        .inverse_threaded(ctx.params.threads);
     let mut nodes = keep;
+    // Ping-pong workspace for the rank-one removal updates (no per
+    // iteration allocation beyond the first).
+    let mut scratch = DenseMatrix::zeros(0, 0);
 
     for _ in 1..k {
         if ctx.interrupted() {
@@ -100,7 +107,9 @@ pub fn exact_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selec
         if chosen.len() == k {
             break;
         }
-        m = remove_index(&m, best_c);
+        scratch.reshape(d - 1, d - 1);
+        remove_index_into(&m, best_c, &mut scratch);
+        std::mem::swap(&mut m, &mut scratch);
         nodes.remove(best_c);
     }
     Ok(Selection {
@@ -130,33 +139,60 @@ impl CfcmSolver for ExactSolver {
 /// deleting row/column `c` from the matrix whose inverse is `m`.
 pub fn remove_index(m: &DenseMatrix, c: usize) -> DenseMatrix {
     let d = m.rows();
-    debug_assert!(c < d);
-    let mcc = m.get(c, c);
     let mut out = DenseMatrix::zeros(d - 1, d - 1);
+    remove_index_into(m, c, &mut out);
+    out
+}
+
+/// [`remove_index`] writing into a caller-owned `(d−1) × (d−1)` buffer —
+/// the greedy loops ping-pong two buffers instead of allocating per
+/// iteration. `out` is resized by truncation bookkeeping on the caller
+/// side; only its leading `(d−1)²` entries are written.
+pub fn remove_index_into(m: &DenseMatrix, c: usize, out: &mut DenseMatrix) {
+    let d = m.rows();
+    debug_assert!(c < d);
+    debug_assert_eq!(out.rows(), d - 1);
+    debug_assert_eq!(out.cols(), d - 1);
+    let mcc = m.get(c, c);
     for i in 0..d - 1 {
         let oi = if i < c { i } else { i + 1 };
         let mic = m.get(oi, c);
         let row_src = m.row(oi);
+        let crow = m.row(c);
         let row_dst = out.row_mut(i);
         let scale = mic / mcc;
-        for (j, dst) in row_dst.iter_mut().enumerate() {
-            let oj = if j < c { j } else { j + 1 };
-            *dst = row_src[oj] - scale * m.get(c, oj);
+        // Split at the removed column: both halves are contiguous copies.
+        for (dst, (&src, &cj)) in row_dst[..c]
+            .iter_mut()
+            .zip(row_src[..c].iter().zip(crow[..c].iter()))
+        {
+            *dst = src - scale * cj;
+        }
+        for (dst, (&src, &cj)) in row_dst[c..]
+            .iter_mut()
+            .zip(row_src[c + 1..].iter().zip(crow[c + 1..].iter()))
+        {
+            *dst = src - scale * cj;
         }
     }
-    out
 }
 
 /// Exact marginal gains `Δ(u, S)` for every `u ∉ S` (test oracle and
-/// reference for Fig. 5): returns `(node, gain)` pairs.
-pub fn exact_deltas(g: &Graph, group: &[Node]) -> Vec<(Node, f64)> {
-    let mask = crate::cfcc::group_mask(g, group).expect("valid group");
+/// reference for Fig. 5): returns `(node, gain)` pairs. A degenerate
+/// group (disconnecting `S`, duplicates, out-of-range nodes) surfaces as
+/// [`CfcmError`] instead of panicking.
+pub fn exact_deltas(g: &Graph, group: &[Node]) -> Result<Vec<(Node, f64)>, CfcmError> {
+    let mask = crate::cfcc::group_mask(g, group)?;
     let (sub, keep) = laplacian_submatrix_dense(g, &mask);
-    let inv = sub.cholesky().expect("SPD").inverse();
-    keep.iter()
+    let inv = sub
+        .cholesky()
+        .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
+        .inverse();
+    Ok(keep
+        .iter()
         .enumerate()
         .map(|(c, &u)| (u, norm2_sq(inv.row(c)) / inv.get(c, c)))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -222,7 +258,7 @@ mod tests {
         let sel = exact_greedy(&g, 3).unwrap();
         let s2 = &sel.nodes[..2];
         let chosen_gain = sel.stats.iterations[2].gain;
-        for (u, gain) in exact_deltas(&g, s2) {
+        for (u, gain) in exact_deltas(&g, s2).unwrap() {
             if u == sel.nodes[2] {
                 continue;
             }

@@ -157,7 +157,7 @@ mod tests {
         in_s[0] = true;
         let params = CfcmParams::with_epsilon(0.15).seed(321);
         let est = forest_delta(&g, &in_s, &params, 1);
-        let exact: Vec<(Node, f64)> = exact_deltas(&g, &s);
+        let exact: Vec<(Node, f64)> = exact_deltas(&g, &s).unwrap();
         // The estimated argmax must be within the exact top-3 and its exact
         // gain within 15% of the exact best (JL + MC noise tolerance).
         let mut sorted = exact.clone();

@@ -57,12 +57,12 @@ pub fn top_cfcc_exact(g: &Graph, k: usize) -> Result<Selection, CfcmError> {
 pub fn top_cfcc_exact_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selection, CfcmError> {
     ctx.check_problem(g, k)?;
     let sw = Stopwatch::start();
-    let pinv = cfcc_linalg::pinv::pseudoinverse_dense(g);
+    let pdiag = cfcc_linalg::pinv::pseudoinverse_diag(g);
     let mut order: Vec<Node> = (0..g.num_nodes() as Node).collect();
     // C(u) decreasing ⟺ L†_uu increasing.
     order.sort_by(|&a, &b| {
-        pinv.get(a as usize, a as usize)
-            .partial_cmp(&pinv.get(b as usize, b as usize))
+        pdiag[a as usize]
+            .partial_cmp(&pdiag[b as usize])
             .unwrap()
             .then(a.cmp(&b))
     });

@@ -22,14 +22,14 @@ use cfcc_linalg::pinv::pseudoinverse_dense;
 pub fn absorption_cost_exact(g: &Graph, roots: &[Node]) -> Result<f64, CfcmError> {
     let mask = crate::cfcc::group_mask(g, roots)?;
     let (sub, keep) = laplacian_submatrix_dense(g, &mask);
-    let inv = sub
+    let diag = sub
         .cholesky()
         .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
-        .inverse();
+        .diag_inverse();
     Ok(keep
         .iter()
-        .enumerate()
-        .map(|(c, &u)| g.degree(u) as f64 * inv.get(c, c))
+        .zip(&diag)
+        .map(|(&u, &duu)| g.degree(u) as f64 * duu)
         .sum())
 }
 

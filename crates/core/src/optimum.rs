@@ -57,12 +57,15 @@ pub fn optimum_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Optim
         if ctx.interrupted() {
             break;
         }
+        // A fresh maintained inverse per depth-1 branch — the DFS reads
+        // M's rows directly and updates it with rank-one removals, the
+        // genuine inverse-consuming pattern.
         let mask = crate::cfcc::group_mask(g, &[first])?;
         let (sub, keep) = laplacian_submatrix_dense(g, &mask);
         let m = sub
-            .cholesky()
+            .cholesky_threaded(ctx.params.threads)
             .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
-            .inverse();
+            .inverse_threaded(ctx.params.threads);
         let mut prefix = vec![first];
         if k == 1 {
             examined += 1;

@@ -17,8 +17,9 @@ pub struct CfcmParams {
     pub epsilon: f64,
     /// Master RNG seed — all sampling is deterministic given this.
     pub seed: u64,
-    /// Worker threads for forest sampling (1 = serial; results are
-    /// thread-count independent).
+    /// Worker threads for forest sampling *and* the blocked dense kernels
+    /// (1 = serial; selections are thread-count independent, and the
+    /// dense kernels are bit-identical across thread counts).
     pub threads: usize,
     /// Override the JL sketch width (`None` = practical width from ε, n).
     pub jl_width: Option<usize>,

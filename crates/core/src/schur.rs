@@ -15,7 +15,28 @@ use cfcc_linalg::dense::DenseMatrix;
 
 /// Exact Schur complement `S_T(M) = M_TT − M_TU · M_UU^{-1} · M_UT` of a
 /// dense matrix over index sets `t_idx` (kept) and `u_idx` (eliminated).
-pub fn schur_complement_dense(m: &DenseMatrix, t_idx: &[usize], u_idx: &[usize]) -> DenseMatrix {
+///
+/// Factor-once/solve-many: `M_UU` is LU-factorized and applied to the
+/// `|T|`-column block `M_UT` by two blocked triangular solves, then a
+/// single GEMM accumulates `−M_TU · X` — no explicit `M_UU^{-1}` and no
+/// `|U| × |U|` intermediate products. Degenerate inputs (singular `M_UU`)
+/// surface as [`CfcmError::Numerical`] instead of panicking.
+pub fn schur_complement_dense(
+    m: &DenseMatrix,
+    t_idx: &[usize],
+    u_idx: &[usize],
+) -> Result<DenseMatrix, CfcmError> {
+    schur_complement_dense_threaded(m, t_idx, u_idx, 1)
+}
+
+/// [`schur_complement_dense`] with `threads` scoped row panels in the
+/// blocked solves and the final GEMM.
+pub fn schur_complement_dense_threaded(
+    m: &DenseMatrix,
+    t_idx: &[usize],
+    u_idx: &[usize],
+    threads: usize,
+) -> Result<DenseMatrix, CfcmError> {
     let t = t_idx.len();
     let u = u_idx.len();
     let mut mtt = DenseMatrix::zeros(t, t);
@@ -38,14 +59,16 @@ pub fn schur_complement_dense(m: &DenseMatrix, t_idx: &[usize], u_idx: &[usize])
             muu.set(i, j, m.get(ui, uj));
         }
     }
-    let muu_inv = muu.lu().expect("M_UU invertible").inverse();
-    let correction = mtu.matmul(&muu_inv).matmul(&mut_);
-    for i in 0..t {
-        for j in 0..t {
-            mtt.add_to(i, j, -correction.get(i, j));
-        }
+    if u == 0 {
+        return Ok(mtt);
     }
-    mtt
+    let lu = muu
+        .lu()
+        .map_err(|e| CfcmError::Numerical(format!("M_UU not invertible: {e}")))?;
+    // X = M_UU^{-1} M_UT, then S = M_TT − M_TU · X.
+    let x = lu.solve_mat_threaded(&mut_, threads);
+    mtt.gemm_acc(&mtu, &x, -1.0, threads);
+    Ok(mtt)
 }
 
 /// Estimated Schur complement `S̃_T(L_{-S})` from rooted counts (Eq. 15):
@@ -149,13 +172,13 @@ mod tests {
         let pos = |node: usize| keep.iter().position(|&x| x as usize == node).unwrap();
         let t_in_sub: Vec<usize> = t.iter().map(|&x| pos(x)).collect();
         let u_in_sub: Vec<usize> = u.iter().map(|&x| pos(x)).collect();
-        let left = schur_complement_dense(&l_minus_s, &t_in_sub, &u_in_sub);
+        let left = schur_complement_dense(&l_minus_s, &t_in_sub, &u_in_sub).unwrap();
 
         // Right side: (S_{S∪T}(L))_{-S} — Schur of the full Laplacian onto
         // S∪T, then drop rows/cols of S.
         let l = laplacian_dense(&g);
         let st: Vec<usize> = s.iter().chain(t.iter()).copied().collect();
-        let full_schur = schur_complement_dense(&l, &st, &u);
+        let full_schur = schur_complement_dense(&l, &st, &u).unwrap();
         // Rows/cols of T within `st` order are positions |S|..|S|+|T|.
         let toff = s.len();
         let mut right = DenseMatrix::zeros(t.len(), t.len());
@@ -192,7 +215,7 @@ mod tests {
             .filter(|&(_, &x)| !t_nodes.contains(&x))
             .map(|(i, _)| i)
             .collect();
-        let exact = schur_complement_dense(&l_minus_s, &t_idx, &u_idx);
+        let exact = schur_complement_dense(&l_minus_s, &t_idx, &u_idx).unwrap();
 
         // Estimated from forests.
         let idx = Arc::new(RootIndex::new(n, &t_nodes));
@@ -220,6 +243,23 @@ mod tests {
             "diff {} too large",
             est.max_abs_diff(&exact)
         );
+    }
+
+    #[test]
+    fn threaded_schur_complement_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = generators::barabasi_albert(160, 3, &mut rng);
+        let mut in_s = vec![false; g.num_nodes()];
+        in_s[0] = true;
+        let (l_minus_s, _) = laplacian_submatrix_dense(&g, &in_s);
+        let d = l_minus_s.rows();
+        let t_idx: Vec<usize> = (0..d / 8).collect();
+        let u_idx: Vec<usize> = (d / 8..d).collect();
+        let serial = schur_complement_dense(&l_minus_s, &t_idx, &u_idx).unwrap();
+        for threads in [2, 4] {
+            let par = schur_complement_dense_threaded(&l_minus_s, &t_idx, &u_idx, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -89,11 +89,23 @@ pub fn schur_delta(
     let mut sampled = 0u64;
     let mut deltas = vec![f64::NAN; n];
     let mut last_ridge = 0.0f64;
+    // Dense workspace shared across the adaptive rounds: each round
+    // re-fills the same buffers instead of reallocating them.
+    let mut ws = SchurDeltaWorkspace::new(t_nodes.len(), w);
     for total in batch_schedule(params.min_batch, cap) {
         absorb_batch(g, &in_root, sampled, total - sampled, &cfg, &mut acc);
         sampled = total;
-        last_ridge =
-            compute_schur_deltas(g, in_s, t_nodes, &acc, &sketch_w, &sketch_q, &mut deltas)?;
+        last_ridge = compute_schur_deltas(
+            g,
+            in_s,
+            t_nodes,
+            &acc,
+            &sketch_w,
+            &sketch_q,
+            params.threads,
+            &mut ws,
+            &mut deltas,
+        )?;
         let (best, second) = top2_max(&deltas);
         let mk = |u: Node| Candidate {
             node: u,
@@ -127,7 +139,29 @@ pub fn schur_delta(
     })
 }
 
+/// Reusable dense buffers for [`compute_schur_deltas`] — allocated once
+/// per [`schur_delta`] call and re-filled on every adaptive round.
+struct SchurDeltaWorkspace {
+    /// `(W·F̃ + Q)ᵀ ∈ R^{|T| × w}`, rows contiguous per root.
+    wfq_t: DenseMatrix,
+    /// `G · wfq_t ∈ R^{|T| × w}`.
+    ht: DenseMatrix,
+    /// Scratch for the `fᵀ G f` quadratic form.
+    gf: Vec<f64>,
+}
+
+impl SchurDeltaWorkspace {
+    fn new(t_len: usize, w: usize) -> Self {
+        Self {
+            wfq_t: DenseMatrix::zeros(t_len, w),
+            ht: DenseMatrix::zeros(t_len, w),
+            gf: vec![0.0f64; t_len],
+        }
+    }
+}
+
 /// Assemble Δ' for all `u ∉ S` from the current accumulator state.
+#[allow(clippy::too_many_arguments)]
 fn compute_schur_deltas(
     g: &Graph,
     in_s: &[bool],
@@ -135,6 +169,8 @@ fn compute_schur_deltas(
     acc: &ElectricalAccumulator,
     sketch_w: &JlSketch,
     sketch_q: &JlSketch,
+    threads: usize,
+    ws: &mut SchurDeltaWorkspace,
     deltas: &mut [f64],
 ) -> Result<f64, CfcmError> {
     let n = g.num_nodes();
@@ -143,7 +179,8 @@ fn compute_schur_deltas(
     let rooted: &RootedCounts = acc.rooted().expect("rooted tracking enabled");
     let num_forests = acc.num_forests();
 
-    // Σ̃ and its inverse G.
+    // Σ̃ and its inverse G — the quadratic forms below read G's entries
+    // directly, so this is a genuine inverse consumer (|T| × |T|, small).
     let mut in_root = in_s.to_vec();
     for &t in t_nodes {
         in_root[t as usize] = true;
@@ -153,7 +190,8 @@ fn compute_schur_deltas(
 
     // wfq_t = (W·F̃ + Q)ᵀ ∈ R^{|T| × w}, rows contiguous per root.
     let inv_n = 1.0 / num_forests as f64;
-    let mut wfq_t = DenseMatrix::zeros(t_len, w);
+    let wfq_t = &mut ws.wfq_t;
+    wfq_t.fill_zero();
     for u in 0..n as Node {
         if in_root[u as usize] {
             continue;
@@ -176,12 +214,13 @@ fn compute_schur_deltas(
     }
     // ht = G · wfq_t ∈ R^{|T| × w}; row t is the column `H e_t` of
     // H = (W F̃ + Q) Σ̃^{-1}.
-    let ht = gmat.matmul(&wfq_t);
+    gmat.matmul_into(&ws.wfq_t, &mut ws.ht, threads);
+    let ht = &ws.ht;
 
     // Correct Y in place and assemble the ratios.
     let mut y: YMatrix = acc.y_matrix();
     let z = acc.diag_means();
-    let mut gf = vec![0.0f64; t_len];
+    let gf = &mut ws.gf;
     for u in 0..n as Node {
         let ui = u as usize;
         if in_s[ui] {
@@ -260,7 +299,7 @@ mod tests {
             .collect();
         let params = CfcmParams::with_epsilon(0.15).seed(seed ^ 0xA);
         let est = schur_delta(&g, &in_s, &t_nodes, &params, 1).unwrap();
-        let exact: Vec<(Node, f64)> = exact_deltas(&g, &s);
+        let exact: Vec<(Node, f64)> = exact_deltas(&g, &s).unwrap();
         let mut sorted = exact.clone();
         sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let top3: Vec<Node> = sorted.iter().take(3).map(|&(u, _)| u).collect();

@@ -4,10 +4,16 @@
 //! because the target environment has no BLAS/LAPACK binding and no mature
 //! sparse SDD solver crate (see DESIGN.md §4/§6):
 //!
-//! * [`dense`] — row-major dense matrices with Cholesky and partially-pivoted
-//!   LU factorizations, triangular solves, and inverses. Used by the `Exact`
-//!   baseline, the brute-force optimum, the Schur-complement inversion
-//!   (`|T| × |T|` blocks), and as the oracle in estimator tests.
+//! * [`kernel`] — the blocked dense kernel engine: packed tiled GEMM, SYRK
+//!   symmetric updates, and scoped-thread row-panel parallelism (block
+//!   sizes and packing layout documented there).
+//! * [`dense`] — row-major dense matrices with *blocked* Cholesky and
+//!   partially-pivoted LU factorizations, multi-RHS triangular solves
+//!   (`solve_mat`/`solve_vec`: factor once, solve many), diagonal-only
+//!   inverse extraction, and — where an algorithm genuinely consumes
+//!   inverse entries — blocked inverses. Used by the `Exact` baseline, the
+//!   brute-force optimum, the Schur-complement inversion (`|T| × |T|`
+//!   blocks), and as the oracle in estimator tests.
 //! * [`laplacian`] — Laplacian operators for a [`cfcc_graph::Graph`]: the full
 //!   `L`, and the grounded submatrix `L_{-S}` as a matrix-free operator on
 //!   compacted index space.
@@ -18,12 +24,14 @@
 //! * [`jl`] — Johnson–Lindenstrauss Rademacher sketches (Lemma 3.4).
 //! * [`trace`] — Hutchinson stochastic trace estimation of `Tr(L_{-S}^{-1})`,
 //!   which the paper uses (via CG) to evaluate CFCC on large graphs.
-//! * [`pinv`] — dense pseudoinverse `L†` via `(L + J/n)^{-1} − J/n²`.
+//! * [`pinv`] — dense pseudoinverse `L†` via `(L + J/n)^{-1} − J/n`, plus
+//!   the diagonal-only variant the greedy first pick consumes.
 
 pub mod cg;
 pub mod dense;
 pub mod error;
 pub mod jl;
+pub mod kernel;
 pub mod laplacian;
 pub mod pinv;
 pub mod trace;

@@ -14,23 +14,44 @@ use cfcc_graph::Graph;
 pub fn pseudoinverse_dense(g: &Graph) -> DenseMatrix {
     let n = g.num_nodes();
     assert!(n > 0);
-    let mut shifted = laplacian_dense(g);
-    let inv_n = 1.0 / n as f64;
-    for i in 0..n {
-        for j in 0..n {
-            shifted.add_to(i, j, inv_n);
-        }
-    }
-    let mut inv = shifted
+    let mut inv = shifted_laplacian(g)
         .cholesky()
         .expect("L + J/n is positive definite for a connected graph")
         .inverse();
-    for i in 0..n {
-        for j in 0..n {
-            inv.add_to(i, j, -inv_n);
-        }
+    let inv_n = 1.0 / n as f64;
+    for v in inv.data_mut() {
+        *v -= inv_n;
     }
     inv
+}
+
+/// `diag(L†)` without forming the full pseudoinverse: factor `L + 11ᵀ/n`
+/// once and read the inverse diagonal off the triangular factor
+/// (`L†_uu = (L + J/n)^{-1}_uu − 1/n`). This is all the first greedy pick
+/// (`argmin_u L†_uu`) and single-node CFCC ranking consume.
+pub fn pseudoinverse_diag(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!(n > 0);
+    let mut diag = shifted_laplacian(g)
+        .cholesky()
+        .expect("L + J/n is positive definite for a connected graph")
+        .diag_inverse();
+    let inv_n = 1.0 / n as f64;
+    for v in &mut diag {
+        *v -= inv_n;
+    }
+    diag
+}
+
+/// `L + 11ᵀ/n` — the SPD shift sharing `L`'s eigenvectors.
+fn shifted_laplacian(g: &Graph) -> DenseMatrix {
+    let n = g.num_nodes();
+    let mut shifted = laplacian_dense(g);
+    let inv_n = 1.0 / n as f64;
+    for v in shifted.data_mut() {
+        *v += inv_n;
+    }
+    shifted
 }
 
 /// Resistance distance `R(i, j) = L†_ii + L†_jj − 2 L†_ij` (Eq. 1).
@@ -60,6 +81,16 @@ mod tests {
         // rows of L† sum to zero (1 in the nullspace)
         for i in 0..g.num_nodes() {
             assert!(p.row(i).iter().sum::<f64>().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diag_matches_full_pseudoinverse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(40, 3, &mut rng);
+        let p = pseudoinverse_dense(&g);
+        for (u, d) in pseudoinverse_diag(&g).iter().enumerate() {
+            assert!((d - p.get(u, u)).abs() < 1e-10, "u={u}");
         }
     }
 
