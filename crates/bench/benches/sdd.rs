@@ -1,0 +1,137 @@
+//! Dense-vs-sparse ladder for the unified `SddSolver` backend API
+//! (BENCH_PR3): the same factor-once/solve-many workload — factor
+//! `L_{-S}`, then 16 right-hand sides through `solve_mat` — through the
+//! `dense-cholesky` and `sparse-cg` (CSR + IC(0)) backends at
+//! n = 512…8192, plus an end-to-end ApproxGreedy run at 50k nodes
+//! comparing the unpreconditioned `cg-jacobi` path against `sparse-cg`.
+//! The large run never allocates an `n × n` matrix.
+//!
+//! * `CFCC_PRESET=smoke` (default): tiny sizes — the CI regression gate.
+//! * `CFCC_PRESET=paper`: the full ladder; emits `BENCH_PR3.json` at the
+//!   workspace root (override with `CFCC_BENCH_OUT`; setting it also
+//!   forces emission under `smoke`).
+
+use cfcc_bench::report::BenchReport;
+use cfcc_bench::{banner, fmt_ratio, Preset};
+use cfcc_core::approx_greedy::approx_greedy;
+use cfcc_core::CfcmParams;
+use cfcc_graph::generators;
+use cfcc_linalg::sdd::{by_name, SddBackend, SddOptions};
+use cfcc_linalg::DenseMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Best-of-`reps` wall clock in milliseconds.
+fn time_ms<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    banner(
+        "sdd",
+        "the dense-vs-sparse SDD backend ladder (BENCH_PR3)",
+        preset,
+    );
+    let sizes: &[usize] = match preset {
+        Preset::Smoke => &[256, 512],
+        _ => &[512, 1024, 2048, 4096, 8192],
+    };
+    const W: usize = 16; // right-hand sides per factorization
+    let opts = SddOptions::with_tol(1e-8);
+    let mut report = BenchReport::new();
+
+    println!(
+        "{:<24} {:>6} {:>12} {:>12} {:>9}",
+        "workload", "n", "dense (ms)", "sparse (ms)", "speedup"
+    );
+    for &n in sizes {
+        let reps = if n >= 2048 { 1 } else { 2 };
+        let mut rng = SmallRng::seed_from_u64(0x5DD + n as u64);
+        let g = generators::barabasi_albert(n, 4, &mut rng);
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        let d = n - 1;
+        let mut rhs = DenseMatrix::zeros(d, W);
+        for i in 0..d {
+            for j in 0..W {
+                rhs.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let run = |backend: &str| {
+            let b = by_name(backend).expect("registered backend");
+            time_ms(reps, || {
+                let mut f = b.factor(&g, &in_s, &opts).expect("factor");
+                f.solve_mat(&rhs).expect("solve")
+            })
+        };
+        let dense_ms = run("dense-cholesky");
+        let sparse_ms = run("sparse-cg");
+        report.push("sdd_factor_solve16", n, dense_ms, sparse_ms);
+        println!(
+            "{:<24} {:>6} {:>12.2} {:>12.2} {:>9}",
+            "sdd_factor_solve16",
+            n,
+            dense_ms,
+            sparse_ms,
+            fmt_ratio(dense_ms / sparse_ms)
+        );
+    }
+
+    // End-to-end ApproxGreedy far past the dense ceiling: the historical
+    // Jacobi-CG path vs the preconditioned CSR backend. Baseline column =
+    // cg-jacobi (dense would need an n² allocation that this workload is
+    // specifically built to avoid).
+    let n_big = match preset {
+        Preset::Smoke => 2_000,
+        _ => 50_000,
+    };
+    let mut rng = SmallRng::seed_from_u64(0xB16);
+    let g = generators::barabasi_albert(n_big, 3, &mut rng);
+    let mut params = CfcmParams::with_epsilon(0.3).seed(7);
+    params.jl_width = Some(4);
+    params.cg_tol = 1e-6;
+    let k = 2;
+    let mut selections = Vec::new();
+    let mut times = Vec::new();
+    for backend in [SddBackend::CgJacobi, SddBackend::SparseCg] {
+        let p = params.clone().backend(backend);
+        let t = Instant::now();
+        let sel = approx_greedy(&g, k, &p).expect("approx greedy");
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        selections.push(sel.nodes);
+    }
+    assert_eq!(
+        selections[0], selections[1],
+        "backends must select the same group"
+    );
+    report.push("approx_greedy_jacobi_vs_sparse", n_big, times[0], times[1]);
+    println!(
+        "{:<24} {:>6} {:>12.2} {:>12.2} {:>9}   (jacobi vs sparse, k={k})",
+        "approx_greedy",
+        n_big,
+        times[0],
+        times[1],
+        fmt_ratio(times[0] / times[1])
+    );
+
+    let out = std::env::var("CFCC_BENCH_OUT").ok();
+    let emit = out.is_some() || preset != Preset::Smoke;
+    if emit {
+        let path = out
+            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").into());
+        report
+            .write(&path, "sdd", preset.name())
+            .expect("write bench report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\nsmoke preset: report not written (set CFCC_BENCH_OUT to force)");
+    }
+}

@@ -145,13 +145,28 @@ pub fn timed_solver(name: &str, g: &Graph, k: usize, params: &CfcmParams) -> (Se
     (sel, sw.seconds())
 }
 
-/// Baseline CFCM parameters for harness runs at the given ε.
+/// Baseline CFCM parameters for harness runs at the given ε. The SDD
+/// backend for grounded solves follows `CFCC_BACKEND`
+/// (auto|dense-cholesky|cg-jacobi|sparse-cg, default auto), so every
+/// table/figure target can be re-run per backend without code changes.
 pub fn params_for(epsilon: f64, threads: usize) -> CfcmParams {
     let mut p = CfcmParams::with_epsilon(epsilon)
         .seed(0xBEEF)
-        .threads(threads);
+        .threads(threads)
+        .backend(backend_from_env());
     p.max_forests = 2048;
     p
+}
+
+/// SDD backend selection from `CFCC_BACKEND` (default `auto`). Unknown
+/// names fail loudly — a bench silently falling back would record the
+/// wrong experiment.
+pub fn backend_from_env() -> cfcc_linalg::SddBackend {
+    match std::env::var("CFCC_BACKEND") {
+        Ok(name) => cfcc_linalg::SddBackend::parse(&name)
+            .unwrap_or_else(|| panic!("CFCC_BACKEND='{name}' is not a registered SDD backend")),
+        Err(_) => cfcc_linalg::SddBackend::Auto,
+    }
 }
 
 /// Number of worker threads for sampling (leave one core for the OS).

@@ -74,7 +74,7 @@ impl BenchReport {
             .str("preset", preset)
             .str(
                 "regenerate",
-                "CFCC_PRESET=paper cargo bench -p cfcc-bench --bench linalg",
+                &format!("CFCC_PRESET=paper cargo bench -p cfcc-bench --bench {bench}"),
             )
             .raw(
                 "entries",

@@ -5,6 +5,7 @@
 //! CLI-selectable the moment they are registered.
 
 use cfcc_core::registry;
+use cfcc_linalg::sdd::{self, SddBackend};
 use std::fmt;
 
 /// Parsed command line.
@@ -21,6 +22,8 @@ pub struct CliArgs {
     pub seed: u64,
     /// Worker threads (forest sampling and the blocked dense kernels).
     pub threads: usize,
+    /// SDD solver backend for grounded Laplacian systems.
+    pub backend: SddBackend,
     /// Edge-list path (mutually exclusive with `dataset`).
     pub graph_path: Option<String>,
     /// Bundled dataset name.
@@ -37,6 +40,8 @@ pub struct CliArgs {
     pub list_datasets: bool,
     /// Print the solver registry and exit.
     pub list_solvers: bool,
+    /// Print the SDD backend registry and exit.
+    pub list_backends: bool,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -49,6 +54,7 @@ impl Default for CliArgs {
             epsilon: 0.2,
             seed: 0x5EED,
             threads: 1,
+            backend: SddBackend::Auto,
             graph_path: None,
             dataset: None,
             scale: 1.0,
@@ -57,6 +63,7 @@ impl Default for CliArgs {
             json: false,
             list_datasets: false,
             list_solvers: false,
+            list_backends: false,
             help: false,
         }
     }
@@ -88,6 +95,9 @@ OPTIONS:
     --epsilon <float>  error parameter in (0,1) (default: 0.2)
     --seed <int>       RNG seed (default: 0x5EED)
     --threads <int>    worker threads: forest sampling + dense kernels (default: 1)
+    --backend <name>   SDD solver backend for grounded Laplacian systems
+                       (see --list-backends; default: auto — dense below
+                       ~1.5k unknowns, sparse CSR/IC(0) above)
     --graph <path>     whitespace edge-list file ('#'/'%' comments ok)
     --dataset <name>   bundled dataset (see --list-datasets)
     --scale <float>    proxy scale for bundled datasets in (0,1] (default: 1.0)
@@ -99,6 +109,7 @@ OPTIONS:
     --json             print the report as a JSON object
     --list-datasets    print the dataset registry and exit
     --list-solvers     print the solver registry and exit
+    --list-backends    print the SDD backend registry and exit
     --help             this text
 ";
 
@@ -143,6 +154,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
                     .parse()
                     .map_err(|e| ParseError(format!("--threads: {e}")))?;
             }
+            "--backend" => {
+                let v = need(&mut it, "--backend")?;
+                out.backend = SddBackend::parse(&v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown backend '{v}' (available: {})",
+                        sdd::name_list()
+                    ))
+                })?;
+            }
             "--graph" => out.graph_path = Some(need(&mut it, "--graph")?),
             "--dataset" => out.dataset = Some(need(&mut it, "--dataset")?),
             "--scale" => {
@@ -167,11 +187,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, Pa
             "--json" => out.json = true,
             "--list-datasets" => out.list_datasets = true,
             "--list-solvers" => out.list_solvers = true,
+            "--list-backends" => out.list_backends = true,
             "--help" | "-h" => out.help = true,
             other => return Err(ParseError(format!("unknown argument '{other}'"))),
         }
     }
-    if !out.help && !out.list_datasets && !out.list_solvers {
+    if !out.help && !out.list_datasets && !out.list_solvers && !out.list_backends {
         match (&out.graph_path, &out.dataset) {
             (None, None) => {
                 return Err(ParseError("one of --graph or --dataset is required".into()))
@@ -282,6 +303,19 @@ mod tests {
         assert!(parse(&["--help"]).unwrap().help);
         assert!(parse(&["--list-datasets"]).unwrap().list_datasets);
         assert!(parse(&["--list-solvers"]).unwrap().list_solvers);
+        assert!(parse(&["--list-backends"]).unwrap().list_backends);
+    }
+
+    #[test]
+    fn backend_names_and_aliases_parse() {
+        let a = parse(&["--dataset", "karate", "--backend", "sparse-cg"]).unwrap();
+        assert_eq!(a.backend, SddBackend::SparseCg);
+        let a = parse(&["--dataset", "karate", "--backend", "dense"]).unwrap();
+        assert_eq!(a.backend, SddBackend::DenseCholesky);
+        let a = parse(&["--dataset", "karate"]).unwrap();
+        assert_eq!(a.backend, SddBackend::Auto);
+        let err = parse(&["--dataset", "karate", "--backend", "warp"]).unwrap_err();
+        assert!(err.0.contains("sparse-cg"), "lists backends: {err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `cfcm` — run CFCM solvers from the command line.
 
 use cfcm_cli::args::{parse_args, USAGE};
-use cfcm_cli::run::{execute, render_dataset_list, render_solver_list};
+use cfcm_cli::run::{execute, render_backend_list, render_dataset_list, render_solver_list};
 
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
@@ -21,6 +21,10 @@ fn main() {
     }
     if args.list_solvers {
         print!("{}", render_solver_list());
+        return;
+    }
+    if args.list_backends {
+        print!("{}", render_backend_list());
         return;
     }
     match execute(&args) {

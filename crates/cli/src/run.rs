@@ -6,6 +6,7 @@ use crate::args::CliArgs;
 use cfcc_core::{cfcc, registry, CfcmParams, RunStats, SolveSession};
 use cfcc_graph::traversal::largest_connected_component;
 use cfcc_graph::Graph;
+use cfcc_linalg::sdd;
 use cfcc_util::json::{self, JsonObject};
 use cfcc_util::Stopwatch;
 use std::time::Duration;
@@ -17,6 +18,9 @@ pub struct Report {
     pub algo: String,
     /// Solver family label (exact / monte-carlo / heuristic).
     pub kind: String,
+    /// SDD backend selection the run was configured with (`auto` shows
+    /// the name it resolves to for this graph size).
+    pub backend: String,
     /// Graph statistics after LCC extraction: (nodes, edges).
     pub graph_stats: (usize, usize),
     /// Whether the input graph was disconnected and reduced to its LCC.
@@ -33,6 +37,10 @@ pub struct Report {
     pub stats: RunStats,
     /// Evaluated C(S), when requested.
     pub cfcc: Option<f64>,
+    /// How C(S) was computed: `"exact-trace"` (per-column solves through
+    /// the backend) or `"hutchinson-64"` (stochastic estimate at scale,
+    /// percent-level probe noise).
+    pub cfcc_method: Option<&'static str>,
 }
 
 impl Report {
@@ -51,6 +59,7 @@ impl Report {
                 ""
             }
         ));
+        out.push_str(&format!("backend   : {}\n", self.backend));
         out.push_str(&format!("time      : {:.3}s\n", self.seconds));
         if self.forests > 0 {
             out.push_str(&format!("forests   : {}\n", self.forests));
@@ -65,7 +74,12 @@ impl Report {
             }
         ));
         if let Some(c) = self.cfcc {
-            out.push_str(&format!("C(S)      : {c:.6}\n"));
+            match self.cfcc_method {
+                Some("hutchinson-64") => out.push_str(&format!(
+                    "C(S)      : {c:.6} (Hutchinson estimate, 64 probes)\n"
+                )),
+                _ => out.push_str(&format!("C(S)      : {c:.6}\n")),
+            }
         }
         out
     }
@@ -75,6 +89,7 @@ impl Report {
         let mut obj = JsonObject::new()
             .str("algorithm", &self.algo)
             .str("kind", &self.kind)
+            .str("backend", &self.backend)
             .int("nodes", self.graph_stats.0 as i128)
             .int("edges", self.graph_stats.1 as i128)
             .bool("reduced_to_lcc", self.reduced_to_lcc)
@@ -89,6 +104,10 @@ impl Report {
         obj = match self.cfcc {
             Some(c) => obj.num("cfcc", c),
             None => obj.raw("cfcc", "null"),
+        };
+        obj = match self.cfcc_method {
+            Some(m) => obj.str("cfcc_method", m),
+            None => obj.raw("cfcc_method", "null"),
         };
         obj.render()
     }
@@ -126,12 +145,31 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
     let solver = registry::resolve(&args.algo).map_err(|e| e.to_string())?;
     let params = CfcmParams::with_epsilon(args.epsilon)
         .seed(args.seed)
-        .threads(args.threads);
+        .threads(args.threads)
+        .backend(args.backend);
+    let backend_label = match args.backend {
+        cfcc_linalg::SddBackend::Auto => {
+            // Greedy factors run at n−1 … n−k kept unknowns; within k of
+            // the auto threshold the policy can genuinely switch mid-run,
+            // so only name a backend when the whole range resolves to it.
+            let first = args.backend.resolve(g.num_nodes().saturating_sub(1)).name();
+            let last = args
+                .backend
+                .resolve(g.num_nodes().saturating_sub(args.k))
+                .name();
+            if first == last {
+                format!("auto ({first})")
+            } else {
+                format!("auto ({first} then {last})")
+            }
+        }
+        other => other.name().to_string(),
+    };
 
     let mut session = SolveSession::new(&g)
         .k(args.k)
         .solver_impl(solver)
-        .params(params);
+        .params(params.clone());
     if let Some(secs) = args.timeout_secs {
         session = session.timeout(Duration::from_secs_f64(secs));
     }
@@ -149,14 +187,31 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
             solver.name()
         ));
     }
-    let cfcc_value = if args.evaluate {
-        Some(cfcc::cfcc_group_cg(&g, &sel.nodes, 1e-8).map_err(|e| e.to_string())?)
+    let (cfcc_value, cfcc_method) = if args.evaluate {
+        // Exact trace through the configured backend on modest graphs;
+        // past that, the paper's Hutchinson estimator (n solves would
+        // dominate the whole run). The report labels which one ran.
+        let mut eval_params = params.clone();
+        eval_params.cg_tol = eval_params.cg_tol.min(1e-8);
+        let (c, method) = if g.num_nodes() <= 4096 {
+            (
+                cfcc::cfcc_group(&g, &sel.nodes, &eval_params),
+                "exact-trace",
+            )
+        } else {
+            (
+                cfcc::cfcc_group_hutchinson(&g, &sel.nodes, 64, &eval_params),
+                "hutchinson-64",
+            )
+        };
+        (Some(c.map_err(|e| e.to_string())?), Some(method))
     } else {
-        None
+        (None, None)
     };
     Ok(Report {
         algo: solver.name().to_string(),
         kind: solver.kind().label().to_string(),
+        backend: backend_label,
         graph_stats: (g.num_nodes(), g.num_edges()),
         reduced_to_lcc: reduced,
         nodes: sel.nodes.iter().map(|&u| labels[u as usize]).collect(),
@@ -165,6 +220,7 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
         partial: sel.nodes.len() < args.k,
         stats: sel.stats,
         cfcc: cfcc_value,
+        cfcc_method,
     })
 }
 
@@ -190,6 +246,27 @@ pub fn render_dataset_list() -> String {
             format!("{:?}", s.topology),
         ]);
     }
+    t.render()
+}
+
+/// Render the SDD backend registry for `--list-backends`.
+pub fn render_backend_list() -> String {
+    let mut t = cfcc_util::table::Table::new(["name", "kind", "operations"]);
+    for b in sdd::backends() {
+        t.row([
+            b.name().to_string(),
+            b.kind().label().to_string(),
+            b.ops().to_string(),
+        ]);
+    }
+    t.row([
+        "auto".into(),
+        "policy".into(),
+        format!(
+            "dense-cholesky up to {} unknowns, sparse-cg above",
+            cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT
+        ),
+    ]);
     t.render()
 }
 
@@ -372,6 +449,45 @@ mod tests {
         let text = render_dataset_list();
         assert!(text.contains("karate"));
         assert!(text.contains("soc-livejournal"));
+    }
+
+    #[test]
+    fn backend_list_renders_registry_and_auto_policy() {
+        let text = render_backend_list();
+        for b in sdd::backends() {
+            assert!(text.contains(b.name()), "missing {}", b.name());
+        }
+        assert!(text.contains("auto"));
+        assert!(text.contains("iterative"));
+    }
+
+    #[test]
+    fn explicit_backend_runs_and_is_reported() {
+        for backend in ["sparse-cg", "cg-jacobi", "dense-cholesky"] {
+            let a = args(&[
+                "--dataset",
+                "karate",
+                "--algo",
+                "approx",
+                "--k",
+                "2",
+                "--epsilon",
+                "0.3",
+                "--backend",
+                backend,
+                "--evaluate",
+            ]);
+            let r = execute(&a).unwrap();
+            assert_eq!(r.nodes.len(), 2, "{backend}");
+            assert_eq!(r.backend, backend);
+            assert!(r.render().contains(backend));
+            assert!(r.to_json().contains(&format!(r#""backend":"{backend}""#)));
+            assert!(r.cfcc.unwrap() > 0.0);
+        }
+        // Auto reports the resolved name alongside the policy.
+        let a = args(&["--dataset", "karate", "--algo", "exact", "--k", "2"]);
+        let r = execute(&a).unwrap();
+        assert_eq!(r.backend, "auto (dense-cholesky)");
     }
 
     #[test]

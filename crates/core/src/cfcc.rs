@@ -13,9 +13,22 @@ use cfcc_graph::{Graph, Node};
 use cfcc_linalg::cg::CgConfig;
 use cfcc_linalg::laplacian::laplacian_submatrix_dense;
 use cfcc_linalg::pinv::{pseudoinverse_dense, pseudoinverse_diag};
-use cfcc_linalg::trace::{trace_inverse_exact_cg, trace_inverse_hutchinson};
+use cfcc_linalg::sdd::{self, SddOptions};
+use cfcc_linalg::trace::{
+    trace_inverse_exact_cg, trace_inverse_exact_factor, trace_inverse_hutchinson_factor,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// SDD options derived from solver parameters — tolerance *and* thread
+/// count, so `--threads` reaches the evaluators' dense factorizations.
+fn sdd_opts(params: &CfcmParams) -> SddOptions {
+    SddOptions {
+        rel_tol: params.cg_tol,
+        threads: params.threads,
+        ..SddOptions::default()
+    }
+}
 
 /// Build the `in_s` mask from a node list, rejecting duplicates/overflow.
 pub fn group_mask(g: &Graph, group: &[Node]) -> Result<Vec<bool>, CfcmError> {
@@ -54,13 +67,17 @@ pub fn cfcc_group_exact(g: &Graph, group: &[Node]) -> f64 {
 /// `Tr(L_{-S}^{-1})` by `|V∖S|` CG solves (exact up to CG tolerance).
 pub fn grounded_trace_cg(g: &Graph, group: &[Node], tol: f64) -> Result<f64, CfcmError> {
     let mask = group_mask(g, group)?;
-    let (trace, converged) = trace_inverse_exact_cg(g, &mask, &CgConfig::with_tol(tol));
-    if !converged {
-        return Err(CfcmError::Numerical(
-            "CG failed to converge for trace".into(),
-        ));
-    }
-    Ok(trace)
+    let est = trace_inverse_exact_cg(g, &mask, &CgConfig::with_tol(tol))?;
+    Ok(est.trace)
+}
+
+/// `Tr(L_{-S}^{-1})` through the SDD backend chosen by
+/// [`CfcmParams::backend`]: direct backends read the trace off their
+/// factorization, iterative ones pay one solve per column.
+pub fn grounded_trace(g: &Graph, group: &[Node], params: &CfcmParams) -> Result<f64, CfcmError> {
+    let mask = group_mask(g, group)?;
+    let mut factor = sdd::factor(g, &mask, params.backend, &sdd_opts(params))?;
+    Ok(trace_inverse_exact_factor(factor.as_mut())?.trace)
 }
 
 /// Group CFCC via per-column CG solves.
@@ -68,7 +85,14 @@ pub fn cfcc_group_cg(g: &Graph, group: &[Node], tol: f64) -> Result<f64, CfcmErr
     Ok(g.num_nodes() as f64 / grounded_trace_cg(g, group, tol)?)
 }
 
+/// Group CFCC through the configured SDD backend (exact trace).
+pub fn cfcc_group(g: &Graph, group: &[Node], params: &CfcmParams) -> Result<f64, CfcmError> {
+    Ok(g.num_nodes() as f64 / grounded_trace(g, group, params)?)
+}
+
 /// Group CFCC via Hutchinson trace estimation — the scalable evaluator.
+/// Probe solves run through the backend chosen by
+/// [`CfcmParams::backend`] (the CSR/IC(0) sparse solver at scale).
 pub fn cfcc_group_hutchinson(
     g: &Graph,
     group: &[Node],
@@ -77,18 +101,8 @@ pub fn cfcc_group_hutchinson(
 ) -> Result<f64, CfcmError> {
     let mask = group_mask(g, group)?;
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x7ace);
-    let est = trace_inverse_hutchinson(
-        g,
-        &mask,
-        probes,
-        &CgConfig::with_tol(params.cg_tol),
-        &mut rng,
-    );
-    if !est.all_converged {
-        return Err(CfcmError::Numerical(
-            "CG failed to converge for trace probes".into(),
-        ));
-    }
+    let mut factor = sdd::factor(g, &mask, params.backend, &sdd_opts(params))?;
+    let est = trace_inverse_hutchinson_factor(factor.as_mut(), probes, &mut rng)?;
     Ok(g.num_nodes() as f64 / est.trace)
 }
 
@@ -112,7 +126,9 @@ pub fn resistance_exact(g: &Graph, u: Node, v: Node) -> f64 {
 }
 
 /// Resistance `R(u, S) = (L_{-S}^{-1})_{uu}` between a node and a grounded
-/// group, via one CG solve.
+/// group, via one solve through the `sparse-cg` backend — a single RHS
+/// never justifies a dense `O(n³)` factorization, and the `O(m)` IC(0)
+/// setup beats plain Jacobi CG on its own solve.
 pub fn resistance_to_group_cg(
     g: &Graph,
     u: Node,
@@ -123,15 +139,16 @@ pub fn resistance_to_group_cg(
     if mask[u as usize] {
         return Ok(0.0);
     }
-    let op = cfcc_linalg::LaplacianSubmatrix::new(g, &mask);
-    let ci = op.compact_of(u).expect("u not in S");
-    let mut b = vec![0.0; op.dim()];
+    let mut factor = sdd::factor(
+        g,
+        &mask,
+        cfcc_linalg::SddBackend::SparseCg,
+        &SddOptions::with_tol(tol),
+    )?;
+    let ci = factor.compact_of(u).expect("u not in S");
+    let mut b = vec![0.0; factor.dim()];
     b[ci] = 1.0;
-    let mut x = vec![0.0; op.dim()];
-    let stats = cfcc_linalg::cg::solve_grounded(&op, &b, &mut x, &CgConfig::with_tol(tol));
-    if !stats.converged {
-        return Err(CfcmError::Numerical("CG failed for R(u,S)".into()));
-    }
+    let x = factor.solve_vec(&b)?;
     Ok(x[ci])
 }
 

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use crate::result::IterStats;
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::Graph;
+use cfcc_linalg::sdd::{self, SddFactor, SddOptions};
 
 /// Cooperative cancellation flag, cheaply cloneable across threads.
 ///
@@ -141,6 +142,27 @@ impl SolveContext {
             return Err(CfcmError::Disconnected);
         }
         Ok(())
+    }
+
+    /// SDD solver options derived from the parameters (CG tolerance,
+    /// thread count for the blocked dense kernels).
+    pub fn sdd_options(&self) -> SddOptions {
+        SddOptions {
+            rel_tol: self.params.cg_tol,
+            max_iter: 50_000,
+            threads: self.params.threads,
+        }
+    }
+
+    /// Factor the grounded Laplacian `L_{-S}` through the backend chosen
+    /// by [`CfcmParams::backend`] — the factor-once/solve-many seam every
+    /// solver that needs `L_{-S}^{-1}` applications dispatches through.
+    pub fn factor_grounded<'g>(
+        &self,
+        g: &'g Graph,
+        in_s: &[bool],
+    ) -> Result<Box<dyn SddFactor + 'g>, CfcmError> {
+        sdd::factor(g, in_s, self.params.backend, &self.sdd_options()).map_err(CfcmError::from)
     }
 
     /// Should the solver stop early? True once the cancel token fires or

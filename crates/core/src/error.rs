@@ -53,6 +53,12 @@ impl fmt::Display for CfcmError {
 
 impl std::error::Error for CfcmError {}
 
+impl From<cfcc_linalg::LinalgError> for CfcmError {
+    fn from(e: cfcc_linalg::LinalgError) -> Self {
+        CfcmError::Numerical(e.to_string())
+    }
+}
+
 /// Validate common preconditions shared by all CFCM entry points.
 pub(crate) fn validate(g: &cfcc_graph::Graph, k: usize) -> Result<(), CfcmError> {
     let n = g.num_nodes();

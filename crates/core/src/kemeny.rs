@@ -13,20 +13,19 @@ use crate::CfcmError;
 use cfcc_forest::sampler::{absorb_batch, ForestAccumulator, SamplerConfig};
 use cfcc_forest::Forest;
 use cfcc_graph::{Graph, Node};
-use cfcc_linalg::laplacian::laplacian_submatrix_dense;
 use cfcc_linalg::pinv::pseudoinverse_dense;
+use cfcc_linalg::sdd::{self, SddBackend, SddOptions};
 
 /// Exact expected total Wilson walk length for root set `S`:
-/// `Tr((I − P_{-S})^{-1}) = Σ_{u ∉ S} d_u · (L_{-S}^{-1})_{uu}`
-/// (dense — small graphs).
+/// `Tr((I − P_{-S})^{-1}) = Σ_{u ∉ S} d_u · (L_{-S}^{-1})_{uu}`,
+/// via `diag_inverse` of the auto-selected SDD backend (dense Cholesky on
+/// small graphs, CSR/IC(0) solves past the dense ceiling).
 pub fn absorption_cost_exact(g: &Graph, roots: &[Node]) -> Result<f64, CfcmError> {
     let mask = crate::cfcc::group_mask(g, roots)?;
-    let (sub, keep) = laplacian_submatrix_dense(g, &mask);
-    let diag = sub
-        .cholesky()
-        .map_err(|e| CfcmError::Numerical(format!("L_-S not SPD: {e}")))?
-        .diag_inverse();
-    Ok(keep
+    let mut factor = sdd::factor(g, &mask, SddBackend::Auto, &SddOptions::with_tol(1e-10))?;
+    let diag = factor.diag_inverse()?;
+    Ok(factor
+        .kept_nodes()
         .iter()
         .zip(&diag)
         .map(|(&u, &duu)| g.degree(u) as f64 * duu)

@@ -3,6 +3,7 @@
 
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::jl;
+use cfcc_linalg::sdd::SddBackend;
 
 /// Parameters for the Monte-Carlo CFCM solvers.
 ///
@@ -32,6 +33,10 @@ pub struct CfcmParams {
     /// Relative tolerance of the CG Laplacian solves (ApproxGreedy, CFCC
     /// evaluation).
     pub cg_tol: f64,
+    /// SDD solver backend for grounded Laplacian systems (`auto` picks
+    /// dense Cholesky on small systems and the CSR/IC(0) sparse solver on
+    /// large ones; see `cfcc_linalg::sdd`).
+    pub backend: SddBackend,
     /// Size `c` of SchurCFCM's auxiliary root set `T` (`None` = `|T*|`).
     pub schur_c: Option<usize>,
     /// Use the paper's worst-case Hoeffding sample bounds instead of the
@@ -50,6 +55,7 @@ impl Default for CfcmParams {
             max_forests: 4096,
             delta_confidence: 0.01,
             cg_tol: 1e-6,
+            backend: SddBackend::Auto,
             schur_c: None,
             use_theoretical_bounds: false,
         }
@@ -74,6 +80,12 @@ impl CfcmParams {
     /// Builder-style thread count override.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style SDD backend override.
+    pub fn backend(mut self, backend: SddBackend) -> Self {
+        self.backend = backend;
         self
     }
 

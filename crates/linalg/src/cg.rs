@@ -51,26 +51,32 @@ pub struct CgStats {
     pub converged: bool,
 }
 
-/// Solve `L_{-S} x = b` (compact space) with Jacobi-preconditioned CG.
-/// `x` carries the initial guess and receives the solution.
-pub fn solve_grounded(
-    op: &LaplacianSubmatrix<'_>,
+/// Preconditioned CG over an abstract SPD operator: `apply` computes
+/// `y = A x`, `precond` computes `z = M^{-1} r`. `x` carries the initial
+/// guess and receives the solution. This single loop backs the Jacobi
+/// matrix-free path ([`solve_grounded`]) and the CSR/IC(0) path of the
+/// `sparse-cg` backend (see [`crate::sdd`]).
+pub fn pcg_operator<A, M>(
+    mut apply: A,
+    mut precond: M,
     b: &[f64],
     x: &mut [f64],
     cfg: &CgConfig,
-) -> CgStats {
-    let n = op.dim();
-    assert_eq!(b.len(), n);
+) -> CgStats
+where
+    A: FnMut(&[f64], &mut [f64]),
+    M: FnMut(&[f64], &mut [f64]),
+{
+    let n = b.len();
     assert_eq!(x.len(), n);
-    let inv_diag: Vec<f64> = op.diagonal().iter().map(|&d| 1.0 / d).collect();
-
     let b_norm = norm2(b).max(f64::MIN_POSITIVE);
     let mut r = vec![0.0; n];
-    op.apply(x, &mut r);
+    apply(x, &mut r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut z = vec![0.0; n];
+    precond(&r, &mut z);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
     let mut rz = dot(&r, &z);
@@ -83,7 +89,7 @@ pub fn solve_grounded(
         };
     }
     for it in 1..=cfg.max_iter {
-        op.apply(&p, &mut ap);
+        apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Numerical breakdown: report divergence rather than looping.
@@ -104,9 +110,7 @@ pub fn solve_grounded(
                 converged: true,
             };
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
+        precond(&r, &mut z);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -117,6 +121,31 @@ pub fn solve_grounded(
         rel_residual: res,
         converged: false,
     }
+}
+
+/// Solve `L_{-S} x = b` (compact space) with Jacobi-preconditioned CG.
+/// `x` carries the initial guess and receives the solution.
+pub fn solve_grounded(
+    op: &LaplacianSubmatrix<'_>,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+) -> CgStats {
+    let n = op.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let inv_diag: Vec<f64> = op.diagonal().iter().map(|&d| 1.0 / d).collect();
+    pcg_operator(
+        |v, out| op.apply(v, out),
+        |r, z| {
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+        },
+        b,
+        x,
+        cfg,
+    )
 }
 
 /// Solve the pseudoinverse system `x = L† b` for `b ⊥ 1` (the component

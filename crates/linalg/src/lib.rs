@@ -2,8 +2,33 @@
 //!
 //! Linear-algebra substrate for the CFCM reproduction, written from scratch
 //! because the target environment has no BLAS/LAPACK binding and no mature
-//! sparse SDD solver crate (see DESIGN.md §4/§6):
+//! sparse SDD solver crate (see DESIGN.md §4/§6).
 //!
+//! ## The `SddSolver` backend API
+//!
+//! Every grounded Laplacian system `L_{-S} x = b` the algorithms solve
+//! goes through **one factor-once/solve-many surface**: [`sdd::SddSolver`]
+//! produces an [`sdd::SddFactor`] exposing `solve_vec`, `solve_mat`
+//! (multi-RHS), `diag_inverse`, and `trace_inverse`, plus a cumulative
+//! [`sdd::SolveStats`] report (iterations, worst residual, flops).
+//! Backends are registered by name ([`sdd::backends`]) and selected via
+//! [`sdd::SddBackend`] (`auto` picks dense below ~1.5k unknowns, sparse
+//! above):
+//!
+//! | backend          | kind      | storage       | operations |
+//! |------------------|-----------|---------------|------------|
+//! | `dense-cholesky` | direct    | dense + blocked Cholesky | all, exact; `O(n³)` factor amortized over RHS |
+//! | `cg-jacobi`      | iterative | matrix-free   | all, to `rel_tol`; zero setup |
+//! | `sparse-cg`      | iterative | CSR + IC(0)   | all, to `rel_tol`; `O(n + m)` memory, never densifies |
+//!
+//! Consumers in `cfcc-core` (ApproxGreedy, the CFCC evaluators, Schur
+//! utilities) dispatch through this seam, so swapping a solver — a future
+//! combinatorial preconditioner, a sketched solver — touches no greedy
+//! loop.
+//!
+//! ## Modules
+//!
+//! * [`sdd`] — the backend trait, registry, and the three backends above.
 //! * [`kernel`] — the blocked dense kernel engine: packed tiled GEMM, SYRK
 //!   symmetric updates, and scoped-thread row-panel parallelism (block
 //!   sizes and packing layout documented there).
@@ -14,26 +39,31 @@
 //!   inverse entries — blocked inverses. Used by the `Exact` baseline, the
 //!   brute-force optimum, the Schur-complement inversion (`|T| × |T|`
 //!   blocks), and as the oracle in estimator tests.
+//! * [`csr`] — compressed-sparse-row grounded Laplacians and the IC(0)
+//!   incomplete-Cholesky preconditioner behind the `sparse-cg` backend.
 //! * [`laplacian`] — Laplacian operators for a [`cfcc_graph::Graph`]: the full
 //!   `L`, and the grounded submatrix `L_{-S}` as a matrix-free operator on
 //!   compacted index space.
-//! * [`cg`] — Jacobi-preconditioned conjugate gradients for `L_{-S} x = b`
-//!   and a nullspace-projected CG for pseudoinverse solves `L† b`. This is
-//!   the substitute for the Julia Kyng–Sachdeva solver used by the paper's
-//!   ApproxGreedy baseline.
+//! * [`cg`] — the shared preconditioned-CG loop ([`cg::pcg_operator`]),
+//!   the Jacobi grounded solver, and a nullspace-projected CG for
+//!   pseudoinverse solves `L† b`. This is the substitute for the Julia
+//!   Kyng–Sachdeva solver used by the paper's ApproxGreedy baseline.
 //! * [`jl`] — Johnson–Lindenstrauss Rademacher sketches (Lemma 3.4).
-//! * [`trace`] — Hutchinson stochastic trace estimation of `Tr(L_{-S}^{-1})`,
-//!   which the paper uses (via CG) to evaluate CFCC on large graphs.
+//! * [`trace`] — Hutchinson stochastic trace estimation of `Tr(L_{-S}^{-1})`
+//!   through any [`sdd::SddFactor`], which the paper uses to evaluate CFCC
+//!   on large graphs.
 //! * [`pinv`] — dense pseudoinverse `L†` via `(L + J/n)^{-1} − J/n`, plus
 //!   the diagonal-only variant the greedy first pick consumes.
 
 pub mod cg;
+pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod jl;
 pub mod kernel;
 pub mod laplacian;
 pub mod pinv;
+pub mod sdd;
 pub mod trace;
 pub mod vector;
 
@@ -41,3 +71,4 @@ pub use cg::{CgConfig, CgStats};
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use laplacian::LaplacianSubmatrix;
+pub use sdd::{SddBackend, SddFactor, SddOptions, SddSolver, SolveStats};
