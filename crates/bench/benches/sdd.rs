@@ -1,13 +1,26 @@
-//! Dense-vs-sparse ladder for the unified `SddSolver` backend API
-//! (BENCH_PR3): the same factor-once/solve-many workload — factor
-//! `L_{-S}`, then 16 right-hand sides through `solve_mat` — through the
-//! `dense-cholesky` and `sparse-cg` (CSR + IC(0)) backends at
-//! n = 512…8192, plus an end-to-end ApproxGreedy run at 50k nodes
-//! comparing the unpreconditioned `cg-jacobi` path against `sparse-cg`.
-//! The large run never allocates an `n × n` matrix.
+//! SDD backend ladder (BENCH_PR4): three sections over the unified
+//! `SddSolver` registry.
+//!
+//! 1. **Dense vs sparse** (`sdd_factor_solve16`, carried over from
+//!    BENCH_PR3): factor `L_{-S}` + 16 right-hand sides through
+//!    `solve_mat`, `dense-cholesky` vs `sparse-cg`, n = 512…8192.
+//! 2. **Blocked multi-RHS vs per-column** (`solve16_block_vs_col_*`):
+//!    for every iterative backend, the same 16-RHS workload answered by
+//!    one blocked `solve_mat` (lockstep PCG, shared sweeps, deflation)
+//!    vs sixteen independent `solve_vec` runs on an identical factor —
+//!    baseline column = per-column, blocked column = `solve_mat`.
+//! 3. **Jacobi vs spanning-tree preconditioner on a mesh**
+//!    (`grid_pcg_iterations_jacobi_vs_tree`, `grid_solve16_jacobi_vs_tree`):
+//!    PCG iteration counts (recorded in the two timing columns) and
+//!    16-RHS wall clock on a √n × √n grid — the large-diameter topology
+//!    where Jacobi pays `O(√n)`-ish iteration counts and the `tree-pcg`
+//!    combinatorial preconditioner cuts them.
+//!
+//! Plus the end-to-end 50k-node ApproxGreedy run (jacobi vs sparse-cg)
+//! asserting identical selections.
 //!
 //! * `CFCC_PRESET=smoke` (default): tiny sizes — the CI regression gate.
-//! * `CFCC_PRESET=paper`: the full ladder; emits `BENCH_PR3.json` at the
+//! * `CFCC_PRESET=paper`: the full ladder; emits `BENCH_PR4.json` at the
 //!   workspace root (override with `CFCC_BENCH_OUT`; setting it also
 //!   forces emission under `smoke`).
 
@@ -33,11 +46,21 @@ fn time_ms<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
     best * 1e3
 }
 
+fn random_rhs(rng: &mut SmallRng, rows: usize, cols: usize) -> DenseMatrix {
+    let mut rhs = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            rhs.set(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    rhs
+}
+
 fn main() {
     let preset = Preset::from_env();
     banner(
         "sdd",
-        "the dense-vs-sparse SDD backend ladder (BENCH_PR3)",
+        "the SDD backend ladder: dense vs sparse, blocked vs per-column, Jacobi vs tree-pcg (BENCH_PR4)",
         preset,
     );
     let sizes: &[usize] = match preset {
@@ -48,8 +71,9 @@ fn main() {
     let opts = SddOptions::with_tol(1e-8);
     let mut report = BenchReport::new();
 
+    // ---- 1. dense vs sparse: factor + 16-RHS solve_mat -----------------
     println!(
-        "{:<24} {:>6} {:>12} {:>12} {:>9}",
+        "{:<32} {:>6} {:>12} {:>12} {:>9}",
         "workload", "n", "dense (ms)", "sparse (ms)", "speedup"
     );
     for &n in sizes {
@@ -58,13 +82,7 @@ fn main() {
         let g = generators::barabasi_albert(n, 4, &mut rng);
         let mut in_s = vec![false; n];
         in_s[0] = true;
-        let d = n - 1;
-        let mut rhs = DenseMatrix::zeros(d, W);
-        for i in 0..d {
-            for j in 0..W {
-                rhs.set(i, j, rng.gen_range(-1.0..1.0));
-            }
-        }
+        let rhs = random_rhs(&mut rng, n - 1, W);
         let run = |backend: &str| {
             let b = by_name(backend).expect("registered backend");
             time_ms(reps, || {
@@ -76,7 +94,7 @@ fn main() {
         let sparse_ms = run("sparse-cg");
         report.push("sdd_factor_solve16", n, dense_ms, sparse_ms);
         println!(
-            "{:<24} {:>6} {:>12.2} {:>12.2} {:>9}",
+            "{:<32} {:>6} {:>12.2} {:>12.2} {:>9}",
             "sdd_factor_solve16",
             n,
             dense_ms,
@@ -85,10 +103,101 @@ fn main() {
         );
     }
 
-    // End-to-end ApproxGreedy far past the dense ceiling: the historical
-    // Jacobi-CG path vs the preconditioned CSR backend. Baseline column =
-    // cg-jacobi (dense would need an n² allocation that this workload is
-    // specifically built to avoid).
+    // ---- 2. blocked multi-RHS solve_mat vs per-column solve_vec --------
+    println!(
+        "\n{:<32} {:>6} {:>12} {:>12} {:>9}",
+        "workload", "n", "col (ms)", "block (ms)", "speedup"
+    );
+    for &n in sizes {
+        let reps = if n >= 2048 { 1 } else { 2 };
+        let mut rng = SmallRng::seed_from_u64(0xB10C + n as u64);
+        let g = generators::barabasi_albert(n, 4, &mut rng);
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        let d = n - 1;
+        let rhs = random_rhs(&mut rng, d, W);
+        for backend in ["cg-jacobi", "sparse-cg", "tree-pcg"] {
+            let b = by_name(backend).expect("registered backend");
+            // Factor outside the timed region: both sides solve through
+            // an identical, already-built factor (cold start per column).
+            let mut fc = b.factor(&g, &in_s, &opts).expect("factor");
+            let col_ms = time_ms(reps, || {
+                let mut col = vec![0.0; d];
+                for j in 0..W {
+                    for (i, c) in col.iter_mut().enumerate() {
+                        *c = rhs.get(i, j);
+                    }
+                    fc.solve_vec(&col).expect("solve");
+                }
+            });
+            let mut fb = b.factor(&g, &in_s, &opts).expect("factor");
+            let block_ms = time_ms(reps, || fb.solve_mat(&rhs).expect("solve"));
+            let name = format!("solve16_block_vs_col_{backend}");
+            report.push(&name, n, col_ms, block_ms);
+            println!(
+                "{:<32} {:>6} {:>12.2} {:>12.2} {:>9}",
+                name,
+                n,
+                col_ms,
+                block_ms,
+                fmt_ratio(col_ms / block_ms)
+            );
+        }
+    }
+
+    // ---- 3. Jacobi vs the spanning-tree preconditioner on a mesh -------
+    // Iteration counts go into the report's two timing columns (the
+    // "speedup" is then the iteration ratio): the combinatorial
+    // preconditioner's win on large-diameter graphs is an iteration-count
+    // story first, wall clock second.
+    let side = match preset {
+        Preset::Smoke => 24,
+        _ => 91, // 91 × 91 = 8281 ≥ 8192 unknowns+1
+    };
+    let n_grid = side * side;
+    let g = generators::grid(side, side);
+    let mut in_s = vec![false; n_grid];
+    in_s[0] = true;
+    let mut rng = SmallRng::seed_from_u64(0x9D1D);
+    let rhs = random_rhs(&mut rng, n_grid - 1, W);
+    let mut iters = Vec::new();
+    let mut times = Vec::new();
+    for backend in ["cg-jacobi", "tree-pcg"] {
+        let b = by_name(backend).expect("registered backend");
+        let mut f = b.factor(&g, &in_s, &opts).expect("factor");
+        let ms = time_ms(1, || f.solve_mat(&rhs).expect("solve"));
+        // Iterations per RHS column, averaged over the 16-column block.
+        iters.push(f.stats().iterations as f64 / W as f64);
+        times.push(ms);
+    }
+    report.push(
+        "grid_pcg_iterations_jacobi_vs_tree",
+        n_grid,
+        iters[0],
+        iters[1],
+    );
+    report.push("grid_solve16_jacobi_vs_tree", n_grid, times[0], times[1]);
+    println!(
+        "\n{:<32} {:>6} {:>12.1} {:>12.1} {:>9}   (PCG iterations/RHS, jacobi vs tree-pcg)",
+        "grid_pcg_iterations",
+        n_grid,
+        iters[0],
+        iters[1],
+        fmt_ratio(iters[0] / iters[1])
+    );
+    println!(
+        "{:<32} {:>6} {:>12.2} {:>12.2} {:>9}   (16-RHS solve ms, jacobi vs tree-pcg)",
+        "grid_solve16",
+        n_grid,
+        times[0],
+        times[1],
+        fmt_ratio(times[0] / times[1])
+    );
+
+    // ---- end-to-end ApproxGreedy far past the dense ceiling ------------
+    // The historical Jacobi-CG path vs the preconditioned CSR backend;
+    // baseline column = cg-jacobi (dense would need an n² allocation that
+    // this workload is specifically built to avoid).
     let n_big = match preset {
         Preset::Smoke => 2_000,
         _ => 50_000,
@@ -114,7 +223,7 @@ fn main() {
     );
     report.push("approx_greedy_jacobi_vs_sparse", n_big, times[0], times[1]);
     println!(
-        "{:<24} {:>6} {:>12.2} {:>12.2} {:>9}   (jacobi vs sparse, k={k})",
+        "\n{:<32} {:>6} {:>12.2} {:>12.2} {:>9}   (jacobi vs sparse, k={k})",
         "approx_greedy",
         n_big,
         times[0],
@@ -126,7 +235,7 @@ fn main() {
     let emit = out.is_some() || preset != Preset::Smoke;
     if emit {
         let path = out
-            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json").into());
+            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json").into());
         report
             .write(&path, "sdd", preset.name())
             .expect("write bench report");

@@ -97,7 +97,9 @@ OPTIONS:
     --threads <int>    worker threads: forest sampling + dense kernels (default: 1)
     --backend <name>   SDD solver backend for grounded Laplacian systems
                        (see --list-backends; default: auto — dense below
-                       ~1.5k unknowns, sparse CSR/IC(0) above)
+                       ~1.5k unknowns, sparse CSR/IC(0) above; tree-pcg
+                       opts into the spanning-tree preconditioner for
+                       meshes/road networks)
     --graph <path>     whitespace edge-list file ('#'/'%' comments ok)
     --dataset <name>   bundled dataset (see --list-datasets)
     --scale <float>    proxy scale for bundled datasets in (0,1] (default: 1.0)
@@ -312,6 +314,10 @@ mod tests {
         assert_eq!(a.backend, SddBackend::SparseCg);
         let a = parse(&["--dataset", "karate", "--backend", "dense"]).unwrap();
         assert_eq!(a.backend, SddBackend::DenseCholesky);
+        let a = parse(&["--dataset", "karate", "--backend", "tree-pcg"]).unwrap();
+        assert_eq!(a.backend, SddBackend::TreePcg);
+        let a = parse(&["--dataset", "karate", "--backend", "tree"]).unwrap();
+        assert_eq!(a.backend, SddBackend::TreePcg);
         let a = parse(&["--dataset", "karate"]).unwrap();
         assert_eq!(a.backend, SddBackend::Auto);
         let err = parse(&["--dataset", "karate", "--backend", "warp"]).unwrap_err();

@@ -463,7 +463,7 @@ mod tests {
 
     #[test]
     fn explicit_backend_runs_and_is_reported() {
-        for backend in ["sparse-cg", "cg-jacobi", "dense-cholesky"] {
+        for backend in ["sparse-cg", "cg-jacobi", "dense-cholesky", "tree-pcg"] {
             let a = args(&[
                 "--dataset",
                 "karate",

@@ -18,10 +18,14 @@
 //! [`cfcc_linalg::sdd`] backend chosen by [`CfcmParams::backend`]
 //! (factor once per iteration, then `2w` right-hand sides through
 //! `solve_mat`): dense Cholesky amortizes its factorization on small
-//! graphs, and the CSR/IC(0) `sparse-cg` backend carries the solver to
-//! large ones in `O(n + m)` memory — no `n × n` matrix is ever allocated
-//! on that path, preserving the baseline's edge-count-dominated scaling
-//! that Table II exercises.
+//! graphs, and the CSR/IC(0) `sparse-cg` and spanning-tree `tree-pcg`
+//! backends carry the solver to large ones in `O(n + m)` memory — no
+//! `n × n` matrix is ever allocated on that path, preserving the
+//! baseline's edge-count-dominated scaling that Table II exercises. The
+//! iterative backends answer each 16-column chunk with **blocked
+//! multi-RHS PCG**: the whole chunk advances in lockstep, sharing every
+//! SpMV/preconditioner sweep, instead of degenerating into 16
+//! independent CG runs.
 
 use crate::context::SolveContext;
 use crate::result::{IterStats, RunStats, Selection};
@@ -106,8 +110,9 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
         // sides through the backend's multi-RHS solve — in column chunks,
         // so the workspace stays O(n · RHS_CHUNK) instead of O(n · w)
         // (w grows with log n / ε², and explodes under the theoretical
-        // bounds). Chunks still amortize the dense factorization; the
-        // iterative backends solve per column either way.
+        // bounds). Chunks amortize the dense factorization, and on the
+        // iterative backends each chunk runs as one blocked multi-RHS PCG
+        // (shared SpMV/preconditioner sweeps, converged columns deflated).
         const RHS_CHUNK: usize = 16;
         let mut factor = ctx.factor_grounded(g, &in_s)?;
         let d = factor.dim();

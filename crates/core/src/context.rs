@@ -157,6 +157,11 @@ impl SolveContext {
     /// Factor the grounded Laplacian `L_{-S}` through the backend chosen
     /// by [`CfcmParams::backend`] — the factor-once/solve-many seam every
     /// solver that needs `L_{-S}^{-1}` applications dispatches through.
+    /// Iterative backends answer the greedy loops' multi-column
+    /// `solve_mat` chunks with blocked multi-RHS PCG (one operator sweep
+    /// shared by all columns per iteration), and reject groundings that
+    /// leave part of the graph unreachable from `S` with a structured
+    /// error instead of diverging.
     pub fn factor_grounded<'g>(
         &self,
         g: &'g Graph,

@@ -9,6 +9,7 @@
 
 use crate::laplacian::LaplacianSubmatrix;
 use crate::vector::{axpy, dot, norm2, project_out_ones, xpby};
+use crate::DenseMatrix;
 use cfcc_graph::Graph;
 
 /// Convergence controls for CG.
@@ -121,6 +122,226 @@ where
         rel_residual: res,
         converged: false,
     }
+}
+
+/// Dot product of column `s` of `a` with column `s` of `b`, for every
+/// column at once — one pass over the row-major storage, so all columns
+/// share each cache line.
+fn col_dots(a: &DenseMatrix, b: &DenseMatrix, out: &mut [f64]) {
+    out.fill(0.0);
+    for i in 0..a.rows() {
+        for ((o, &av), &bv) in out.iter_mut().zip(a.row(i)).zip(b.row(i)) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Drop the columns of `m` whose slot is not in `live` (ascending slot
+/// indices into the current width), preserving order — in place, no
+/// reallocation. Forward row order is safe: every write lands at or
+/// before the position it reads from.
+fn compact_columns(m: &mut DenseMatrix, live: &[usize]) {
+    let (rows, old_w, new_w) = (m.rows(), m.cols(), live.len());
+    debug_assert!(new_w <= old_w);
+    let data = m.data_mut();
+    for i in 0..rows {
+        for (t, &s) in live.iter().enumerate() {
+            data[i * new_w + t] = data[i * old_w + s];
+        }
+    }
+    m.reshape(rows, new_w);
+}
+
+/// Blocked multi-RHS preconditioned CG over an abstract SPD operator:
+/// `apply` computes `Y = A X` and `precond` computes `Z = M⁻¹ R` for
+/// *blocks* of column vectors (row-major `n × width` matrices — the width
+/// is whatever the passed blocks have, shrinking as columns converge).
+///
+/// Every right-hand side column of `b` runs its own mathematically
+/// independent CG recurrence (scalar `α`/`β` per column — identical
+/// iterates to [`pcg_operator`] on that column), but all active columns
+/// advance in lockstep so each operator sweep and each preconditioner
+/// sweep is shared across the block: the CSR matrix / adjacency lists /
+/// triangular factors are traversed **once per iteration** instead of
+/// once per iteration *per column*. Converged (or broken-down) columns
+/// are deflated out of the block, so late stragglers don't keep paying
+/// for finished work.
+///
+/// `x` carries the initial guess per column and receives the solutions.
+/// Returns one [`CgStats`] per column.
+pub fn pcg_operator_block<A, M>(
+    mut apply: A,
+    mut precond: M,
+    b: &DenseMatrix,
+    x: &mut DenseMatrix,
+    cfg: &CgConfig,
+) -> Vec<CgStats>
+where
+    A: FnMut(&DenseMatrix, &mut DenseMatrix),
+    M: FnMut(&DenseMatrix, &mut DenseMatrix),
+{
+    let n = b.rows();
+    let c = b.cols();
+    assert_eq!(x.rows(), n);
+    assert_eq!(x.cols(), c);
+    let mut stats = vec![
+        CgStats {
+            iterations: 0,
+            rel_residual: 0.0,
+            converged: true,
+        };
+        c
+    ];
+    if c == 0 {
+        return stats;
+    }
+    let mut b_norm = vec![0.0f64; c];
+    col_dots(b, b, &mut b_norm);
+    for bn in b_norm.iter_mut() {
+        *bn = bn.sqrt().max(f64::MIN_POSITIVE);
+    }
+
+    // R = B − A X over the full block, then deflate the already-converged
+    // columns before the first iteration.
+    let mut r = DenseMatrix::zeros(n, c);
+    apply(x, &mut r);
+    for i in 0..n {
+        for (ri, &bi) in r.row_mut(i).iter_mut().zip(b.row(i)) {
+            *ri = bi - *ri;
+        }
+    }
+    let mut res = vec![0.0f64; c];
+    col_dots(&r, &r, &mut res);
+    // `active[s]` = original column behind compact slot `s`.
+    let mut active: Vec<usize> = Vec::with_capacity(c);
+    for j in 0..c {
+        res[j] = res[j].sqrt() / b_norm[j];
+        stats[j].rel_residual = res[j];
+        if res[j] <= cfg.rel_tol {
+            stats[j].converged = true;
+        } else {
+            active.push(j);
+        }
+    }
+    if active.is_empty() {
+        return stats;
+    }
+    if active.len() < c {
+        compact_columns(&mut r, &active);
+    }
+
+    let mut w = active.len();
+    let mut z = DenseMatrix::zeros(n, w);
+    precond(&r, &mut z);
+    let mut p = z.clone();
+    let mut ap = DenseMatrix::zeros(n, w);
+    let mut rz = vec![0.0f64; w];
+    col_dots(&r, &z, &mut rz);
+    let mut rz_new = vec![0.0f64; w];
+    let mut res: Vec<f64> = active.iter().map(|&j| stats[j].rel_residual).collect();
+    let mut pap = vec![0.0f64; w];
+    let mut alpha = vec![0.0f64; w];
+    // Slots that finished (converged or broke down) but have not been
+    // compacted out yet: they ride along with α = β = 0 — their x, r, and
+    // recorded stats stay frozen — until a quarter of the block is dead,
+    // then one in-place compaction drops them all. Compacting on every
+    // event would cost more than it saves when columns finish in quick
+    // succession.
+    let mut finished = vec![false; w];
+    let mut n_finished = 0usize;
+
+    for it in 1..=cfg.max_iter {
+        apply(&p, &mut ap);
+        col_dots(&p, &ap, &mut pap);
+        for s in 0..w {
+            if finished[s] {
+                alpha[s] = 0.0;
+            } else if pap[s] <= 0.0 || !pap[s].is_finite() {
+                // Numerical breakdown: report divergence for this column
+                // before its direction can corrupt the iterate.
+                stats[active[s]] = CgStats {
+                    iterations: it,
+                    rel_residual: res[s],
+                    converged: false,
+                };
+                finished[s] = true;
+                n_finished += 1;
+                alpha[s] = 0.0;
+            } else {
+                alpha[s] = rz[s] / pap[s];
+            }
+        }
+        // x[:, active[s]] += α_s p[:, s]; r[:, s] −= α_s ap[:, s].
+        for i in 0..n {
+            let xr = x.row_mut(i);
+            for (s, &j) in active.iter().enumerate() {
+                xr[j] += alpha[s] * p.get(i, s);
+            }
+            for (s, rv) in r.row_mut(i).iter_mut().enumerate() {
+                *rv -= alpha[s] * ap.get(i, s);
+            }
+        }
+        col_dots(&r, &r, &mut res);
+        for s in 0..w {
+            res[s] = res[s].sqrt() / b_norm[active[s]];
+            if !finished[s] && res[s] <= cfg.rel_tol {
+                stats[active[s]] = CgStats {
+                    iterations: it,
+                    rel_residual: res[s],
+                    converged: true,
+                };
+                finished[s] = true;
+                n_finished += 1;
+            }
+        }
+        if n_finished == w {
+            return stats;
+        }
+        if 4 * n_finished >= w {
+            let keep: Vec<usize> = (0..w).filter(|&s| !finished[s]).collect();
+            compact_columns(&mut r, &keep);
+            compact_columns(&mut p, &keep);
+            active = keep.iter().map(|&s| active[s]).collect();
+            rz = keep.iter().map(|&s| rz[s]).collect();
+            res = keep.iter().map(|&s| res[s]).collect();
+            w = keep.len();
+            z.reshape(n, w);
+            ap.reshape(n, w);
+            rz_new.truncate(w);
+            pap.truncate(w);
+            alpha.truncate(w);
+            finished.truncate(w);
+            finished.fill(false);
+            n_finished = 0;
+        }
+        precond(&r, &mut z);
+        col_dots(&r, &z, &mut rz_new);
+        for s in 0..w {
+            // β = 0 parks finished slots on p = z (finite, unused).
+            alpha[s] = if finished[s] || rz[s] == 0.0 {
+                0.0
+            } else {
+                rz_new[s] / rz[s]
+            };
+        }
+        for i in 0..n {
+            let zr = z.row(i);
+            for (s, pv) in p.row_mut(i).iter_mut().enumerate() {
+                *pv = zr[s] + alpha[s] * *pv;
+            }
+        }
+        rz.copy_from_slice(&rz_new);
+    }
+    for (s, &j) in active.iter().enumerate() {
+        if !finished[s] {
+            stats[j] = CgStats {
+                iterations: cfg.max_iter,
+                rel_residual: res[s],
+                converged: false,
+            };
+        }
+    }
+    stats
 }
 
 /// Solve `L_{-S} x = b` (compact space) with Jacobi-preconditioned CG.

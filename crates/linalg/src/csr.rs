@@ -17,6 +17,7 @@
 //! escalating Manteuffel diagonal shift `A + α·diag(A)` before giving up.
 
 use crate::error::LinalgError;
+use crate::DenseMatrix;
 use cfcc_graph::{Graph, Node};
 
 /// Symmetric sparse matrix in CSR layout, rows sorted by column index.
@@ -99,6 +100,42 @@ impl CsrMatrix {
                 acc += self.vals[idx] * x[self.col_idx[idx] as usize];
             }
             *yi = acc;
+        }
+    }
+
+    /// `Y = A X` for a block of column vectors (row-major `n × w`
+    /// matrices). The sparse pattern is traversed **once** for all `w`
+    /// columns — the multi-RHS sharing the blocked PCG relies on: every
+    /// loaded `(col, val)` pair feeds `w` multiply-adds on adjacent
+    /// memory instead of one.
+    pub fn spmm(&self, x: &DenseMatrix, y: &mut DenseMatrix) {
+        debug_assert_eq!(x.rows(), self.n);
+        debug_assert_eq!(y.rows(), self.n);
+        debug_assert_eq!(x.cols(), y.cols());
+        for i in 0..self.n {
+            let yr = y.row_mut(i);
+            yr.fill(0.0);
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let v = self.vals[idx];
+                let xr = x.row(self.col_idx[idx] as usize);
+                for (ys, &xs) in yr.iter_mut().zip(xr) {
+                    *ys += v * xs;
+                }
+            }
+        }
+    }
+
+    /// Test-only hook: scale the diagonal entries by `f` (used to force
+    /// IC(0) breakdown, which a grounded-Laplacian M-matrix never does on
+    /// its own).
+    #[cfg(test)]
+    pub(crate) fn scale_diagonal(&mut self, f: f64) {
+        for i in 0..self.n {
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.col_idx[idx] as usize == i {
+                    self.vals[idx] *= f;
+                }
+            }
         }
     }
 
@@ -279,6 +316,49 @@ impl IncompleteCholesky {
                 acc -= self.low_val[self.csc_idx[t]] * z[self.csc_row[t] as usize];
             }
             z[i] = acc / self.diag[i];
+        }
+    }
+
+    /// Blocked [`IncompleteCholesky::apply`]: `Z = (L Lᵀ)⁻¹ R` for a block
+    /// of columns, traversing the triangular factors once for all columns.
+    pub fn apply_block(&self, r: &DenseMatrix, z: &mut DenseMatrix) {
+        debug_assert_eq!(r.rows(), self.n);
+        debug_assert_eq!(z.rows(), self.n);
+        debug_assert_eq!(r.cols(), z.cols());
+        let w = r.cols();
+        let zd = z.data_mut();
+        // Forward: L Y = R.
+        for i in 0..self.n {
+            let base = i * w;
+            for (s, &rv) in r.row(i).iter().enumerate() {
+                zd[base + s] = rv;
+            }
+            for idx in self.low_ptr[i]..self.low_ptr[i + 1] {
+                let lv = self.low_val[idx];
+                let jb = self.low_col[idx] as usize * w;
+                for s in 0..w {
+                    zd[base + s] -= lv * zd[jb + s];
+                }
+            }
+            let inv_d = 1.0 / self.diag[i];
+            for s in 0..w {
+                zd[base + s] *= inv_d;
+            }
+        }
+        // Backward: Lᵀ Z = Y.
+        for i in (0..self.n).rev() {
+            let base = i * w;
+            for t in self.csc_ptr[i]..self.csc_ptr[i + 1] {
+                let lv = self.low_val[self.csc_idx[t]];
+                let jb = self.csc_row[t] as usize * w;
+                for s in 0..w {
+                    zd[base + s] -= lv * zd[jb + s];
+                }
+            }
+            let inv_d = 1.0 / self.diag[i];
+            for s in 0..w {
+                zd[base + s] *= inv_d;
+            }
         }
     }
 }

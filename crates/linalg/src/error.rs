@@ -25,6 +25,14 @@ pub enum LinalgError {
         /// Final relative residual.
         residual: f64,
     },
+    /// The grounded system `L_{-S}` is singular: `node` has no path to the
+    /// grounded set `S` (an isolated vertex, or a whole connected component
+    /// disjoint from `S`). Detected at factor time so iterative backends
+    /// fail cleanly instead of building an `inf`/NaN preconditioner.
+    SingularGrounding {
+        /// A kept node with no path to the grounded set.
+        node: usize,
+    },
     /// Dimension mismatch between operands.
     DimensionMismatch(String),
 }
@@ -48,6 +56,12 @@ impl fmt::Display for LinalgError {
                 write!(
                     f,
                     "solver did not converge after {iterations} iterations (residual {residual:e})"
+                )
+            }
+            LinalgError::SingularGrounding { node } => {
+                write!(
+                    f,
+                    "grounded Laplacian is singular: node {node} has no path to the grounded set"
                 )
             }
             LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),

@@ -115,6 +115,31 @@ impl<'g> LaplacianSubmatrix<'g> {
         }
     }
 
+    /// Blocked [`LaplacianSubmatrix::apply`]: `Y = L_{-S} X` for a block
+    /// of column vectors (row-major `n × w` matrices). Adjacency lists are
+    /// traversed once for all `w` columns — the sharing the blocked
+    /// multi-RHS PCG relies on.
+    pub fn apply_block(&self, x: &DenseMatrix, y: &mut DenseMatrix) {
+        assert_eq!(x.rows(), self.dim());
+        assert_eq!(y.rows(), self.dim());
+        assert_eq!(x.cols(), y.cols());
+        for (i, &u) in self.keep.iter().enumerate() {
+            let deg = self.graph.degree(u) as f64;
+            let (xr, yr) = (x.row(i), y.row_mut(i));
+            for (ys, &xs) in yr.iter_mut().zip(xr) {
+                *ys = deg * xs;
+            }
+            for &v in self.graph.neighbors(u) {
+                let j = self.pos[v as usize];
+                if j != usize::MAX {
+                    for (ys, &xs) in yr.iter_mut().zip(x.row(j)) {
+                        *ys -= xs;
+                    }
+                }
+            }
+        }
+    }
+
     /// Diagonal of `L_{-S}` (the full degrees) — the Jacobi preconditioner.
     pub fn diagonal(&self) -> Vec<f64> {
         self.keep

@@ -20,6 +20,12 @@
 //! | `dense-cholesky` | direct    | dense + blocked Cholesky | all, exact; `O(n³)` factor amortized over RHS |
 //! | `cg-jacobi`      | iterative | matrix-free   | all, to `rel_tol`; zero setup |
 //! | `sparse-cg`      | iterative | CSR + IC(0)   | all, to `rel_tol`; `O(n + m)` memory, never densifies |
+//! | `tree-pcg`       | iterative | CSR + spanning tree | all, to `rel_tol`; `O(n)` preconditioner sweeps, fewest iterations on meshes |
+//!
+//! Both iterative families answer `solve_mat` through **blocked
+//! multi-RHS PCG** ([`cg::pcg_operator_block`]): all active right-hand
+//! sides advance in lockstep, so each SpMV and each preconditioner sweep
+//! is shared across the block, and converged columns deflate out.
 //!
 //! Consumers in `cfcc-core` (ApproxGreedy, the CFCC evaluators, Schur
 //! utilities) dispatch through this seam, so swapping a solver — a future
@@ -41,6 +47,9 @@
 //!   blocks), and as the oracle in estimator tests.
 //! * [`csr`] — compressed-sparse-row grounded Laplacians and the IC(0)
 //!   incomplete-Cholesky preconditioner behind the `sparse-cg` backend.
+//! * [`tree`] — the diagonal-compensated spanning-tree (combinatorial)
+//!   preconditioner behind the `tree-pcg` backend: zero-fill `O(n)`
+//!   factorization and sweeps over a BFS spanning forest.
 //! * [`laplacian`] — Laplacian operators for a [`cfcc_graph::Graph`]: the full
 //!   `L`, and the grounded submatrix `L_{-S}` as a matrix-free operator on
 //!   compacted index space.
@@ -65,6 +74,7 @@ pub mod laplacian;
 pub mod pinv;
 pub mod sdd;
 pub mod trace;
+pub mod tree;
 pub mod vector;
 
 pub use cg::{CgConfig, CgStats};

@@ -12,6 +12,14 @@
 //! | `dense-cholesky` | direct    | dense `L_{-S}` + blocked Cholesky | `n ≲ 2k`: exact, amortizes over many RHS |
 //! | `cg-jacobi`      | iterative | matrix-free operator | mid-size, few solves, zero setup cost |
 //! | `sparse-cg`      | iterative | CSR + IC(0) preconditioner | large graphs; never densifies |
+//! | `tree-pcg`       | iterative | CSR + compensated spanning tree | meshes/road networks, where diagonal-ish preconditioners stall |
+//!
+//! All three iterative backends answer [`SddFactor::solve_mat`] through
+//! **blocked multi-RHS PCG** ([`crate::cg::pcg_operator_block`]): the
+//! whole RHS block advances in lockstep so each operator sweep and each
+//! preconditioner sweep is shared across the columns, with converged
+//! columns deflating out — a 16-column `solve_mat` costs one traversal of
+//! the matrix per iteration, not sixteen.
 //!
 //! # Contract
 //!
@@ -30,7 +38,12 @@
 //!   (iterations, worst residual, approximate flops).
 //!
 //! Iterative backends surface non-convergence as
-//! [`LinalgError::DidNotConverge`] instead of silent flags.
+//! [`LinalgError::DidNotConverge`] instead of silent flags, and a
+//! grounding that leaves part of the graph unreachable from `S` (which
+//! makes `L_{-S}` singular) fails at factor time with
+//! [`LinalgError::SingularGrounding`] instead of producing an `inf`/NaN
+//! preconditioner. On iterative backends [`SddFactor::solve_vec_into`]
+//! honors the incoming `x` as the initial guess (warm start).
 //!
 //! # Selection
 //!
@@ -41,11 +54,12 @@
 //! [`backends`], [`by_name`], and [`name_list`] expose the registry for
 //! discoverability (`--list-backends`).
 
-use crate::cg::{pcg_operator, CgConfig};
+use crate::cg::{pcg_operator, pcg_operator_block, CgConfig};
 use crate::csr::{CsrMatrix, IncompleteCholesky};
 use crate::dense::Cholesky;
 use crate::error::LinalgError;
 use crate::laplacian::{laplacian_submatrix_dense, LaplacianSubmatrix};
+use crate::tree::TreePreconditioner;
 use crate::DenseMatrix;
 use cfcc_graph::{Graph, Node};
 
@@ -83,6 +97,13 @@ pub struct SolveStats {
     pub last_rel_residual: f64,
     /// Approximate floating-point operations, factorization included.
     pub flops: u64,
+    /// Diagonal perturbation the preconditioner needed to factor (the
+    /// IC(0) Manteuffel shift `α` in `A + α·diag(A)`): 0 in the M-matrix
+    /// common case. A nonzero value means the preconditioner — never the
+    /// system being solved — was perturbed to stay positive definite;
+    /// solves still converge to the true solution, possibly in more
+    /// iterations. Historically this was swallowed.
+    pub precond_shift: f64,
 }
 
 /// Tuning for a factorization (tolerances only bind iterative backends).
@@ -137,10 +158,14 @@ pub trait SddFactor {
         self.kept_nodes()[i]
     }
 
-    /// Solve `L_{-S} x = b` into `x` (contents overwritten, no warm start).
+    /// Solve `L_{-S} x = b` into `x`. On iterative backends the incoming
+    /// `x` is the **initial guess** (warm start — pass zeros for a cold
+    /// solve; the greedy loops' nearly-identical successive systems
+    /// converge in far fewer iterations from the previous solution);
+    /// direct backends overwrite it. Callers must pass finite values.
     fn solve_vec_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError>;
 
-    /// Solve `L_{-S} x = b` into a fresh vector.
+    /// Solve `L_{-S} x = b` into a fresh vector (cold start).
     fn solve_vec(&mut self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let mut x = vec![0.0; self.dim()];
         self.solve_vec_into(b, &mut x)?;
@@ -149,7 +174,8 @@ pub trait SddFactor {
 
     /// Multi-RHS solve `L_{-S} X = B` (RHS as the columns of `b`).
     /// Direct backends amortize the factorization across all columns in
-    /// one blocked pass; iterative backends solve per column.
+    /// one blocked pass; iterative backends override this with blocked
+    /// multi-RHS PCG (this default is the per-column fallback).
     fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         let n = self.dim();
         if b.rows() != n {
@@ -184,6 +210,9 @@ pub trait SddFactor {
         for i in 0..n {
             b.fill(0.0);
             b[i] = 1.0;
+            // `x` deliberately carries the previous basis solution as the
+            // warm start for the next one — adjacent basis columns of
+            // L_{-S}^{-1} are close for well-clustered graphs.
             self.solve_vec_into(&b, &mut x)?;
             diag[i] = x[i];
         }
@@ -230,6 +259,30 @@ fn compact_pos(num_nodes: usize, keep: &[Node]) -> Vec<usize> {
         pos[u as usize] = i;
     }
     pos
+}
+
+/// `L_{-S}` is positive definite iff every kept node has a path to the
+/// grounded set `S`. The iterative backends check this up front (one
+/// `O(n + m)` BFS from all of `S`) so an isolated vertex or a component
+/// disjoint from `S` fails with a structured
+/// [`LinalgError::SingularGrounding`] instead of an `inf`/NaN
+/// preconditioner and a garbage non-converged solve. (The dense backend
+/// needs no check: its Cholesky factorization rejects the singular
+/// matrix on its own.)
+fn check_grounding(g: &Graph, in_s: &[bool]) -> Result<(), LinalgError> {
+    assert_eq!(in_s.len(), g.num_nodes());
+    let roots: Vec<Node> = in_s
+        .iter()
+        .enumerate()
+        .filter_map(|(u, &grounded)| grounded.then_some(u as Node))
+        .collect();
+    let tree = cfcc_graph::traversal::bfs_from_set(g, &roots);
+    match (0..g.num_nodes() as Node).find(|&u| !tree.reached(u)) {
+        Some(node) => Err(LinalgError::SingularGrounding {
+            node: node as usize,
+        }),
+        None => Ok(()),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -362,7 +415,7 @@ impl SddSolver for CgJacobiBackend {
     }
 
     fn ops(&self) -> &'static str {
-        "solve_vec, solve_mat (per column), diag_inverse/trace_inverse (n solves); matrix-free, no setup"
+        "solve_vec (warm-startable), solve_mat (blocked multi-RHS), diag_inverse/trace_inverse (n solves); matrix-free, no setup"
     }
 
     fn factor<'g>(
@@ -371,6 +424,7 @@ impl SddSolver for CgJacobiBackend {
         in_s: &[bool],
         opts: &SddOptions,
     ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+        check_grounding(g, in_s)?;
         let op = LaplacianSubmatrix::new(g, in_s);
         let inv_diag: Vec<f64> = op.diagonal().iter().map(|&d| 1.0 / d).collect();
         Ok(Box::new(CgJacobiFactor {
@@ -408,6 +462,39 @@ fn record_iterative(
     Ok(())
 }
 
+/// Fold one blocked multi-RHS PCG run (one [`crate::cg::CgStats`] per
+/// column) into the cumulative [`SolveStats`]. `flops_per_iter` is the
+/// backend's per-iteration cost of a *full-width* sweep; with deflation
+/// the true cost shrinks as columns finish, so attribute it per column —
+/// a conservative overestimate. Any non-converged column maps to the
+/// error contract (worst residual wins).
+fn record_block(
+    total: &mut SolveStats,
+    runs: &[crate::cg::CgStats],
+    flops_per_iter: u64,
+) -> Result<(), LinalgError> {
+    let mut worst: Option<&crate::cg::CgStats> = None;
+    let mut block_res = 0.0f64;
+    for run in runs {
+        total.solves += 1;
+        total.iterations += run.iterations as u64;
+        total.max_rel_residual = total.max_rel_residual.max(run.rel_residual);
+        block_res = block_res.max(run.rel_residual);
+        total.flops += run.iterations as u64 * flops_per_iter;
+        if !run.converged && worst.is_none_or(|w| run.rel_residual > w.rel_residual) {
+            worst = Some(run);
+        }
+    }
+    total.last_rel_residual = block_res;
+    if let Some(w) = worst {
+        return Err(LinalgError::DidNotConverge {
+            iterations: w.iterations,
+            residual: w.rel_residual,
+        });
+    }
+    Ok(())
+}
+
 impl<'g> SddFactor for CgJacobiFactor<'g> {
     fn dim(&self) -> usize {
         self.op.dim()
@@ -428,7 +515,8 @@ impl<'g> SddFactor for CgJacobiFactor<'g> {
                 self.dim()
             )));
         }
-        x.fill(0.0);
+        // `x` carries the caller's initial guess (warm start), per the
+        // trait contract — do NOT zero it here.
         let op = &self.op;
         let inv_diag = &self.inv_diag;
         let n = op.dim();
@@ -449,6 +537,38 @@ impl<'g> SddFactor for CgJacobiFactor<'g> {
             &stats,
             2 * self.edges2 + 12 * self.op.dim() as u64,
         )
+    }
+
+    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "RHS has {} rows, factor dimension is {}",
+                b.rows(),
+                self.dim()
+            )));
+        }
+        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        let op = &self.op;
+        let inv_diag = &self.inv_diag;
+        let runs = pcg_operator_block(
+            |v, out| op.apply_block(v, out),
+            |r, z| {
+                for (i, &d) in inv_diag.iter().enumerate() {
+                    for (zs, &rs) in z.row_mut(i).iter_mut().zip(r.row(i)) {
+                        *zs = rs * d;
+                    }
+                }
+            },
+            b,
+            &mut x,
+            &self.cfg,
+        );
+        record_block(
+            &mut self.stats,
+            &runs,
+            2 * self.edges2 + 12 * self.op.dim() as u64,
+        )?;
+        Ok(x)
     }
 
     fn stats(&self) -> SolveStats {
@@ -485,7 +605,7 @@ impl SddSolver for SparseCgBackend {
     }
 
     fn ops(&self) -> &'static str {
-        "solve_vec, solve_mat (per column), diag_inverse/trace_inverse (n solves); CSR + IC(0), O(n+m) memory"
+        "solve_vec (warm-startable), solve_mat (blocked multi-RHS), diag_inverse/trace_inverse (n solves); CSR + IC(0), O(n+m) memory; Manteuffel shift surfaces as SolveStats.precond_shift"
     }
 
     fn factor<'g>(
@@ -494,24 +614,47 @@ impl SddSolver for SparseCgBackend {
         in_s: &[bool],
         opts: &SddOptions,
     ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+        check_grounding(g, in_s)?;
         let (csr, keep, pos) = CsrMatrix::grounded_laplacian(g, in_s);
         let ic = IncompleteCholesky::factor(&csr)?;
-        Ok(Box::new(SparseCgFactor {
+        Ok(Box::new(SparseCgFactor::from_parts(
+            csr,
+            ic,
+            keep,
+            pos,
+            CgConfig {
+                rel_tol: opts.rel_tol,
+                max_iter: opts.max_iter,
+            },
+        )))
+    }
+}
+
+impl SparseCgFactor {
+    /// Assemble a factor from an already-built matrix + preconditioner
+    /// (the factor path and the breakdown tests share this), recording
+    /// the IC(0) shift in the stats so callers can see the perturbation.
+    fn from_parts(
+        csr: CsrMatrix,
+        ic: IncompleteCholesky,
+        keep: Vec<Node>,
+        pos: Vec<usize>,
+        cfg: CgConfig,
+    ) -> Self {
+        Self {
             stats: SolveStats {
                 // Pattern setup + one pass of multiply-adds per stored
                 // lower entry, roughly.
                 flops: 4 * csr.nnz() as u64,
+                precond_shift: ic.shift(),
                 ..SolveStats::default()
             },
             ic,
             keep,
             pos,
-            cfg: CgConfig {
-                rel_tol: opts.rel_tol,
-                max_iter: opts.max_iter,
-            },
+            cfg,
             csr,
-        }))
+        }
     }
 }
 
@@ -536,7 +679,8 @@ impl SddFactor for SparseCgFactor {
                 self.dim()
             )));
         }
-        x.fill(0.0);
+        // `x` carries the caller's initial guess (warm start), per the
+        // trait contract — do NOT zero it here.
         let csr = &self.csr;
         let ic = &self.ic;
         let stats = pcg_operator(
@@ -554,6 +698,165 @@ impl SddFactor for SparseCgFactor {
         )
     }
 
+    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "RHS has {} rows, factor dimension is {}",
+                b.rows(),
+                self.dim()
+            )));
+        }
+        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        let csr = &self.csr;
+        let ic = &self.ic;
+        let runs = pcg_operator_block(
+            |v, out| csr.spmm(v, out),
+            |r, z| ic.apply_block(r, z),
+            b,
+            &mut x,
+            &self.cfg,
+        );
+        record_block(
+            &mut self.stats,
+            &runs,
+            2 * self.csr.nnz() as u64 + 4 * self.ic.nnz_lower() as u64 + 12 * self.csr.dim() as u64,
+        )?;
+        Ok(x)
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// tree-pcg
+// ---------------------------------------------------------------------
+
+/// Iterative backend: CSR `L_{-S}` preconditioned by a
+/// diagonal-compensated BFS spanning tree ([`TreePreconditioner`]) — the
+/// Vaidya-style combinatorial rung toward the paper's Kyng–Sachdeva
+/// solver. `O(n)` preconditioner factorization and sweeps (cheaper than
+/// IC(0) per iteration), and because the tree carries long-range
+/// connectivity, far fewer PCG iterations on meshes and road networks
+/// where Jacobi and IC(0) pay `O(√n)`-ish counts.
+pub struct TreePcgBackend;
+
+struct TreePcgFactor {
+    csr: CsrMatrix,
+    tree: TreePreconditioner,
+    keep: Vec<Node>,
+    pos: Vec<usize>,
+    cfg: CgConfig,
+    stats: SolveStats,
+}
+
+impl SddSolver for TreePcgBackend {
+    fn name(&self) -> &'static str {
+        "tree-pcg"
+    }
+
+    fn kind(&self) -> SddKind {
+        SddKind::Iterative
+    }
+
+    fn ops(&self) -> &'static str {
+        "solve_vec (warm-startable), solve_mat (blocked multi-RHS), diag_inverse/trace_inverse (n solves); CSR + compensated spanning tree, O(n) preconditioner sweeps"
+    }
+
+    fn factor<'g>(
+        &self,
+        g: &'g Graph,
+        in_s: &[bool],
+        opts: &SddOptions,
+    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+        check_grounding(g, in_s)?;
+        let (csr, keep, pos) = CsrMatrix::grounded_laplacian(g, in_s);
+        let tree = TreePreconditioner::build(g, in_s, &keep, &pos)?;
+        Ok(Box::new(TreePcgFactor {
+            stats: SolveStats {
+                // BFS + one O(n) elimination pass.
+                flops: (2 * csr.nnz() + 4 * csr.dim()) as u64,
+                ..SolveStats::default()
+            },
+            tree,
+            keep,
+            pos,
+            cfg: CgConfig {
+                rel_tol: opts.rel_tol,
+                max_iter: opts.max_iter,
+            },
+            csr,
+        }))
+    }
+}
+
+impl TreePcgFactor {
+    /// SpMV + three O(n) tree sweeps + 5 vector ops per iteration.
+    fn flops_per_iter(&self) -> u64 {
+        2 * self.csr.nnz() as u64 + 18 * self.csr.dim() as u64
+    }
+}
+
+impl SddFactor for TreePcgFactor {
+    fn dim(&self) -> usize {
+        self.csr.dim()
+    }
+
+    fn kept_nodes(&self) -> &[Node] {
+        &self.keep
+    }
+
+    fn compact_of(&self, u: Node) -> Option<usize> {
+        let p = self.pos[u as usize];
+        (p != usize::MAX).then_some(p)
+    }
+
+    fn solve_vec_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        if b.len() != self.dim() || x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "vector length vs factor dimension {}",
+                self.dim()
+            )));
+        }
+        // `x` carries the caller's initial guess (warm start), per the
+        // trait contract — do NOT zero it here.
+        let csr = &self.csr;
+        let tree = &self.tree;
+        let stats = pcg_operator(
+            |v, out| csr.spmv(v, out),
+            |r, z| tree.apply(r, z),
+            b,
+            x,
+            &self.cfg,
+        );
+        let fpi = self.flops_per_iter();
+        record_iterative(&mut self.stats, &stats, fpi)
+    }
+
+    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "RHS has {} rows, factor dimension is {}",
+                b.rows(),
+                self.dim()
+            )));
+        }
+        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        let csr = &self.csr;
+        let tree = &self.tree;
+        let runs = pcg_operator_block(
+            |v, out| csr.spmm(v, out),
+            |r, z| tree.apply_block(r, z),
+            b,
+            &mut x,
+            &self.cfg,
+        );
+        let fpi = self.flops_per_iter();
+        record_block(&mut self.stats, &runs, fpi)?;
+        Ok(x)
+    }
+
     fn stats(&self) -> SolveStats {
         self.stats
     }
@@ -564,7 +867,12 @@ impl SddFactor for SparseCgFactor {
 // ---------------------------------------------------------------------
 
 /// Every registered backend, in listing order.
-static BACKENDS: &[&dyn SddSolver] = &[&DenseCholeskyBackend, &CgJacobiBackend, &SparseCgBackend];
+static BACKENDS: &[&dyn SddSolver] = &[
+    &DenseCholeskyBackend,
+    &CgJacobiBackend,
+    &SparseCgBackend,
+    &TreePcgBackend,
+];
 
 /// Alias table (alias → canonical name).
 static ALIASES: &[(&str, &str)] = &[
@@ -574,6 +882,9 @@ static ALIASES: &[(&str, &str)] = &[
     ("jacobi", "cg-jacobi"),
     ("sparse", "sparse-cg"),
     ("ic", "sparse-cg"),
+    ("tree", "tree-pcg"),
+    ("lst", "tree-pcg"),
+    ("vaidya", "tree-pcg"),
 ];
 
 /// All registered backends.
@@ -610,6 +921,8 @@ pub enum SddBackend {
     CgJacobi,
     /// Force `sparse-cg`.
     SparseCg,
+    /// Force `tree-pcg`.
+    TreePcg,
 }
 
 impl SddBackend {
@@ -628,6 +941,7 @@ impl SddBackend {
             "dense-cholesky" => Some(SddBackend::DenseCholesky),
             "cg-jacobi" => Some(SddBackend::CgJacobi),
             "sparse-cg" => Some(SddBackend::SparseCg),
+            "tree-pcg" => Some(SddBackend::TreePcg),
             _ => None,
         }
     }
@@ -639,10 +953,16 @@ impl SddBackend {
             SddBackend::DenseCholesky => "dense-cholesky",
             SddBackend::CgJacobi => "cg-jacobi",
             SddBackend::SparseCg => "sparse-cg",
+            SddBackend::TreePcg => "tree-pcg",
         }
     }
 
     /// Resolve to a concrete backend for an `n`-unknown system.
+    ///
+    /// The `auto` policy stays a size test (dense below the limit, IC(0)
+    /// sparse above): `tree-pcg` wins on large-diameter meshes but loses
+    /// to IC(0) on expander-like graphs, and topology is not knowable
+    /// from `n` alone — so it remains an explicit opt-in.
     pub fn resolve(self, n: usize) -> &'static dyn SddSolver {
         let name = match self {
             SddBackend::Auto => {
@@ -805,5 +1125,206 @@ mod tests {
         // 29 unknowns → dense: direct solves report zero iterations.
         f.solve_vec(&vec![1.0; 29]).unwrap();
         assert_eq!(f.stats().iterations, 0);
+    }
+
+    /// Iterative backends under test (everything but the dense reference).
+    fn iterative_backends() -> Vec<&'static dyn SddSolver> {
+        backends()
+            .iter()
+            .copied()
+            .filter(|b| b.kind() == SddKind::Iterative)
+            .collect()
+    }
+
+    #[test]
+    fn tree_backend_registers_parses_and_aliases() {
+        assert_eq!(by_name("tree-pcg").unwrap().name(), "tree-pcg");
+        assert_eq!(by_name("tree").unwrap().name(), "tree-pcg");
+        assert_eq!(by_name("vaidya").unwrap().name(), "tree-pcg");
+        assert_eq!(SddBackend::parse("tree"), Some(SddBackend::TreePcg));
+        assert_eq!(SddBackend::TreePcg.to_string(), "tree-pcg");
+        assert_eq!(SddBackend::TreePcg.resolve(10).name(), "tree-pcg");
+        assert_eq!(backends().len(), 4);
+    }
+
+    /// Regression (singular-system guard): a grounding that leaves nodes
+    /// unreachable from S — a disconnected component or an isolated
+    /// vertex — must fail at factor time with a structured error on every
+    /// iterative backend, not build a 1/0 preconditioner.
+    #[test]
+    fn singular_grounding_is_a_structured_factor_error() {
+        // Two components: S touches only the first.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let in_s = mask(6, &[0]);
+        for backend in iterative_backends() {
+            let err = backend
+                .factor(&g, &in_s, &SddOptions::default())
+                .err()
+                .unwrap_or_else(|| panic!("{} must reject singular grounding", backend.name()));
+            assert!(
+                matches!(err, LinalgError::SingularGrounding { node } if node >= 3),
+                "{}: {err:?}",
+                backend.name()
+            );
+        }
+        // Isolated vertex (zero grounded degree — the historical inf/NaN
+        // inv_diag case).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let in_s = mask(4, &[0]);
+        for backend in iterative_backends() {
+            assert!(
+                matches!(
+                    backend.factor(&g, &in_s, &SddOptions::default()),
+                    Err(LinalgError::SingularGrounding { node: 3 })
+                ),
+                "{}",
+                backend.name()
+            );
+        }
+        // Same graphs with every component grounded factor fine.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let in_s = mask(6, &[0, 3]);
+        for backend in iterative_backends() {
+            backend
+                .factor(&g, &in_s, &SddOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", backend.name()));
+        }
+    }
+
+    /// Regression (warm-start contract): `solve_vec_into` documents that
+    /// `x` carries the initial guess; re-solving the same system from its
+    /// own solution must converge (nearly) immediately on every
+    /// iterative backend.
+    #[test]
+    fn warm_started_resolve_takes_fewer_iterations() {
+        let mut rng = StdRng::seed_from_u64(0x3A9);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let in_s = mask(300, &[4]);
+        let b: Vec<f64> = (0..299).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for backend in iterative_backends() {
+            let mut f = backend
+                .factor(&g, &in_s, &SddOptions::with_tol(1e-10))
+                .unwrap();
+            let mut x = vec![0.0; 299];
+            f.solve_vec_into(&b, &mut x).unwrap();
+            let cold = f.stats().iterations;
+            assert!(cold > 0, "{}", backend.name());
+            // Warm start from the converged solution: the initial
+            // residual already meets the tolerance.
+            f.solve_vec_into(&b, &mut x).unwrap();
+            let warm = f.stats().iterations - cold;
+            assert!(
+                warm < cold && warm <= 1,
+                "{}: warm {warm} vs cold {cold}",
+                backend.name()
+            );
+        }
+    }
+
+    /// The blocked multi-RHS `solve_mat` must agree with per-column
+    /// `solve_vec` solves to well within the tolerance, and record one
+    /// solve per column in the stats.
+    #[test]
+    fn blocked_solve_mat_matches_per_column_solves() {
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for (trial, g) in [
+            generators::barabasi_albert(90, 3, &mut rng),
+            generators::grid(10, 9),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = g.num_nodes();
+            let in_s = mask(n, &[1]);
+            let d = n - 1;
+            let w = 9;
+            let mut rhs = DenseMatrix::zeros(d, w);
+            for i in 0..d {
+                for j in 0..w {
+                    rhs.set(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+            // Make one column converge much earlier than the rest, so the
+            // deflation path is exercised.
+            for i in 0..d {
+                rhs.set(i, 3, 1e-3 * rhs.get(i, 3));
+            }
+            let opts = SddOptions::with_tol(1e-11);
+            for backend in iterative_backends() {
+                let mut fb = backend.factor(&g, &in_s, &opts).unwrap();
+                let x = fb.solve_mat(&rhs).unwrap();
+                assert_eq!(fb.stats().solves, w as u64);
+                assert!(fb.stats().iterations > 0);
+                assert!(fb.stats().max_rel_residual <= 1e-11);
+                let mut fc = backend.factor(&g, &in_s, &opts).unwrap();
+                let mut col = vec![0.0; d];
+                for j in 0..w {
+                    for (i, c) in col.iter_mut().enumerate() {
+                        *c = rhs.get(i, j);
+                    }
+                    let xc = fc.solve_vec(&col).unwrap();
+                    let scale = xc.iter().fold(1e-30f64, |m, &v| m.max(v.abs()));
+                    for (i, &v) in xc.iter().enumerate() {
+                        assert!(
+                            (x.get(i, j) - v).abs() / scale <= 1e-8,
+                            "{} trial {trial} col {j} row {i}: {} vs {v}",
+                            backend.name(),
+                            x.get(i, j)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A blocked solve where columns cannot converge must surface the
+    /// error contract, same as the per-column path.
+    #[test]
+    fn blocked_nonconvergence_is_an_error() {
+        let g = generators::path(400);
+        let in_s = mask(400, &[0]);
+        let opts = SddOptions {
+            rel_tol: 1e-14,
+            max_iter: 2,
+            threads: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(0xBADC);
+        let mut rhs = DenseMatrix::zeros(399, 4);
+        for i in 0..399 {
+            for j in 0..4 {
+                rhs.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let mut f = CgJacobiBackend.factor(&g, &in_s, &opts).unwrap();
+        assert!(matches!(
+            f.solve_mat(&rhs),
+            Err(LinalgError::DidNotConverge { .. })
+        ));
+    }
+
+    /// Regression (surfaced preconditioner shift): a forced IC(0)
+    /// breakdown recovers via the Manteuffel shift, and the perturbation
+    /// is visible in `SolveStats.precond_shift` instead of being
+    /// swallowed; the healthy path reports zero.
+    #[test]
+    fn manteuffel_shift_surfaces_in_solve_stats() {
+        let g = generators::cycle(12);
+        let in_s = mask(12, &[0]);
+        let (mut csr, keep, pos) = CsrMatrix::grounded_laplacian(&g, &in_s);
+        // Kill the diagonal dominance: plain IC(0) pivots go non-positive
+        // and the escalation must land on a nonzero shift.
+        csr.scale_diagonal(0.45);
+        let ic = IncompleteCholesky::factor(&csr).expect("shift escalation recovers");
+        assert!(ic.shift() > 0.0);
+        let f = SparseCgFactor::from_parts(csr, ic, keep, pos, CgConfig::default());
+        assert_eq!(f.stats().precond_shift, f.ic.shift());
+        assert!(f.stats().precond_shift > 0.0);
+
+        // Healthy grounded Laplacian: no shift reported, anywhere.
+        let mut f = SparseCgBackend
+            .factor(&g, &in_s, &SddOptions::default())
+            .unwrap();
+        f.solve_vec(&[1.0; 11]).unwrap();
+        assert_eq!(f.stats().precond_shift, 0.0);
     }
 }

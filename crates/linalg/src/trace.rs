@@ -70,6 +70,10 @@ pub fn trace_inverse_hutchinson_factor<R: Rng>(
             *zi = if rng.gen::<bool>() { 1.0 } else { -1.0 };
         }
         let before = factor.stats();
+        // Cold start each probe: iterative solve_vec_into honors `x` as a
+        // warm start, and the previous probe's solution is unrelated to
+        // this probe's random RHS.
+        x.fill(0.0);
         factor.solve_vec_into(&z, &mut x)?;
         aggregate(&mut cg, &factor.stats(), before);
         let quad: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();

@@ -1,11 +1,14 @@
 //! Backend-equivalence property tests for the unified `SddSolver` API:
-//! `dense-cholesky`, `cg-jacobi`, and the CSR/IC(0) `sparse-cg` backend
-//! must agree to ≤ 1e-8 *relative* error on `solve_mat`, `diag_inverse`,
-//! and `trace_inverse` over random connected graphs (seeded loops — the
-//! offline stand-in for proptest).
+//! `dense-cholesky`, `cg-jacobi`, the CSR/IC(0) `sparse-cg` backend, and
+//! the spanning-tree `tree-pcg` backend must agree to ≤ 1e-8 *relative*
+//! error on `solve_mat` (multi-column RHS — the iterative backends answer
+//! it with blocked multi-RHS PCG), `diag_inverse`, and `trace_inverse`
+//! over random connected graphs (seeded loops — the offline stand-in for
+//! proptest). The loops iterate the live registry, so a future fifth
+//! backend is covered the moment it is registered.
 
 use cfcc_graph::{generators, Graph};
-use cfcc_linalg::sdd::{backends, SddOptions};
+use cfcc_linalg::sdd::{backends, by_name, SddOptions};
 use cfcc_linalg::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +30,8 @@ fn rel_err(a: f64, b: f64) -> f64 {
 
 #[test]
 fn backends_agree_on_solve_mat_diag_and_trace() {
+    // Guard against silently testing fewer backends than are registered.
+    assert_eq!(backends().len(), 4, "registry grew: extend the doc above");
     let mut rng = StdRng::seed_from_u64(0x5DD0);
     let opts = SddOptions::with_tol(1e-12);
     for trial in 0..8u64 {
@@ -152,4 +157,36 @@ fn sparse_backend_handles_a_path_graph_ill_conditioning() {
         "IC(0) on a tree should converge immediately, took {}",
         f.stats().iterations
     );
+}
+
+#[test]
+fn tree_pcg_cuts_iterations_on_a_mesh() {
+    // The combinatorial preconditioner's reason to exist: on a
+    // large-diameter grid the spanning tree carries long-range
+    // connectivity that the Jacobi diagonal cannot, so PCG converges in
+    // decisively fewer iterations (BENCH_PR4 records the same at 8k+
+    // nodes in release mode).
+    let g = generators::grid(40, 40);
+    let mut in_s = vec![false; 1600];
+    in_s[0] = true;
+    let opts = SddOptions::with_tol(1e-8);
+    let mut rng = StdRng::seed_from_u64(0x9D1D);
+    let b: Vec<f64> = (0..1599).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut iters = Vec::new();
+    let mut solutions = Vec::new();
+    for name in ["cg-jacobi", "tree-pcg"] {
+        let mut f = by_name(name).unwrap().factor(&g, &in_s, &opts).unwrap();
+        solutions.push(f.solve_vec(&b).unwrap());
+        iters.push(f.stats().iterations);
+    }
+    assert!(
+        iters[1] < iters[0],
+        "tree-pcg {} vs cg-jacobi {} iterations",
+        iters[1],
+        iters[0]
+    );
+    let scale = solutions[0].iter().fold(1e-30f64, |m, &v| m.max(v.abs()));
+    for (a, c) in solutions[0].iter().zip(&solutions[1]) {
+        assert!((a - c).abs() / scale <= 1e-7, "{a} vs {c}");
+    }
 }

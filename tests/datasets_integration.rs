@@ -60,16 +60,26 @@ fn scale_free_proxy_t_star_in_paper_ballpark() {
 
 #[test]
 fn end_to_end_on_euroroads_proxy() {
-    let g = cfcc_datasets::by_name("euroroads", 1.0).unwrap();
-    let params = CfcmParams::with_epsilon(0.3).seed(17);
+    // Half-scale proxy (n ≈ 520) and dense exact evaluation: the
+    // full-scale variant of this test evaluated three groups through
+    // per-node CG solves on a large-diameter road network — ~3 minutes of
+    // debug-mode test time for the same assertions. Road structure (low
+    // max degree, long diameter) is preserved under dataset scaling, and
+    // the release-mode bench harness covers the full-scale graphs.
+    let g = cfcc_datasets::by_name("euroroads", 0.5).unwrap();
+    let mut params = CfcmParams::with_epsilon(0.3).seed(17);
+    // Half the default forest budget: random walks mix slowly on road
+    // topologies, and the adaptive stop rarely needs the full ceiling for
+    // the coarse assertions below.
+    params.max_forests = 2048;
     let k = 5;
     let forest = forest_cfcm(&g, k, &params).unwrap();
     let schur = schur_cfcm(&g, k, &params).unwrap();
-    let cf = cfcc::cfcc_group_cg(&g, &forest.nodes, 1e-8).unwrap();
-    let cs = cfcc::cfcc_group_cg(&g, &schur.nodes, 1e-8).unwrap();
+    let cf = cfcc::cfcc_group_exact(&g, &forest.nodes);
+    let cs = cfcc::cfcc_group_exact(&g, &schur.nodes);
     // Both must decisively beat a random-ish group of the same size.
     let arbitrary: Vec<u32> = (100..100 + k as u32).collect();
-    let ca = cfcc::cfcc_group_cg(&g, &arbitrary, 1e-8).unwrap();
+    let ca = cfcc::cfcc_group_exact(&g, &arbitrary);
     assert!(cf > ca, "forest {cf} vs arbitrary {ca}");
     assert!(cs > ca, "schur {cs} vs arbitrary {ca}");
     // And land within 10% of each other.

@@ -125,9 +125,12 @@ fn progress_callbacks_fire_once_per_iteration() {
 
 #[test]
 fn cancellation_stops_a_long_forest_run_early_with_stats_intact() {
-    // A workload big enough that iterations take a visible amount of time.
-    let g = cfcc_datasets::by_name("hamsterster", 0.5).unwrap();
-    let k = 10;
+    // A workload big enough that iterations take a visible amount of
+    // time, but no bigger: the uncancelled comparison run below pays for
+    // every iteration, and at 0.5 scale / k = 10 this test alone took
+    // ~85 s in debug mode for the same assertions.
+    let g = cfcc_datasets::by_name("hamsterster", 0.25).unwrap();
+    let k = 6;
     let stop_after = 2usize;
 
     let token = CancelToken::new();
@@ -161,7 +164,7 @@ fn cancellation_stops_a_long_forest_run_early_with_stats_intact() {
     assert!(sel.stats.total_forests() > 0);
     assert!(sel.stats.total_seconds() > 0.0);
 
-    // "Promptly": a full k=10 run does ~5x the sampling work of the two
+    // "Promptly": a full k=6 run does ~3x the sampling work of the two
     // completed iterations; the cancelled run must not have done it. A
     // direct uncancelled run of the same prefix length bounds the time
     // loosely from above (same seeds, same workload).
