@@ -1,0 +1,146 @@
+//! Warm-vs-cold greedy ladder (BENCH_PR5): the persistent execution
+//! engine's win, measured end to end.
+//!
+//! 1. **Warm-started vs cold-started ApproxGreedy**
+//!    (`approx_greedy_warm_vs_cold_{ms,iters}`): the same k-step run
+//!    through `sparse-cg`, once with every iteration's `2w` sketched
+//!    solves cold-started and once seeded from the previous iteration's
+//!    solutions (the engine's block warm start). Two report rows per
+//!    size: wall clock and the total blocked-PCG iterations aggregated
+//!    by `RunStats::solve` — baseline column = cold, compare column =
+//!    warm. Selections are asserted identical.
+//! 2. **Worker-pool GEMM reuse** (`gemm_512_pool_calls`): one hundred
+//!    mid-size GEMMs at 4 threads through the persistent pool — the
+//!    many-products-per-round shape (`schur_delta`) that per-call thread
+//!    spawning used to tax. Baseline column = serial, compare = pooled.
+//!
+//! * `CFCC_PRESET=smoke` (default): tiny sizes — the CI regression gate.
+//! * `CFCC_PRESET=paper`: the full ladder; emits `BENCH_PR5.json` at the
+//!   workspace root (override with `CFCC_BENCH_OUT`; setting it also
+//!   forces emission under `smoke`).
+
+use cfcc_bench::report::BenchReport;
+use cfcc_bench::{banner, fmt_ratio, Preset};
+use cfcc_core::approx_greedy::approx_greedy;
+use cfcc_core::CfcmParams;
+use cfcc_graph::generators;
+use cfcc_linalg::dense::DenseMatrix;
+use cfcc_linalg::SddBackend;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let preset = Preset::from_env();
+    banner(
+        "greedy",
+        "warm-started vs cold-started ApproxGreedy through the persistent engine (BENCH_PR5)",
+        preset,
+    );
+    let sizes: &[usize] = match preset {
+        Preset::Smoke => &[1_000],
+        _ => &[2_048, 8_192, 20_000],
+    };
+    let k = 5;
+    let mut report = BenchReport::new();
+
+    println!(
+        "{:<34} {:>6} {:>12} {:>12} {:>9}",
+        "workload", "n", "cold", "warm", "ratio"
+    );
+    for &n in sizes {
+        let mut rng = SmallRng::seed_from_u64(0x9E5 + n as u64);
+        let g = generators::barabasi_albert(n, 3, &mut rng);
+        let mut params = CfcmParams::with_epsilon(0.3)
+            .seed(13)
+            .backend(SddBackend::SparseCg);
+        params.jl_width = Some(8);
+        let mut times = Vec::new();
+        let mut iters = Vec::new();
+        let mut selections = Vec::new();
+        for warm in [false, true] {
+            let p = params.clone().warm_start(warm);
+            let t = Instant::now();
+            let sel = approx_greedy(&g, k, &p).expect("approx greedy");
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+            iters.push(sel.stats.solve.iterations as f64);
+            selections.push(sel.nodes);
+        }
+        assert_eq!(
+            selections[0], selections[1],
+            "cold and warm runs must select the same group"
+        );
+        report.push("approx_greedy_warm_vs_cold_ms", n, times[0], times[1]);
+        report.push("approx_greedy_warm_vs_cold_iters", n, iters[0], iters[1]);
+        println!(
+            "{:<34} {:>6} {:>12.1} {:>12.1} {:>9}   (wall ms, cold vs warm)",
+            "approx_greedy_warm_vs_cold_ms",
+            n,
+            times[0],
+            times[1],
+            fmt_ratio(times[0] / times[1])
+        );
+        println!(
+            "{:<34} {:>6} {:>12.0} {:>12.0} {:>9}   (total PCG iterations, cold vs warm)",
+            "approx_greedy_warm_vs_cold_iters",
+            n,
+            iters[0],
+            iters[1],
+            fmt_ratio(iters[0] / iters[1])
+        );
+    }
+
+    // ---- worker-pool reuse on many mid-size GEMMs ----------------------
+    // 100 products of the `schur_delta` round shape; the pool's parked
+    // workers make the 4-thread path a straight win even at this size
+    // (per-call thread spawns used to eat the speedup).
+    let dim = match preset {
+        Preset::Smoke => 256,
+        _ => 512,
+    };
+    let reps = 100;
+    let mut rng = SmallRng::seed_from_u64(0x6E33);
+    let mut a = DenseMatrix::zeros(dim, dim);
+    let mut b = DenseMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            a.set(i, j, rng.gen_range(-1.0..1.0));
+            b.set(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    let mut out = DenseMatrix::zeros(dim, dim);
+    let time_gemms = |threads: usize, out: &mut DenseMatrix| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            a.matmul_into(&b, out, threads);
+        }
+        std::hint::black_box(&out);
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let serial_ms = time_gemms(1, &mut out);
+    let pooled_ms = time_gemms(4, &mut out);
+    let name = format!("gemm_{dim}_x{reps}_pool");
+    report.push(&name, dim, serial_ms, pooled_ms);
+    println!(
+        "\n{:<34} {:>6} {:>12.1} {:>12.1} {:>9}   ({} GEMMs, serial vs pooled 4T)",
+        name,
+        dim,
+        serial_ms,
+        pooled_ms,
+        fmt_ratio(serial_ms / pooled_ms),
+        reps
+    );
+
+    let out = std::env::var("CFCC_BENCH_OUT").ok();
+    let emit = out.is_some() || preset != Preset::Smoke;
+    if emit {
+        let path = out
+            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json").into());
+        report
+            .write(&path, "greedy", preset.name())
+            .expect("write bench report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\nsmoke preset: report not written (set CFCC_BENCH_OUT to force)");
+    }
+}

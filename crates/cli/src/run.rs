@@ -152,10 +152,19 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
             // Greedy factors run at n−1 … n−k kept unknowns; within k of
             // the auto threshold the policy can genuinely switch mid-run,
             // so only name a backend when the whole range resolves to it.
-            let first = args.backend.resolve(g.num_nodes().saturating_sub(1)).name();
+            // The graph-aware resolver also sniffs topology: above the
+            // dense limit, large-diameter graphs route to tree-pcg. The
+            // sniff (two BFS sweeps) runs at most once for the label.
+            let n = g.num_nodes();
+            let large = n.saturating_sub(1) > cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT
+                && cfcc_linalg::sdd::large_diameter(&g);
+            let first = args
+                .backend
+                .resolve_with_sniff(n.saturating_sub(1), || large)
+                .name();
             let last = args
                 .backend
-                .resolve(g.num_nodes().saturating_sub(args.k))
+                .resolve_with_sniff(n.saturating_sub(args.k), || large)
                 .name();
             if first == last {
                 format!("auto ({first})")
@@ -263,8 +272,9 @@ pub fn render_backend_list() -> String {
         "auto".into(),
         "policy".into(),
         format!(
-            "dense-cholesky up to {} unknowns, sparse-cg above",
-            cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT
+            "dense-cholesky up to {} unknowns; above: tree-pcg when the BFS diameter estimate exceeds {}·log2(n) (meshes, road networks), else sparse-cg",
+            cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT,
+            cfcc_linalg::SddBackend::AUTO_TREE_DIAMETER_FACTOR
         ),
     ]);
     t.render()

@@ -17,7 +17,7 @@
 //! reproduction dispatches every grounded solve through the pluggable
 //! [`cfcc_linalg::sdd`] backend chosen by [`CfcmParams::backend`]
 //! (factor once per iteration, then `2w` right-hand sides through
-//! `solve_mat`): dense Cholesky amortizes its factorization on small
+//! `solve_mat_into`): dense Cholesky amortizes its factorization on small
 //! graphs, and the CSR/IC(0) `sparse-cg` and spanning-tree `tree-pcg`
 //! backends carry the solver to large ones in `O(n + m)` memory — no
 //! `n × n` matrix is ever allocated on that path, preserving the
@@ -26,6 +26,15 @@
 //! multi-RHS PCG**: the whole chunk advances in lockstep, sharing every
 //! SpMV/preconditioner sweep, instead of degenerating into 16
 //! independent CG runs.
+//!
+//! Iterations run through the persistent execution engine
+//! ([`crate::engine::GreedyWorkspace`]): the JL sketch and sketched
+//! incidence are sampled once over the full node space, and each round's
+//! solves are **warm-started** from the previous round's solutions
+//! projected onto the new grounding — `L_{-S}` and `L_{-S∪{v}}` differ by
+//! one grounded node, so the projected block is one rank-one correction
+//! from converged. The aggregated solver work lands in
+//! [`RunStats::solve`].
 
 use crate::context::SolveContext;
 use crate::result::{IterStats, RunStats, Selection};
@@ -33,9 +42,6 @@ use crate::solver::{CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::cg::{solve_pseudoinverse, CgConfig};
-use cfcc_linalg::jl::JlSketch;
-use cfcc_linalg::vector::norm2_sq;
-use cfcc_linalg::DenseMatrix;
 use cfcc_util::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,10 +63,13 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
     let cg = CgConfig {
         rel_tol: params.cg_tol,
         max_iter: 50_000,
+        threads: params.threads,
     };
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xA99);
     let mut stats = RunStats::default();
     let mut sw = Stopwatch::start();
+    let mut ws = ctx.workspace();
+    ws.begin_run();
 
     // ---- first pick: argmin L†_uu via sketched incidence solves ----
     let mut diag = vec![0.0f64; n];
@@ -102,60 +111,27 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
     stats.iterations.push(it);
 
     // ---- iterations 2..k ----
+    // The persistent sketches are sampled once over the full node space;
+    // every iteration restricts them to its kept rows, so consecutive
+    // rounds solve for right-hand sides that differ only by one deleted
+    // row — the precondition for the engine's block warm start.
+    ws.ensure_sketch(g, w, params.seed);
     for _ in 1..k {
         if ctx.interrupted() {
             break;
         }
         // Factor once per iteration, then push all 2w sketched right-hand
-        // sides through the backend's multi-RHS solve — in column chunks,
-        // so the workspace stays O(n · RHS_CHUNK) instead of O(n · w)
+        // sides through the backend's multi-RHS solve — in column chunks
+        // of `engine::RHS_CHUNK`, so the live workspace stays O(n · chunk)
         // (w grows with log n / ε², and explodes under the theoretical
-        // bounds). Chunks amortize the dense factorization, and on the
+        // bounds). Chunks amortize the dense factorization; on the
         // iterative backends each chunk runs as one blocked multi-RHS PCG
-        // (shared SpMV/preconditioner sweeps, converged columns deflated).
-        const RHS_CHUNK: usize = 16;
+        // (shared SpMV/preconditioner sweeps, converged columns deflated),
+        // seeded with the previous round's solutions when warm starts are
+        // on.
         let mut factor = ctx.factor_grounded(g, &in_s)?;
         let d = factor.dim();
-        let sketch = JlSketch::sample(w, d, &mut rng);
-        let mut num = vec![0.0f64; d];
-        let mut den = vec![0.0f64; d];
-        let mut j0 = 0;
-        while j0 < w {
-            let c = (w - j0).min(RHS_CHUNK);
-            // numerator solves: L_{-S} Y = Wᵀ (the sketch rows as columns)
-            let mut b = DenseMatrix::zeros(d, c);
-            for jc in 0..c {
-                for (u, &v) in sketch.row(j0 + jc).iter().enumerate() {
-                    b.set(u, jc, v);
-                }
-            }
-            let y = factor.solve_mat(&b)?;
-            for (u, acc) in num.iter_mut().enumerate() {
-                *acc += norm2_sq(y.row(u));
-            }
-            // denominator solves: L_{-S} Z = (Q B_{-S})ᵀ, one sketched
-            // incidence column per j. Edge signs are drawn in ascending j
-            // order across chunks and the numerator path consumes no RNG,
-            // so the stream matches the historical per-j loop and
-            // selections stay seed-stable.
-            let mut b = DenseMatrix::zeros(d, c);
-            for jc in 0..c {
-                for (a2, b2) in g.edges() {
-                    let s = if rng.gen::<bool>() { scale } else { -scale };
-                    if let Some(ca) = factor.compact_of(a2) {
-                        b.add_to(ca, jc, s);
-                    }
-                    if let Some(cb) = factor.compact_of(b2) {
-                        b.add_to(cb, jc, -s);
-                    }
-                }
-            }
-            let y = factor.solve_mat(&b)?;
-            for (u, acc) in den.iter_mut().enumerate() {
-                *acc += norm2_sq(y.row(u));
-            }
-            j0 += c;
-        }
+        let (num, den) = ws.sketched_gains(factor.as_mut(), params.warm_start)?;
         let mut best_c = 0usize;
         let mut best_gain = f64::NEG_INFINITY;
         for cix in 0..d {
@@ -180,6 +156,7 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
         ctx.emit(&it);
         stats.iterations.push(it);
     }
+    stats.solve = ws.solve_stats();
     Ok(Selection { nodes, stats })
 }
 

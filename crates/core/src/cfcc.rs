@@ -8,6 +8,7 @@
 //!   heuristic and sanity checks.
 //! * resistance distances `R(u, v)` and `R(u, S)`.
 
+use crate::engine;
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
 use cfcc_linalg::cg::CgConfig;
@@ -20,14 +21,11 @@ use cfcc_linalg::trace::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// SDD options derived from solver parameters — tolerance *and* thread
-/// count, so `--threads` reaches the evaluators' dense factorizations.
+/// SDD options derived from solver parameters — the engine's shared
+/// derivation, so tolerance and the worker-pool thread count reach the
+/// evaluators exactly like they reach the greedy loops.
 fn sdd_opts(params: &CfcmParams) -> SddOptions {
-    SddOptions {
-        rel_tol: params.cg_tol,
-        threads: params.threads,
-        ..SddOptions::default()
-    }
+    engine::solve_options(params)
 }
 
 /// Build the `in_s` mask from a node list, rejecting duplicates/overflow.

@@ -8,9 +8,10 @@
 //! skipped the parameter checks the Monte-Carlo solvers performed).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::engine::{self, GreedyWorkspace};
 use crate::result::IterStats;
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::Graph;
@@ -56,6 +57,16 @@ pub struct SolveContext {
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
     progress: Option<Box<ProgressSink>>,
+    /// Persistent greedy execution state (sketches, warm-start solution
+    /// blocks, round scratch, aggregated solver stats) — see
+    /// [`crate::engine`]. Behind a mutex only so the context stays `Sync`;
+    /// solvers access it from one thread at a time.
+    workspace: Mutex<GreedyWorkspace>,
+    /// Memoized `auto`-policy topology sniff (`sdd::large_diameter`, two
+    /// BFS sweeps): a greedy run factors the same graph once per round,
+    /// and the answer never changes within a run — a context serves one
+    /// graph (every construction path makes a fresh context per solve).
+    auto_sniff: Mutex<Option<bool>>,
 }
 
 impl std::fmt::Debug for SolveContext {
@@ -86,7 +97,15 @@ impl SolveContext {
             cancel: None,
             deadline: None,
             progress: None,
+            workspace: Mutex::new(GreedyWorkspace::new()),
+            auto_sniff: Mutex::new(None),
         }
+    }
+
+    /// The run's persistent [`GreedyWorkspace`] (warm-start state, reusable
+    /// buffers, aggregated solver stats).
+    pub fn workspace(&self) -> MutexGuard<'_, GreedyWorkspace> {
+        self.workspace.lock().expect("workspace mutex poisoned")
     }
 
     /// Convenience: borrow-and-clone construction from existing parameters
@@ -145,13 +164,10 @@ impl SolveContext {
     }
 
     /// SDD solver options derived from the parameters (CG tolerance,
-    /// thread count for the blocked dense kernels).
+    /// thread count for the worker pool behind the blocked kernels and
+    /// the blocked multi-RHS PCG).
     pub fn sdd_options(&self) -> SddOptions {
-        SddOptions {
-            rel_tol: self.params.cg_tol,
-            max_iter: 50_000,
-            threads: self.params.threads,
-        }
+        engine::solve_options(&self.params)
     }
 
     /// Factor the grounded Laplacian `L_{-S}` through the backend chosen
@@ -167,7 +183,19 @@ impl SolveContext {
         g: &'g Graph,
         in_s: &[bool],
     ) -> Result<Box<dyn SddFactor + 'g>, CfcmError> {
-        sdd::factor(g, in_s, self.params.backend, &self.sdd_options()).map_err(CfcmError::from)
+        let kept = in_s.iter().filter(|&&s| !s).count();
+        // `auto`'s diameter sniff is memoized per context: the greedy
+        // loops factor the same (immutable) graph once per round.
+        let solver = self.params.backend.resolve_with_sniff(kept, || {
+            *self
+                .auto_sniff
+                .lock()
+                .expect("sniff mutex poisoned")
+                .get_or_insert_with(|| sdd::large_diameter(g))
+        });
+        solver
+            .factor(g, in_s, &self.sdd_options())
+            .map_err(CfcmError::from)
     }
 
     /// Should the solver stop early? True once the cancel token fires or

@@ -24,7 +24,10 @@ fn selection_from(nodes: Vec<Node>, seconds: f64) -> Selection {
         .collect();
     Selection {
         nodes,
-        stats: RunStats { iterations },
+        stats: RunStats {
+            iterations,
+            ..RunStats::default()
+        },
     }
 }
 

@@ -95,6 +95,7 @@ pub mod approx_greedy;
 pub mod cfcc;
 pub mod context;
 pub mod edge_addition;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod first_phase;

@@ -144,7 +144,10 @@ impl CfcmSolver for OptimumSolver {
             .collect();
         let sel = Selection {
             nodes: opt.nodes,
-            stats: RunStats { iterations },
+            stats: RunStats {
+                iterations,
+                ..RunStats::default()
+            },
         };
         ctx.emit_all(&sel.stats.iterations);
         Ok(sel)

@@ -41,6 +41,12 @@ pub struct CfcmParams {
     pub backend: SddBackend,
     /// Size `c` of SchurCFCM's auxiliary root set `T` (`None` = `|T*|`).
     pub schur_c: Option<usize>,
+    /// Warm-start the greedy iterations' sketched solves from the
+    /// previous iteration's solutions (the systems differ by one grounded
+    /// node; see `cfcc_core::engine`). On by default — turning it off
+    /// forces every round to cold-start, which only the warm-vs-cold
+    /// benchmarks and regression tests want.
+    pub warm_start: bool,
     /// Use the paper's worst-case Hoeffding sample bounds instead of the
     /// practical ceiling (matches the theory, explodes the runtime).
     pub use_theoretical_bounds: bool,
@@ -59,6 +65,7 @@ impl Default for CfcmParams {
             cg_tol: 1e-6,
             backend: SddBackend::Auto,
             schur_c: None,
+            warm_start: true,
             use_theoretical_bounds: false,
         }
     }
@@ -88,6 +95,13 @@ impl CfcmParams {
     /// Builder-style SDD backend override.
     pub fn backend(mut self, backend: SddBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder-style warm-start override (off = cold-start every greedy
+    /// iteration's solves).
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 

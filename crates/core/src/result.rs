@@ -5,6 +5,7 @@
 //! harness outputs are machine-consumable.
 
 use cfcc_graph::Node;
+use cfcc_linalg::SolveStats;
 use cfcc_util::json::{self, JsonObject};
 
 /// Statistics of one greedy iteration.
@@ -49,6 +50,11 @@ impl IterStats {
 pub struct RunStats {
     /// Per-iteration details, in selection order.
     pub iterations: Vec<IterStats>,
+    /// Linear-solver work aggregated across **every** factor of the run
+    /// (all greedy rounds together) — the observable the warm-start
+    /// engine's iteration-count win is measured by. Zero for solvers that
+    /// never touch the SDD backends (forest sampling, heuristics).
+    pub solve: SolveStats,
 }
 
 impl RunStats {
@@ -92,6 +98,8 @@ impl RunStats {
             .int("total_forests", i128::from(self.total_forests()))
             .int("total_walk_steps", i128::from(self.total_walk_steps()))
             .num("total_seconds", self.total_seconds())
+            .int("solver_solves", i128::from(self.solve.solves))
+            .int("solver_iterations", i128::from(self.solve.iterations))
             .raw("iterations", iterations)
             .render()
     }
@@ -164,6 +172,7 @@ mod tests {
                         gain: 0.5,
                     },
                 ],
+                ..RunStats::default()
             },
         }
     }

@@ -8,7 +8,7 @@ use crate::first_phase::first_phase;
 use crate::forest_delta::forest_delta;
 use crate::params::{t_star, top_degree_nodes};
 use crate::result::{IterStats, RunStats, Selection};
-use crate::schur_delta::schur_delta;
+use crate::schur_delta::schur_delta_ws;
 use crate::solver::{CfcmSolver, SolverKind};
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::{Graph, Node};
@@ -36,6 +36,10 @@ pub fn schur_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selecti
 
     let c = params.schur_c.unwrap_or_else(|| t_star(g)).max(1);
     let t_pool = top_degree_nodes(g, c.min(g.num_nodes() - 1));
+    // The run's persistent workspace: SchurDelta's |T| × w round buffers
+    // are reused across every greedy iteration below.
+    let mut ws = ctx.workspace();
+    ws.begin_run();
 
     // First iteration: identical to ForestCFCM (Lines 2–15; the paper omits
     // the Schur machinery here for ease of implementation).
@@ -71,7 +75,7 @@ pub fn schur_cfcm_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Selecti
                 est.deltas[est.best as usize],
             )
         } else {
-            let est = schur_delta(g, &in_s, &t_nodes, params, i as u64)?;
+            let est = schur_delta_ws(g, &in_s, &t_nodes, params, i as u64, &mut ws)?;
             (
                 est.best,
                 est.forests,

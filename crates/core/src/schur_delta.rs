@@ -15,6 +15,7 @@
 //! `Σ̃` — inverted densely since `|T| ≪ n`.
 
 use crate::adaptive::{batch_schedule, Candidate, StopRule};
+use crate::engine::{GreedyWorkspace, SchurScratch};
 use crate::forest_delta::top2_max;
 use crate::schur::{estimated_schur, invert_estimated_schur};
 use crate::{CfcmError, CfcmParams};
@@ -23,7 +24,6 @@ use cfcc_forest::estimators::{DiagMode, ElectricalAccumulator, YMatrix};
 use cfcc_forest::rooted::{RootIndex, RootedCounts};
 use cfcc_forest::sampler::{absorb_batch, SamplerConfig};
 use cfcc_graph::{Graph, Node};
-use cfcc_linalg::dense::DenseMatrix;
 use cfcc_linalg::jl::JlSketch;
 use cfcc_linalg::vector::norm2_sq;
 use rand::rngs::StdRng;
@@ -45,15 +45,34 @@ pub struct SchurDeltaEstimates {
     pub ridge: f64,
 }
 
-/// Estimate marginal gains with the auxiliary root set `T` (Algorithm 4).
-///
-/// `in_s` marks `S`; `t_nodes` must be disjoint from `S` and non-empty.
+/// Estimate marginal gains with the auxiliary root set `T` (Algorithm 4),
+/// with a fresh (throwaway) workspace. Greedy loops should prefer
+/// [`schur_delta_ws`] with the run's persistent
+/// [`crate::engine::GreedyWorkspace`] so the dense round buffers are
+/// reused across iterations instead of reallocated.
 pub fn schur_delta(
     g: &Graph,
     in_s: &[bool],
     t_nodes: &[Node],
     params: &CfcmParams,
     iteration: u64,
+) -> Result<SchurDeltaEstimates, CfcmError> {
+    let mut ws = GreedyWorkspace::new();
+    schur_delta_ws(g, in_s, t_nodes, params, iteration, &mut ws)
+}
+
+/// [`schur_delta`] against the run's persistent workspace: the
+/// `|T| × w` round buffers live in `ws` and are re-shaped (never
+/// reallocated while shrinking) across greedy iterations.
+///
+/// `in_s` marks `S`; `t_nodes` must be disjoint from `S` and non-empty.
+pub fn schur_delta_ws(
+    g: &Graph,
+    in_s: &[bool],
+    t_nodes: &[Node],
+    params: &CfcmParams,
+    iteration: u64,
+    ws: &mut GreedyWorkspace,
 ) -> Result<SchurDeltaEstimates, CfcmError> {
     let n = g.num_nodes();
     assert!(!t_nodes.is_empty());
@@ -89,9 +108,10 @@ pub fn schur_delta(
     let mut sampled = 0u64;
     let mut deltas = vec![f64::NAN; n];
     let mut last_ridge = 0.0f64;
-    // Dense workspace shared across the adaptive rounds: each round
-    // re-fills the same buffers instead of reallocating them.
-    let mut ws = SchurDeltaWorkspace::new(t_nodes.len(), w);
+    // Dense round buffers live in the run's persistent workspace: each
+    // adaptive round — and each greedy iteration — re-fills the same
+    // allocations instead of creating new ones.
+    ws.schur.ensure(t_nodes.len(), w);
     for total in batch_schedule(params.min_batch, cap) {
         absorb_batch(g, &in_root, sampled, total - sampled, &cfg, &mut acc);
         sampled = total;
@@ -103,7 +123,7 @@ pub fn schur_delta(
             &sketch_w,
             &sketch_q,
             params.threads,
-            &mut ws,
+            &mut ws.schur,
             &mut deltas,
         )?;
         let (best, second) = top2_max(&deltas);
@@ -139,28 +159,9 @@ pub fn schur_delta(
     })
 }
 
-/// Reusable dense buffers for [`compute_schur_deltas`] — allocated once
-/// per [`schur_delta`] call and re-filled on every adaptive round.
-struct SchurDeltaWorkspace {
-    /// `(W·F̃ + Q)ᵀ ∈ R^{|T| × w}`, rows contiguous per root.
-    wfq_t: DenseMatrix,
-    /// `G · wfq_t ∈ R^{|T| × w}`.
-    ht: DenseMatrix,
-    /// Scratch for the `fᵀ G f` quadratic form.
-    gf: Vec<f64>,
-}
-
-impl SchurDeltaWorkspace {
-    fn new(t_len: usize, w: usize) -> Self {
-        Self {
-            wfq_t: DenseMatrix::zeros(t_len, w),
-            ht: DenseMatrix::zeros(t_len, w),
-            gf: vec![0.0f64; t_len],
-        }
-    }
-}
-
-/// Assemble Δ' for all `u ∉ S` from the current accumulator state.
+/// Assemble Δ' for all `u ∉ S` from the current accumulator state. The
+/// `|T| × w` round buffers come from the run's persistent
+/// [`SchurScratch`].
 #[allow(clippy::too_many_arguments)]
 fn compute_schur_deltas(
     g: &Graph,
@@ -170,7 +171,7 @@ fn compute_schur_deltas(
     sketch_w: &JlSketch,
     sketch_q: &JlSketch,
     threads: usize,
-    ws: &mut SchurDeltaWorkspace,
+    ws: &mut SchurScratch,
     deltas: &mut [f64],
 ) -> Result<f64, CfcmError> {
     let n = g.num_nodes();

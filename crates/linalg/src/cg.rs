@@ -8,6 +8,7 @@
 //! CG for pseudoinverse applications `x = L† b`.
 
 use crate::laplacian::LaplacianSubmatrix;
+use crate::pool::{self, SendPtr};
 use crate::vector::{axpy, dot, norm2, project_out_ones, xpby};
 use crate::DenseMatrix;
 use cfcc_graph::Graph;
@@ -20,6 +21,11 @@ pub struct CgConfig {
     /// Hard iteration cap (defaults to 10·√n + 200, set explicitly for
     /// reproducibility in benchmarks).
     pub max_iter: usize,
+    /// Worker threads for the blocked multi-RHS loop's elementwise row
+    /// updates (the per-row x/r/p recurrences partition over the pool;
+    /// reductions stay serial so results are bit-identical across thread
+    /// counts).
+    pub threads: usize,
 }
 
 impl Default for CgConfig {
@@ -27,6 +33,7 @@ impl Default for CgConfig {
         Self {
             rel_tol: 1e-8,
             max_iter: 20_000,
+            threads: 1,
         }
     }
 }
@@ -134,6 +141,27 @@ fn col_dots(a: &DenseMatrix, b: &DenseMatrix, out: &mut [f64]) {
             *o += av * bv;
         }
     }
+}
+
+/// Row-partition `0..n` over the worker pool when the elementwise work
+/// (`n · row_work` flops-ish) justifies a dispatch; otherwise run inline.
+/// Rows are processed independently with identical per-row arithmetic, so
+/// results are bit-identical for every thread count.
+fn par_rows(threads: usize, n: usize, row_work: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    /// Minimum elementwise operations per pool task.
+    const GRAIN: usize = 16 * 1024;
+    let t = threads.max(1).min(n).min(1 + n * row_work / GRAIN);
+    if t <= 1 {
+        f(0, n);
+        return;
+    }
+    pool::run(t, t, &|tix| {
+        let r0 = n * tix / t;
+        let r1 = n * (tix + 1) / t;
+        if r0 < r1 {
+            f(r0, r1);
+        }
+    });
 }
 
 /// Drop the columns of `m` whose slot is not in `live` (ascending slot
@@ -272,14 +300,27 @@ where
             }
         }
         // x[:, active[s]] += α_s p[:, s]; r[:, s] −= α_s ap[:, s].
-        for i in 0..n {
-            let xr = x.row_mut(i);
-            for (s, &j) in active.iter().enumerate() {
-                xr[j] += alpha[s] * p.get(i, s);
-            }
-            for (s, rv) in r.row_mut(i).iter_mut().enumerate() {
-                *rv -= alpha[s] * ap.get(i, s);
-            }
+        // Rows are independent, so the update row-partitions over the
+        // worker pool (bit-identical for every thread count).
+        {
+            let xw = x.cols();
+            let xp = SendPtr(x.data_mut().as_mut_ptr());
+            let rp = SendPtr(r.data_mut().as_mut_ptr());
+            let (pm, apm, act, al) = (&p, &ap, &active, &alpha);
+            par_rows(cfg.threads, n, 4 * w, &move |r0, r1| {
+                for i in r0..r1 {
+                    // SAFETY: rows [r0, r1) of x and r are owned
+                    // exclusively by this task (disjoint partition).
+                    let xr = unsafe { xp.slice(i * xw, xw) };
+                    for (s, &j) in act.iter().enumerate() {
+                        xr[j] += al[s] * pm.get(i, s);
+                    }
+                    let rr = unsafe { rp.slice(i * apm.cols(), apm.cols()) };
+                    for (s, rv) in rr.iter_mut().enumerate() {
+                        *rv -= al[s] * apm.get(i, s);
+                    }
+                }
+            });
         }
         col_dots(&r, &r, &mut res);
         for s in 0..w {
@@ -324,11 +365,21 @@ where
                 rz_new[s] / rz[s]
             };
         }
-        for i in 0..n {
-            let zr = z.row(i);
-            for (s, pv) in p.row_mut(i).iter_mut().enumerate() {
-                *pv = zr[s] + alpha[s] * *pv;
-            }
+        {
+            let pw = p.cols();
+            let pp = SendPtr(p.data_mut().as_mut_ptr());
+            let (zm, al) = (&z, &alpha);
+            par_rows(cfg.threads, n, 2 * w, &move |r0, r1| {
+                for i in r0..r1 {
+                    let zr = zm.row(i);
+                    // SAFETY: rows [r0, r1) of p are owned exclusively by
+                    // this task (disjoint partition).
+                    let pr = unsafe { pp.slice(i * pw, pw) };
+                    for (s, pv) in pr.iter_mut().enumerate() {
+                        *pv = zr[s] + al[s] * *pv;
+                    }
+                }
+            });
         }
         rz.copy_from_slice(&rz_new);
     }
@@ -571,6 +622,7 @@ mod tests {
         let cfg = CgConfig {
             rel_tol: 1e-14,
             max_iter: 3,
+            ..CgConfig::default()
         };
         let stats = solve_grounded(&op, &b, &mut x, &cfg);
         assert!(!stats.converged);

@@ -17,6 +17,7 @@
 //! escalating Manteuffel diagonal shift `A + α·diag(A)` before giving up.
 
 use crate::error::LinalgError;
+use crate::pool::{self, SendPtr};
 use crate::DenseMatrix;
 use cfcc_graph::{Graph, Node};
 
@@ -109,20 +110,38 @@ impl CsrMatrix {
     /// loaded `(col, val)` pair feeds `w` multiply-adds on adjacent
     /// memory instead of one.
     pub fn spmm(&self, x: &DenseMatrix, y: &mut DenseMatrix) {
+        self.spmm_threaded(x, y, 1);
+    }
+
+    /// [`CsrMatrix::spmm`] with output rows partitioned across the worker
+    /// pool. Every output row is one independent gather, so results are
+    /// bit-identical for every thread count.
+    pub fn spmm_threaded(&self, x: &DenseMatrix, y: &mut DenseMatrix, threads: usize) {
         debug_assert_eq!(x.rows(), self.n);
         debug_assert_eq!(y.rows(), self.n);
         debug_assert_eq!(x.cols(), y.cols());
-        for i in 0..self.n {
-            let yr = y.row_mut(i);
-            yr.fill(0.0);
-            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
-                let v = self.vals[idx];
-                let xr = x.row(self.col_idx[idx] as usize);
-                for (ys, &xs) in yr.iter_mut().zip(xr) {
-                    *ys += v * xs;
+        let w = x.cols();
+        /// Minimum multiply-adds per pool task.
+        const GRAIN: usize = 16 * 1024;
+        let t = threads.max(1).min(self.n).min(1 + self.nnz() * w / GRAIN);
+        let yp = SendPtr(y.data_mut().as_mut_ptr());
+        pool::run(t, t, &move |tix| {
+            let r0 = self.n * tix / t;
+            let r1 = self.n * (tix + 1) / t;
+            for i in r0..r1 {
+                // SAFETY: rows [r0, r1) of y are owned exclusively by
+                // this task (disjoint partition over output rows).
+                let yr = unsafe { yp.slice(i * w, w) };
+                yr.fill(0.0);
+                for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    let v = self.vals[idx];
+                    let xr = x.row(self.col_idx[idx] as usize);
+                    for (ys, &xs) in yr.iter_mut().zip(xr) {
+                        *ys += v * xs;
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Test-only hook: scale the diagonal entries by `f` (used to force

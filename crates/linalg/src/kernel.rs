@@ -1,5 +1,5 @@
 //! Blocked dense kernels: packed tiled GEMM, SYRK-style symmetric updates,
-//! and the scoped-thread row-panel parallelism behind them.
+//! and the pool-backed row-panel parallelism behind them.
 //!
 //! # DESIGN
 //!
@@ -22,12 +22,16 @@
 //!   has no edge branches. There is deliberately **no** `a == 0.0` skip —
 //!   the seed's zero-branch defeated vectorization and branch prediction on
 //!   dense data.
-//! * **Parallelism**: `std::thread::scope` splits the *output rows* into
-//!   contiguous panels (rows are the contiguous unit of our row-major
-//!   storage — the transpose view of a column-panel split). Each thread
-//!   runs the identical serial pipeline on its panel, so results are
-//!   **bit-identical for every thread count**: each output element is
-//!   produced by exactly one thread using the same accumulation order.
+//! * **Parallelism**: the persistent worker pool ([`crate::pool`]) splits
+//!   the *output rows* into contiguous panels (rows are the contiguous
+//!   unit of our row-major storage — the transpose view of a column-panel
+//!   split). Each task runs the identical serial pipeline on its panel, so
+//!   results are **bit-identical for every thread count**: each output
+//!   element is produced by exactly one task using the same accumulation
+//!   order, and the partition depends only on the `threads` argument,
+//!   never on scheduling. Workers are spawned once and parked between
+//!   calls — there is **no per-call thread spawn** anywhere in the GEMM /
+//!   SYRK hot path.
 //! * **Small-case bypass**: problems under [`SMALL_FLOPS`] flops skip the
 //!   packing machinery entirely — tests and `|T| × |T|` Schur blocks stay
 //!   allocation-free.
@@ -35,6 +39,8 @@
 //! Callers should prefer *factorize once, solve many* ([`crate::dense`]'s
 //! `solve_mat`) over forming explicit inverses; see the module notes in
 //! [`crate::dense`] for when an inverse is genuinely required.
+
+use crate::pool::{self, SendPtr};
 
 /// Micro-tile rows (register-block height).
 pub const MR: usize = 4;
@@ -289,47 +295,36 @@ pub fn gemm_acc(
         gemm_chunk(c, c_off, c_stride, a, b, m, n, k, alpha);
         return;
     }
-    // Split output rows at row starts: chunk i owns rows r_i..r_{i+1}; the
-    // slice split at `r·c_stride` keeps every row's tail (columns ≥ n of a
-    // sub-view) with its own rows, so chunks never alias.
-    std::thread::scope(|scope| {
-        let mut rest = &mut c[c_off..];
-        let mut done = 0usize;
-        for tix in 0..t {
-            let r0 = m * tix / t;
-            let r1 = m * (tix + 1) / t;
-            if r0 == r1 {
-                continue;
-            }
-            let (head, tail) = if r1 < m {
-                let (h, tl) = rest.split_at_mut((r1 - done) * c_stride);
-                (h, Some(tl))
-            } else {
-                (rest, None)
-            };
-            let av = a.shifted(r0, 0);
-            let rows = r1 - r0;
-            scope.spawn(move || {
-                gemm_chunk(
-                    head,
-                    (r0 - done) * c_stride,
-                    c_stride,
-                    av,
-                    b,
-                    rows,
-                    n,
-                    k,
-                    alpha,
-                );
-            });
-            match tail {
-                Some(tl) => {
-                    done = r1;
-                    rest = tl;
-                }
-                None => break,
-            }
+    // Split output rows at row starts: task i owns rows r_i..r_{i+1} (the
+    // last task also owns the buffer tail past its final row, matching the
+    // historical scoped-thread split). Panels never alias, and the bounds
+    // depend only on (m, t), so results are bit-identical for every thread
+    // count and pool size.
+    let len = c.len();
+    let base = SendPtr(c.as_mut_ptr());
+    pool::run(t, t, &move |tix| {
+        let r0 = m * tix / t;
+        let r1 = m * (tix + 1) / t;
+        if r0 == r1 {
+            return;
         }
+        let start = c_off + r0 * c_stride;
+        let end = if r1 == m { len } else { c_off + r1 * c_stride };
+        // SAFETY: tasks receive disjoint row panels [r0, r1) of the output
+        // (ranges [start, end) are non-overlapping and within `c`), and
+        // `pool::run` blocks until every task completes.
+        let panel = unsafe { base.slice(start, end - start) };
+        gemm_chunk(
+            panel,
+            0,
+            c_stride,
+            a.shifted(r0, 0),
+            b,
+            r1 - r0,
+            n,
+            k,
+            alpha,
+        );
     });
 }
 
@@ -351,56 +346,76 @@ pub fn syrk_lower_acc(
     alpha: f64,
     threads: usize,
 ) {
+    syrk_lower_acc_impl(c, c_off, c_stride, a, m, k, alpha, threads, false);
+}
+
+/// [`syrk_lower_acc`] specialized to a **lower-triangular** `A`
+/// (`A[i, p] = 0` for `p < i`): depth panels that fall entirely into the
+/// known-zero region of a row block are skipped instead of multiplied.
+/// With `A = L^{-ᵀ}` this is the `L^{-ᵀ}L^{-¹}` product of
+/// [`crate::dense::Cholesky::inverse`], where the clip removes about half
+/// the SYRK flops. Skipped products are exact zeros, so the result is
+/// bit-identical to the unclipped kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_lower_tri_acc(
+    c: &mut [f64],
+    c_off: usize,
+    c_stride: usize,
+    a: View<'_>,
+    m: usize,
+    k: usize,
+    alpha: f64,
+    threads: usize,
+) {
+    syrk_lower_acc_impl(c, c_off, c_stride, a, m, k, alpha, threads, true);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn syrk_lower_acc_impl(
+    c: &mut [f64],
+    c_off: usize,
+    c_stride: usize,
+    a: View<'_>,
+    m: usize,
+    k: usize,
+    alpha: f64,
+    threads: usize,
+    tri: bool,
+) {
     let t = threads.max(1).min(m).min(1 + m * m * k / (4 * SMALL_FLOPS));
     if t <= 1 {
-        syrk_chunk(c, c_off, c_stride, a, 0, m, k, alpha);
+        syrk_chunk(c, c_off, c_stride, a, 0, m, k, alpha, tri);
         return;
     }
     // Area-balanced split: chunk boundaries at m·√(i/t) so each row panel
-    // of the triangle carries a comparable flop count.
+    // of the triangle carries a comparable flop count. The bounds depend
+    // only on (m, t) — bit-identical results per thread count.
     let mut bounds: Vec<usize> = (0..=t)
         .map(|i| ((m as f64) * (i as f64 / t as f64).sqrt()).round() as usize)
         .collect();
     bounds[t] = m;
-    std::thread::scope(|scope| {
-        let mut rest = &mut c[c_off..];
-        let mut done = 0usize;
-        for tix in 0..t {
-            let (r0, r1) = (bounds[tix], bounds[tix + 1]);
-            if r0 == r1 {
-                continue;
-            }
-            let (head, tail) = if r1 < m {
-                let (h, tl) = rest.split_at_mut((r1 - done) * c_stride);
-                (h, Some(tl))
-            } else {
-                (rest, None)
-            };
-            scope.spawn(move || {
-                syrk_chunk(
-                    head,
-                    (r0 - done) * c_stride,
-                    c_stride,
-                    a,
-                    r0,
-                    r1 - r0,
-                    k,
-                    alpha,
-                );
-            });
-            match tail {
-                Some(tl) => {
-                    done = r1;
-                    rest = tl;
-                }
-                None => break,
-            }
+    let len = c.len();
+    let base = SendPtr(c.as_mut_ptr());
+    let bounds = &bounds;
+    pool::run(t, t, &move |tix| {
+        let (r0, r1) = (bounds[tix], bounds[tix + 1]);
+        if r0 == r1 {
+            return;
         }
+        let start = c_off + r0 * c_stride;
+        let end = if r1 == m { len } else { c_off + r1 * c_stride };
+        // SAFETY: tasks receive disjoint row panels [r0, r1) of the output
+        // triangle; `pool::run` blocks until every task completes.
+        let panel = unsafe { base.slice(start, end - start) };
+        syrk_chunk(panel, 0, c_stride, a, r0, r1 - r0, k, alpha, tri);
     });
 }
 
 /// Serial SYRK on output rows `row0..row0 + m` of the full update (the
-/// view `c` starts at logical row `row0`, column 0).
+/// view `c` starts at logical row `row0`, column 0). With `tri`, `A` is
+/// known lower triangular (`A[gi, p] = 0` for `p < gi`): depth ranges that
+/// only hit the zero region are clipped away — exact zeros, so clipping
+/// never changes the result.
 #[allow(clippy::too_many_arguments)]
 fn syrk_chunk(
     c: &mut [f64],
@@ -411,13 +426,15 @@ fn syrk_chunk(
     m: usize,
     k: usize,
     alpha: f64,
+    tri: bool,
 ) {
     if 2 * m * (row0 + m) * k <= SMALL_FLOPS {
         for i in 0..m {
             let gi = row0 + i;
+            let p0 = if tri { gi.min(k) } else { 0 };
             for j in 0..=gi {
                 let mut s = 0.0;
-                for p in 0..k {
+                for p in p0..k {
                     s += a.at(gi, p) * a.at(j, p);
                 }
                 c[c_off + i * c_stride + j] += alpha * s;
@@ -441,6 +458,13 @@ fn syrk_chunk(
                 if jc > row0 + ic + mc - 1 {
                     continue;
                 }
+                // Triangular clip: every A entry of this row block at
+                // depths < row0 + ic is a known zero, so a depth panel
+                // ending at or before the block's first row contributes
+                // nothing.
+                if tri && pc + kc <= row0 + ic {
+                    continue;
+                }
                 let av = a.shifted(row0 + ic, pc);
                 pack_a(av.data, av.off, av.stride, av.trans, mc, kc, &mut ap);
                 for jb in 0..nc.div_ceil(NR) {
@@ -452,6 +476,9 @@ fn syrk_chunk(
                         let gi_last = row0 + i0 + MR.min(mc - ib * MR) - 1;
                         if j0 > gi_last {
                             continue; // tile strictly above the diagonal
+                        }
+                        if tri && pc + kc <= row0 + i0 {
+                            continue; // tile fully inside A's zero region
                         }
                         let apan = &ap[ib * kc * MR..(ib + 1) * kc * MR];
                         let mut acc = [[0.0f64; NR]; MR];
@@ -597,6 +624,92 @@ mod tests {
             for j in i + 1..m {
                 assert_eq!(c[i * m + j], c[j * m + i]);
             }
+        }
+    }
+
+    #[test]
+    fn triangular_syrk_matches_full_syrk_on_lower_triangular_input() {
+        // A lower triangular (zeros above the diagonal): the depth-clipped
+        // kernel must agree with the unclipped one on every shape, through
+        // both the direct and the packed path, at every thread count.
+        for &n in &[5, 37, 130, 300] {
+            let mut a = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..=i {
+                    a[i * n + j] = ((i * 31 + j * 17) % 23) as f64 * 0.1 - 1.0;
+                }
+            }
+            // Logical operand is Aᵀ·? No: C += Tᵀ T with T = a lower
+            // triangular, i.e. the SYRK operand is A = Tᵀ viewed with
+            // A[i, p] = T[p, i] = 0 for p < i.
+            let mut full = vec![0.5; n * n];
+            syrk_lower_acc(&mut full, 0, n, View::new(&a, 0, n).t(), n, n, 1.0, 1);
+            for threads in [1, 3] {
+                let mut clipped = vec![0.5; n * n];
+                syrk_lower_tri_acc(
+                    &mut clipped,
+                    0,
+                    n,
+                    View::new(&a, 0, n).t(),
+                    n,
+                    n,
+                    1.0,
+                    threads,
+                );
+                for (i, (&got, &want)) in clipped.iter().zip(&full).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "n={n} threads={threads} flat={i}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pool-backed kernels must agree bit for bit with a
+    /// scoped-thread baseline using the identical row partition — the
+    /// contract the pool migration must preserve.
+    #[test]
+    fn pool_gemm_matches_scoped_thread_baseline() {
+        let (m, n, k) = (150, 90, 120);
+        let a = seq(m * k, 0.21);
+        let b = seq(k * n, 0.13);
+        for t in [2, 4] {
+            // Baseline: std::thread::scope with the same row split.
+            let mut scoped = vec![0.0f64; m * n];
+            std::thread::scope(|scope| {
+                let mut rest = scoped.as_mut_slice();
+                let mut done = 0usize;
+                for tix in 0..t {
+                    let r0 = m * tix / t;
+                    let r1 = m * (tix + 1) / t;
+                    if r0 == r1 {
+                        continue;
+                    }
+                    let (head, tail) = rest.split_at_mut((r1 - done) * n);
+                    rest = tail;
+                    done = r1;
+                    let av = View::new(&a, r0 * k, k);
+                    let bv = View::new(&b, 0, n);
+                    scope.spawn(move || {
+                        gemm_chunk(head, 0, n, av, bv, r1 - r0, n, k, 1.0);
+                    });
+                }
+            });
+            let mut pooled = vec![0.0f64; m * n];
+            gemm_acc(
+                &mut pooled,
+                0,
+                n,
+                View::new(&a, 0, k),
+                View::new(&b, 0, n),
+                m,
+                n,
+                k,
+                1.0,
+                t,
+            );
+            assert_eq!(pooled, scoped, "pool vs scoped threads={t}");
         }
     }
 

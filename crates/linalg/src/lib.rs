@@ -12,8 +12,9 @@
 //! (multi-RHS), `diag_inverse`, and `trace_inverse`, plus a cumulative
 //! [`sdd::SolveStats`] report (iterations, worst residual, flops).
 //! Backends are registered by name ([`sdd::backends`]) and selected via
-//! [`sdd::SddBackend`] (`auto` picks dense below ~1.5k unknowns, sparse
-//! above):
+//! [`sdd::SddBackend`] (`auto` picks dense below ~1.5k unknowns; above,
+//! a BFS diameter sniff routes large-diameter graphs to the tree
+//! preconditioner, the rest to sparse):
 //!
 //! | backend          | kind      | storage       | operations |
 //! |------------------|-----------|---------------|------------|
@@ -34,10 +35,15 @@
 //!
 //! ## Modules
 //!
-//! * [`sdd`] — the backend trait, registry, and the three backends above.
+//! * [`sdd`] — the backend trait, registry, and the four backends above.
+//! * [`pool`] — the persistent worker pool every parallel kernel runs on:
+//!   spawn once, park between jobs, task-index dispatch with
+//!   caller-computed partitioning (bit-identical results per thread
+//!   count).
 //! * [`kernel`] — the blocked dense kernel engine: packed tiled GEMM, SYRK
-//!   symmetric updates, and scoped-thread row-panel parallelism (block
-//!   sizes and packing layout documented there).
+//!   symmetric updates (including the triangular depth-clipped variant
+//!   behind `Cholesky::inverse`), and pool-backed row-panel parallelism
+//!   (block sizes and packing layout documented there).
 //! * [`dense`] — row-major dense matrices with *blocked* Cholesky and
 //!   partially-pivoted LU factorizations, multi-RHS triangular solves
 //!   (`solve_mat`/`solve_vec`: factor once, solve many), diagonal-only
@@ -72,6 +78,7 @@ pub mod jl;
 pub mod kernel;
 pub mod laplacian;
 pub mod pinv;
+pub mod pool;
 pub mod sdd;
 pub mod trace;
 pub mod tree;

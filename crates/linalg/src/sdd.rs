@@ -49,8 +49,10 @@
 //!
 //! Callers hold an [`SddBackend`] (a `CfcmParams` field / `--backend`
 //! upstream): `auto` picks `dense-cholesky` below
-//! [`SddBackend::AUTO_DENSE_LIMIT`] unknowns and `sparse-cg` above, which
-//! is where the PR 2 blocked dense layer stops being the bottleneck.
+//! [`SddBackend::AUTO_DENSE_LIMIT`] unknowns (where the blocked dense
+//! layer wins), and above it sniffs the topology — a double-sweep BFS
+//! diameter estimate ([`large_diameter`]) routes meshes and road
+//! networks to `tree-pcg` and everything else to `sparse-cg`.
 //! [`backends`], [`by_name`], and [`name_list`] expose the registry for
 //! discoverability (`--list-backends`).
 
@@ -172,31 +174,55 @@ pub trait SddFactor {
         Ok(x)
     }
 
-    /// Multi-RHS solve `L_{-S} X = B` (RHS as the columns of `b`).
-    /// Direct backends amortize the factorization across all columns in
-    /// one blocked pass; iterative backends override this with blocked
-    /// multi-RHS PCG (this default is the per-column fallback).
-    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    /// Multi-RHS solve `L_{-S} X = B` into a caller-owned block. On
+    /// iterative backends every column of `x` carries its **initial
+    /// guess** (block warm start — the greedy engine seeds it with the
+    /// previous iteration's solutions projected onto the new grounding,
+    /// cutting the Krylov iteration count of the nearly-identical
+    /// successive systems); direct backends overwrite it. This default is
+    /// the per-column fallback; backends override it with one blocked
+    /// pass (triangular solves or blocked multi-RHS PCG).
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
         let n = self.dim();
-        if b.rows() != n {
+        if b.rows() != n || x.rows() != n || b.cols() != x.cols() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "RHS has {} rows, factor dimension is {n}",
-                b.rows()
+                "RHS {}×{} / guess {}×{} vs factor dimension {n}",
+                b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols()
             )));
         }
-        let mut out = DenseMatrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
-        let mut x = vec![0.0; n];
+        let mut xc = vec![0.0; n];
         for j in 0..b.cols() {
-            for (i, ci) in col.iter_mut().enumerate() {
-                *ci = b.get(i, j);
+            for i in 0..n {
+                col[i] = b.get(i, j);
+                xc[i] = x.get(i, j);
             }
-            self.solve_vec_into(&col, &mut x)?;
-            for (i, &xi) in x.iter().enumerate() {
-                out.set(i, j, xi);
+            self.solve_vec_into(&col, &mut xc)?;
+            for (i, &xi) in xc.iter().enumerate() {
+                x.set(i, j, xi);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Multi-RHS solve `L_{-S} X = B` (RHS as the columns of `b`), cold
+    /// started. Direct backends amortize the factorization across all
+    /// columns in one blocked pass; iterative backends answer with
+    /// blocked multi-RHS PCG.
+    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "RHS has {} rows, factor dimension is {}",
+                b.rows(),
+                self.dim()
+            )));
+        }
+        let mut x = DenseMatrix::zeros(self.dim(), b.cols());
+        self.solve_mat_into(b, &mut x)?;
+        Ok(x)
     }
 
     /// `diag(L_{-S}^{-1})` — resistances to the grounded group. Direct
@@ -364,19 +390,23 @@ impl SddFactor for DenseFactor {
         Ok(())
     }
 
-    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-        if b.rows() != self.dim() {
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if b.rows() != self.dim() || x.rows() != self.dim() || b.cols() != x.cols() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "RHS has {} rows, factor dimension is {}",
+                "RHS {}×{} / out {}×{} vs factor dimension {}",
                 b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols(),
                 self.dim()
             )));
         }
-        let mut x = b.clone();
-        self.ch.solve_mat_in_place(&mut x, self.threads);
+        // Direct backend: the incoming `x` is pure output (no guess).
+        x.data_mut().copy_from_slice(b.data());
+        self.ch.solve_mat_in_place(x, self.threads);
         self.stats.solves += b.cols() as u64;
         self.stats.flops += 2 * (self.dim() as u64).pow(2) * b.cols() as u64;
-        Ok(x)
+        Ok(())
     }
 
     fn diag_inverse(&mut self) -> Result<Vec<f64>, LinalgError> {
@@ -432,6 +462,7 @@ impl SddSolver for CgJacobiBackend {
             cfg: CgConfig {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
+                threads: opts.threads,
             },
             edges2: 2 * g.num_edges() as u64,
             stats: SolveStats::default(),
@@ -539,19 +570,24 @@ impl<'g> SddFactor for CgJacobiFactor<'g> {
         )
     }
 
-    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-        if b.rows() != self.dim() {
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if b.rows() != self.dim() || x.rows() != self.dim() || b.cols() != x.cols() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "RHS has {} rows, factor dimension is {}",
+                "RHS {}×{} / guess {}×{} vs factor dimension {}",
                 b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols(),
                 self.dim()
             )));
         }
-        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        // Every column of `x` is that column's initial guess (block warm
+        // start), per the trait contract.
         let op = &self.op;
         let inv_diag = &self.inv_diag;
+        let threads = self.cfg.threads;
         let runs = pcg_operator_block(
-            |v, out| op.apply_block(v, out),
+            |v, out| op.apply_block_threaded(v, out, threads),
             |r, z| {
                 for (i, &d) in inv_diag.iter().enumerate() {
                     for (zs, &rs) in z.row_mut(i).iter_mut().zip(r.row(i)) {
@@ -560,15 +596,14 @@ impl<'g> SddFactor for CgJacobiFactor<'g> {
                 }
             },
             b,
-            &mut x,
+            x,
             &self.cfg,
         );
         record_block(
             &mut self.stats,
             &runs,
             2 * self.edges2 + 12 * self.op.dim() as u64,
-        )?;
-        Ok(x)
+        )
     }
 
     fn stats(&self) -> SolveStats {
@@ -625,6 +660,7 @@ impl SddSolver for SparseCgBackend {
             CgConfig {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
+                threads: opts.threads,
             },
         )))
     }
@@ -698,30 +734,34 @@ impl SddFactor for SparseCgFactor {
         )
     }
 
-    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-        if b.rows() != self.dim() {
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if b.rows() != self.dim() || x.rows() != self.dim() || b.cols() != x.cols() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "RHS has {} rows, factor dimension is {}",
+                "RHS {}×{} / guess {}×{} vs factor dimension {}",
                 b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols(),
                 self.dim()
             )));
         }
-        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        // Every column of `x` is that column's initial guess (block warm
+        // start), per the trait contract.
         let csr = &self.csr;
         let ic = &self.ic;
+        let threads = self.cfg.threads;
         let runs = pcg_operator_block(
-            |v, out| csr.spmm(v, out),
+            |v, out| csr.spmm_threaded(v, out, threads),
             |r, z| ic.apply_block(r, z),
             b,
-            &mut x,
+            x,
             &self.cfg,
         );
         record_block(
             &mut self.stats,
             &runs,
             2 * self.csr.nnz() as u64 + 4 * self.ic.nnz_lower() as u64 + 12 * self.csr.dim() as u64,
-        )?;
-        Ok(x)
+        )
     }
 
     fn stats(&self) -> SolveStats {
@@ -785,6 +825,7 @@ impl SddSolver for TreePcgBackend {
             cfg: CgConfig {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
+                threads: opts.threads,
             },
             csr,
         }))
@@ -834,27 +875,31 @@ impl SddFactor for TreePcgFactor {
         record_iterative(&mut self.stats, &stats, fpi)
     }
 
-    fn solve_mat(&mut self, b: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
-        if b.rows() != self.dim() {
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if b.rows() != self.dim() || x.rows() != self.dim() || b.cols() != x.cols() {
             return Err(LinalgError::DimensionMismatch(format!(
-                "RHS has {} rows, factor dimension is {}",
+                "RHS {}×{} / guess {}×{} vs factor dimension {}",
                 b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols(),
                 self.dim()
             )));
         }
-        let mut x = DenseMatrix::zeros(b.rows(), b.cols());
+        // Every column of `x` is that column's initial guess (block warm
+        // start), per the trait contract.
         let csr = &self.csr;
         let tree = &self.tree;
+        let threads = self.cfg.threads;
         let runs = pcg_operator_block(
-            |v, out| csr.spmm(v, out),
+            |v, out| csr.spmm_threaded(v, out, threads),
             |r, z| tree.apply_block(r, z),
             b,
-            &mut x,
+            x,
             &self.cfg,
         );
         let fpi = self.flops_per_iter();
-        record_block(&mut self.stats, &runs, fpi)?;
-        Ok(x)
+        record_block(&mut self.stats, &runs, fpi)
     }
 
     fn stats(&self) -> SolveStats {
@@ -931,6 +976,16 @@ impl SddBackend {
     /// above (where `O(n³)` and `O(n²)` memory stop being payable).
     pub const AUTO_DENSE_LIMIT: usize = 1536;
 
+    /// Topology sniff of the `auto` policy: a graph whose double-sweep
+    /// diameter lower bound is at least `FACTOR · log₂ n` counts as
+    /// large-diameter (meshes, road networks — where Jacobi/IC(0) pay
+    /// `O(√n)`-ish iteration counts and the spanning-tree preconditioner
+    /// wins); expander-like graphs have `O(log n)` diameters and stay on
+    /// `sparse-cg`. A √n-side grid has diameter `2√n ≫ 4·log₂ n` from a
+    /// few thousand nodes on, while Barabási–Albert / social graphs sit
+    /// well under the line.
+    pub const AUTO_TREE_DIAMETER_FACTOR: f64 = 4.0;
+
     /// Parse a CLI/user name ("auto", a canonical backend name, or an
     /// alias).
     pub fn parse(name: &str) -> Option<Self> {
@@ -957,12 +1012,11 @@ impl SddBackend {
         }
     }
 
-    /// Resolve to a concrete backend for an `n`-unknown system.
-    ///
-    /// The `auto` policy stays a size test (dense below the limit, IC(0)
-    /// sparse above): `tree-pcg` wins on large-diameter meshes but loses
-    /// to IC(0) on expander-like graphs, and topology is not knowable
-    /// from `n` alone — so it remains an explicit opt-in.
+    /// Resolve to a concrete backend for an `n`-unknown system, **without
+    /// looking at the graph** — the size-only fallback (dense below the
+    /// limit, IC(0) sparse above). Prefer
+    /// [`SddBackend::resolve_for_graph`], which additionally sniffs the
+    /// topology to route large-diameter graphs to `tree-pcg`.
     pub fn resolve(self, n: usize) -> &'static dyn SddSolver {
         let name = match self {
             SddBackend::Auto => {
@@ -976,6 +1030,59 @@ impl SddBackend {
         };
         by_name(name).expect("registered backend")
     }
+
+    /// Resolve to a concrete backend for a `kept`-unknown system on `g`:
+    /// dense below [`SddBackend::AUTO_DENSE_LIMIT`], and above it a cheap
+    /// topology sniff ([`large_diameter`] — two BFS sweeps, `O(n + m)`)
+    /// picks the spanning-tree preconditioner on large-diameter graphs
+    /// (meshes, road networks) and the IC(0) sparse solver otherwise.
+    /// This is what the [`factor`] front door uses.
+    pub fn resolve_for_graph(self, g: &Graph, kept: usize) -> &'static dyn SddSolver {
+        self.resolve_with_sniff(kept, || large_diameter(g))
+    }
+
+    /// [`SddBackend::resolve_for_graph`] with the topology sniff supplied
+    /// by the caller — `is_large_diameter` is only invoked when the
+    /// decision actually needs it (`auto` above the dense limit), so
+    /// callers that factor the same graph once per greedy round can
+    /// memoize the BFS sweeps instead of re-running them every iteration
+    /// (`cfcc_core::SolveContext` does).
+    pub fn resolve_with_sniff(
+        self,
+        kept: usize,
+        is_large_diameter: impl FnOnce() -> bool,
+    ) -> &'static dyn SddSolver {
+        match self {
+            SddBackend::Auto => {
+                let name = if kept <= Self::AUTO_DENSE_LIMIT {
+                    "dense-cholesky"
+                } else if is_large_diameter() {
+                    "tree-pcg"
+                } else {
+                    "sparse-cg"
+                };
+                by_name(name).expect("registered backend")
+            }
+            other => other.resolve(kept),
+        }
+    }
+}
+
+/// The `auto` policy's topology sniff: does `g`'s diameter lower bound
+/// (double-sweep BFS from the max-degree node — exact on trees, tight on
+/// real-world graphs, `O(n + m)`) exceed
+/// [`SddBackend::AUTO_TREE_DIAMETER_FACTOR`]` · log₂ n`? Large-diameter
+/// graphs are where diagonal-ish preconditioners stall at `O(√n)`-ish PCG
+/// iteration counts and the spanning tree carries the long-range
+/// connectivity instead.
+pub fn large_diameter(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    if n < 2 {
+        return false;
+    }
+    let start = g.max_degree_node().unwrap_or(0);
+    let diam = cfcc_graph::diameter::diameter_double_sweep(g, start, 2) as f64;
+    diam >= SddBackend::AUTO_TREE_DIAMETER_FACTOR * (n as f64).log2()
 }
 
 impl std::fmt::Display for SddBackend {
@@ -985,7 +1092,8 @@ impl std::fmt::Display for SddBackend {
 }
 
 /// Factor `L_{-S}` through the chosen backend (resolving `auto` by the
-/// number of kept nodes) — the one-call front door consumers use.
+/// number of kept nodes plus the topology sniff) — the one-call front
+/// door consumers use.
 pub fn factor<'g>(
     g: &'g Graph,
     in_s: &[bool],
@@ -993,7 +1101,7 @@ pub fn factor<'g>(
     opts: &SddOptions,
 ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
     let kept = in_s.iter().filter(|&&s| !s).count();
-    backend.resolve(kept).factor(g, in_s, opts)
+    backend.resolve_for_graph(g, kept).factor(g, in_s, opts)
 }
 
 #[cfg(test)]
@@ -1125,6 +1233,89 @@ mod tests {
         // 29 unknowns → dense: direct solves report zero iterations.
         f.solve_vec(&vec![1.0; 29]).unwrap();
         assert_eq!(f.stats().iterations, 0);
+    }
+
+    /// Regression (topology-sniffing auto policy): above the dense limit,
+    /// `auto` must route large-diameter graphs (grid — the road-network /
+    /// mesh proxy) to `tree-pcg` and expander-like graphs (BA) to
+    /// `sparse-cg`; below the limit it stays dense either way.
+    #[test]
+    fn auto_policy_sniffs_topology_above_the_dense_limit() {
+        let grid = generators::grid(45, 45); // 2025 > AUTO_DENSE_LIMIT, diam 88
+        assert!(large_diameter(&grid));
+        assert_eq!(
+            SddBackend::Auto.resolve_for_graph(&grid, 2024).name(),
+            "tree-pcg"
+        );
+        let mut rng = StdRng::seed_from_u64(0x70D0);
+        let ba = generators::barabasi_albert(2000, 4, &mut rng);
+        assert!(!large_diameter(&ba));
+        assert_eq!(
+            SddBackend::Auto.resolve_for_graph(&ba, 1999).name(),
+            "sparse-cg"
+        );
+        // Below the dense limit the size rule wins regardless of topology.
+        let small_grid = generators::grid(20, 20);
+        assert!(large_diameter(&small_grid));
+        assert_eq!(
+            SddBackend::Auto.resolve_for_graph(&small_grid, 399).name(),
+            "dense-cholesky"
+        );
+        // Explicit backends are never overridden by the sniff.
+        assert_eq!(
+            SddBackend::SparseCg.resolve_for_graph(&grid, 2024).name(),
+            "sparse-cg"
+        );
+        // The front door actually dispatches through the sniff: a grid
+        // factor through `auto` must behave like tree-pcg (iterative).
+        let mut in_s = mask(grid.num_nodes(), &[0]);
+        in_s[0] = true;
+        let mut f = factor(&grid, &in_s, SddBackend::Auto, &SddOptions::default()).unwrap();
+        f.solve_vec(&vec![1.0; grid.num_nodes() - 1]).unwrap();
+        assert!(f.stats().iterations > 0);
+    }
+
+    /// Regression (block warm start): `solve_mat_into` documents that
+    /// every column of `x` carries its initial guess; re-solving a block
+    /// from its own solutions must converge (nearly) immediately on every
+    /// iterative backend, and agree with the cold path.
+    #[test]
+    fn warm_started_block_resolve_takes_fewer_iterations() {
+        let mut rng = StdRng::seed_from_u64(0xB77A);
+        let g = generators::barabasi_albert(250, 3, &mut rng);
+        let in_s = mask(250, &[7]);
+        let d = 249;
+        let w = 6;
+        let mut rhs = DenseMatrix::zeros(d, w);
+        for i in 0..d {
+            for j in 0..w {
+                rhs.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        for backend in iterative_backends() {
+            let mut f = backend
+                .factor(&g, &in_s, &SddOptions::with_tol(1e-10))
+                .unwrap();
+            let mut x = DenseMatrix::zeros(d, w);
+            f.solve_mat_into(&rhs, &mut x).unwrap();
+            let cold = f.stats().iterations;
+            assert!(cold > 0, "{}", backend.name());
+            let cold_x = x.clone();
+            // Warm start from the converged block: every column's initial
+            // residual already meets the tolerance.
+            f.solve_mat_into(&rhs, &mut x).unwrap();
+            let warm = f.stats().iterations - cold;
+            assert!(
+                warm <= w as u64 && warm < cold,
+                "{}: warm {warm} vs cold {cold}",
+                backend.name()
+            );
+            assert!(
+                x.max_abs_diff(&cold_x) < 1e-8,
+                "{}: warm solutions drifted",
+                backend.name()
+            );
+        }
     }
 
     /// Iterative backends under test (everything but the dense reference).

@@ -193,6 +193,7 @@ mod tests {
         let cfg = CgConfig {
             rel_tol: 1e-14,
             max_iter: 3,
+            ..CgConfig::default()
         };
         assert!(matches!(
             trace_inverse_exact_cg(&g, &in_s, &cfg),
