@@ -1,0 +1,296 @@
+//! `cfcc-serve` under load (BENCH_PR6): an in-process daemon driven by
+//! concurrent TCP clients replaying a repeated-grounding `eval_group`
+//! trace, batching on vs off.
+//!
+//! Each request is an 8-probe Hutchinson trace estimate on `sparse-cg`
+//! (an 8-column blocked solve against a cached factor). The trace cycles
+//! through 16 distinct groundings, so after a short warmup every request
+//! is a factor-cache hit and the two modes differ **only** in how solves
+//! execute: batching fuses concurrent same-grounding requests into one
+//! wide `solve_mat` (lockstep PCG shares every operator/preconditioner
+//! sweep across the fused columns — the PR 4 mechanism), while the
+//! baseline answers each request with its own 8-column solve.
+//!
+//! Reported per (mode × concurrency level): p50/p99 request latency,
+//! throughput, factor-cache hit rate, and mean fused batch width.
+//!
+//! * `CFCC_PRESET=smoke` (default): n = 1024, levels 8/32 — the CI gate.
+//! * `CFCC_PRESET=paper`: n = 8192, levels 64/256, ~4k total requests;
+//!   emits `BENCH_PR6.json` at the workspace root (override with
+//!   `CFCC_BENCH_OUT`; setting it also forces emission under `smoke`).
+
+use std::time::Instant;
+
+use cfcc_bench::{banner, fmt_ratio, Preset};
+use cfcc_graph::generators;
+use cfcc_graph::Graph;
+use cfcc_serve::client::Client;
+use cfcc_serve::protocol::fields;
+use cfcc_serve::{ServeConfig, Server};
+use cfcc_util::json::{self, JsonObject};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct LoadSpec {
+    n: usize,
+    m_attach: usize,
+    probes: usize,
+    groundings: usize,
+    group_size: usize,
+    levels: &'static [usize],
+    requests_per_level: usize,
+}
+
+struct LoadResult {
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+    hit_rate: f64,
+    mean_width: f64,
+}
+
+/// Pull a bare number out of a rendered JSON string (the bench is the
+/// protocol's client: stats arrive as one opaque JSON token).
+fn scrape_num(doc: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat).map(|i| i + pat.len()).unwrap_or(doc.len());
+    let num: String = doc[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().unwrap_or(f64::NAN)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Run one (mode, concurrency) configuration against a fresh in-process
+/// daemon and measure the steady-state phase (factors pre-warmed).
+fn run_load(
+    graph: &Graph,
+    groundings: &[String],
+    spec: &LoadSpec,
+    batching: bool,
+    concurrency: usize,
+) -> LoadResult {
+    let server = Server::bind(ServeConfig {
+        batching,
+        rel_tol: 1e-6,
+        probes: spec.probes,
+        ..ServeConfig::default()
+    })
+    .expect("bind in-process daemon");
+    server.registry().insert("g", graph.clone()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+
+    // Warmup: prime every grounding's factor once, off the clock.
+    let mut admin = Client::connect(addr).unwrap();
+    for (i, g) in groundings.iter().enumerate() {
+        let t = admin
+            .request_terminal(&format!(
+                "eval_group graph=g nodes={g} backend=sparse-cg probes={} seed={i}",
+                spec.probes
+            ))
+            .unwrap();
+        assert!(t.starts_with("ok "), "warmup failed: {t}");
+    }
+
+    // Measured phase: `concurrency` connections, each replaying its slice
+    // of the repeated-grounding trace.
+    let per_worker = spec.requests_per_level / concurrency;
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..concurrency)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("worker connect");
+                    let mut lat = Vec::with_capacity(per_worker);
+                    for i in 0..per_worker {
+                        let r = w * per_worker + i;
+                        let req = format!(
+                            "eval_group graph=g nodes={} backend=sparse-cg probes={} seed={}",
+                            groundings[r % groundings.len()],
+                            spec.probes,
+                            10_000 + r
+                        );
+                        let q0 = Instant::now();
+                        let t = c.request_terminal(&req).expect("request");
+                        lat.push(q0.elapsed().as_secs_f64() * 1e3);
+                        assert!(t.starts_with("ok "), "{t}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let stats = admin.request_terminal("stats").unwrap();
+    let stats = fields(&stats)["stats"].to_string();
+    handle.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LoadResult {
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        throughput_rps: (per_worker * concurrency) as f64 / wall,
+        hit_rate: scrape_num(&stats, "hit_rate"),
+        mean_width: scrape_num(&stats, "mean_width"),
+    }
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    banner(
+        "serve",
+        "cfcc-serve load: cross-request solve batching on vs off (BENCH_PR6)",
+        preset,
+    );
+    let spec = match preset {
+        Preset::Smoke => LoadSpec {
+            n: 1024,
+            m_attach: 4,
+            probes: 8,
+            groundings: 16,
+            group_size: 4,
+            levels: &[8, 32],
+            requests_per_level: 192,
+        },
+        _ => LoadSpec {
+            n: 8192,
+            m_attach: 4,
+            probes: 8,
+            groundings: 16,
+            group_size: 4,
+            levels: &[64, 256],
+            requests_per_level: 1024,
+        },
+    };
+    let mut rng = SmallRng::seed_from_u64(0x6E55);
+    let graph = generators::barabasi_albert(spec.n, spec.m_attach, &mut rng);
+    let groundings: Vec<String> = (0..spec.groundings)
+        .map(|_| {
+            let mut nodes = std::collections::BTreeSet::new();
+            while nodes.len() < spec.group_size {
+                nodes.insert(rng.gen_range(0..spec.n as u32));
+            }
+            nodes
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+
+    println!(
+        "graph: barabasi_albert n={} m={}  trace: {} groundings x {} probes, {} requests/level\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        spec.groundings,
+        spec.probes,
+        spec.requests_per_level,
+    );
+    println!(
+        "{:>9} {:>6} {:>10} {:>10} {:>12} {:>9} {:>10}",
+        "batching", "conc", "p50 ms", "p99 ms", "req/s", "hit rate", "avg width"
+    );
+
+    let mut rows: Vec<(bool, usize, LoadResult)> = Vec::new();
+    for &batching in &[false, true] {
+        for &conc in spec.levels {
+            let res = run_load(&graph, &groundings, &spec, batching, conc);
+            println!(
+                "{:>9} {:>6} {:>10.2} {:>10.2} {:>12.1} {:>8.1}% {:>10.1}",
+                if batching { "on" } else { "off" },
+                conc,
+                res.p50_ms,
+                res.p99_ms,
+                res.throughput_rps,
+                res.hit_rate * 100.0,
+                res.mean_width,
+            );
+            rows.push((batching, conc, res));
+        }
+    }
+
+    let max_conc = *spec.levels.last().unwrap();
+    let find = |b: bool| {
+        rows.iter()
+            .find(|(m, c, _)| *m == b && *c == max_conc)
+            .map(|(_, _, r)| r)
+            .unwrap()
+    };
+    let speedup = find(true).throughput_rps / find(false).throughput_rps;
+    println!(
+        "\nbatching speedup at {max_conc} concurrent: {} throughput ({:.1} vs {:.1} req/s)",
+        fmt_ratio(speedup),
+        find(true).throughput_rps,
+        find(false).throughput_rps,
+    );
+
+    let out = std::env::var("CFCC_BENCH_OUT").ok();
+    if preset != Preset::Smoke || out.is_some() {
+        let path = out
+            .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").into());
+        let entries = json::array(rows.iter().map(|(batching, conc, r)| {
+            JsonObject::new()
+                .str("name", "eval_group_load")
+                .raw("batching", if *batching { "true" } else { "false" })
+                .int("concurrency", *conc as i64)
+                .int("requests", spec.requests_per_level as i64)
+                .num("p50_ms", r.p50_ms)
+                .num("p99_ms", r.p99_ms)
+                .num("throughput_rps", r.throughput_rps)
+                .num("cache_hit_rate", r.hit_rate)
+                .num("mean_batch_width", r.mean_width)
+                .render()
+        }));
+        let doc = JsonObject::new()
+            .str("bench", "serve")
+            .str("preset", preset.name())
+            .str(
+                "regenerate",
+                "CFCC_PRESET=paper cargo bench -p cfcc-bench --bench serve",
+            )
+            .raw(
+                "graph",
+                JsonObject::new()
+                    .str("model", "barabasi_albert")
+                    .int("n", spec.n as i64)
+                    .int("m_attach", spec.m_attach as i64)
+                    .render(),
+            )
+            .int("probes", spec.probes as i64)
+            .int("groundings", spec.groundings as i64)
+            .num("batching_speedup_at_max_concurrency", speedup)
+            .raw("entries", entries)
+            .render()
+            .replace("},{", "},\n    {")
+            .replace("\"entries\":[{", "\"entries\":[\n    {")
+            .replace("}]}", "}\n]}");
+        std::fs::write(&path, format!("{doc}\n")).expect("write bench report");
+        println!("wrote {path}");
+    } else {
+        println!("\nsmoke preset: report not written (set CFCC_BENCH_OUT to force)");
+    }
+
+    // The wire-level latency sanity floor: every mode must have answered
+    // with cache hits after warmup.
+    for (_, _, r) in &rows {
+        assert!(
+            r.hit_rate > 0.9,
+            "repeated-grounding trace should be >90% cache hits (got {:.3})",
+            r.hit_rate
+        );
+    }
+}

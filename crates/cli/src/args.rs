@@ -87,6 +87,8 @@ cfcm — current-flow group closeness maximization (Xia & Zhang, ICDE 2025)
 
 USAGE:
     cfcm [OPTIONS] (--graph <edge-list> | --dataset <name>)
+    cfcm serve [SERVE-OPTIONS]          resident query daemon (cfcm serve --help)
+    cfcm client --addr <a> <request…>   one protocol request (cfcm client --help)
 
 OPTIONS:
     --algo <name>      solver name or alias from the registry

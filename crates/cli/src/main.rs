@@ -4,7 +4,27 @@ use cfcm_cli::args::{parse_args, USAGE};
 use cfcm_cli::run::{execute, render_backend_list, render_dataset_list, render_solver_list};
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
+    // Daemon subcommands dispatch before flag parsing: `cfcm serve …`
+    // runs the resident query daemon, `cfcm client …` talks to one.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => {
+            if let Err(e) = cfcc_serve::cli::run_serve(&raw[1..]) {
+                eprintln!("error: {e}\n\n{}", cfcc_serve::cli::SERVE_USAGE);
+                std::process::exit(2);
+            }
+            return;
+        }
+        Some("client") => {
+            if let Err(e) = cfcc_serve::cli::run_client(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+    let args = match parse_args(raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");

@@ -117,6 +117,74 @@ pub fn cfcc_single_exact(g: &Graph) -> Vec<f64> {
         .collect()
 }
 
+/// The canonical grounding node for [`node_centrality`]: the max-degree
+/// node. Any choice is mathematically equivalent (the formula corrects
+/// for it); fixing one makes the factor shareable — a service caching
+/// factors by grounding set hits the same entry for every
+/// `node_centrality` request on a graph.
+pub fn node_centrality_ground(g: &Graph) -> Node {
+    g.max_degree_node().unwrap_or(0)
+}
+
+/// Current-flow closeness centrality of **every** node,
+/// `C(u) = n / Σ_w R(u, w)` (Brandes–Fleischer; the networkx
+/// `current_flow_closeness_centrality`), via **one** grounded factor.
+///
+/// Ground a single node `v` and let `M = L_{-v}^{-1}` (padded with a zero
+/// row/column at `v`). Then `R(u, w) = M_uu + M_ww − 2·M_uw`, so
+///
+/// ```text
+/// Σ_w R(u, w) = n·M_uu + Tr(M) − 2·(M·1)_u
+/// ```
+///
+/// — everything needed is `diag(M)` ([`cfcc_linalg::sdd::SddFactor::diag_inverse`])
+/// plus one extra solve for the row sums `M·1`. This matches the
+/// pseudoinverse form `Σ_w R(u, w) = Tr(L†) + n·L†_uu` that
+/// [`cfcc_single_exact`] evaluates densely, but runs through any backend.
+pub fn node_centrality(g: &Graph, params: &CfcmParams) -> Result<Vec<f64>, CfcmError> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return Err(CfcmError::InvalidParameter(
+            "node centrality needs at least 2 nodes".into(),
+        ));
+    }
+    if !g.is_connected() {
+        return Err(CfcmError::Disconnected);
+    }
+    let v = node_centrality_ground(g);
+    let mut mask = vec![false; n];
+    mask[v as usize] = true;
+    let mut factor = sdd::factor(g, &mask, params.backend, &sdd_opts(params))?;
+    node_centrality_from_factor(n, factor.as_mut())
+}
+
+/// The algebra of [`node_centrality`] against an already-built factor
+/// grounded at exactly one node — the entry point for callers that keep
+/// factors resident across requests (the `cfcc-serve` daemon).
+pub fn node_centrality_from_factor(
+    n: usize,
+    factor: &mut dyn cfcc_linalg::SddFactor,
+) -> Result<Vec<f64>, CfcmError> {
+    let d = factor.dim();
+    if d + 1 != n {
+        return Err(CfcmError::InvalidParameter(format!(
+            "node centrality needs a single-node grounding: factor dimension {d} vs n = {n}"
+        )));
+    }
+    let diag = factor.diag_inverse()?;
+    let ones = vec![1.0; d];
+    let rowsum = factor.solve_vec(&ones)?;
+    let trace: f64 = diag.iter().sum();
+    let nf = n as f64;
+    // The grounded node's own row of `M` is zero: Σ_w R(v, w) = Tr(M).
+    let mut c = vec![nf / trace; n];
+    for i in 0..d {
+        let u = factor.node_of(i) as usize;
+        c[u] = nf / (nf * diag[i] + trace - 2.0 * rowsum[i]);
+    }
+    Ok(c)
+}
+
 /// Resistance distance `R(u, v)` (dense, small graphs).
 pub fn resistance_exact(g: &Graph, u: Node, v: Node) -> f64 {
     let pinv = pseudoinverse_dense(g);
@@ -199,6 +267,70 @@ mod tests {
                 .sum();
             assert!((cu - n as f64 / sum_r).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn node_centrality_star_closed_form() {
+        // Star on n nodes, center 0: R(0, leaf) = 1, R(leaf, leaf') = 2.
+        // C(center) = n/(n−1); C(leaf) = n/(1 + 2(n−2)) = n/(2n−3).
+        let n = 9;
+        let g = generators::star(n);
+        let c = node_centrality(&g, &CfcmParams::default()).unwrap();
+        let nf = n as f64;
+        assert!((c[0] - nf / (nf - 1.0)).abs() < 1e-10, "center {}", c[0]);
+        for &cu in &c[1..] {
+            assert!((cu - nf / (2.0 * nf - 3.0)).abs() < 1e-10, "leaf {cu}");
+        }
+    }
+
+    #[test]
+    fn node_centrality_path_closed_form() {
+        // Path: R(u, v) = |u − v|, so C(u) = n / Σ_v |u − v|.
+        let n = 11;
+        let g = generators::path(n);
+        let c = node_centrality(&g, &CfcmParams::default()).unwrap();
+        for (u, &cu) in c.iter().enumerate() {
+            let sum_r: f64 = (0..n).map(|v| (v as f64 - u as f64).abs()).sum();
+            assert!((cu - n as f64 / sum_r).abs() < 1e-10, "node {u}: {cu}");
+        }
+    }
+
+    #[test]
+    fn node_centrality_matches_networkx_formula_across_backends() {
+        // Parity with the pseudoinverse form the networkx implementation
+        // evaluates: C(u) = n / (Tr(L†) + n·L†_uu) (cfcc_single_exact).
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::barabasi_albert(60, 2, &mut rng);
+        let reference = cfcc_single_exact(&g);
+        for backend in [
+            cfcc_linalg::SddBackend::DenseCholesky,
+            cfcc_linalg::SddBackend::SparseCg,
+            cfcc_linalg::SddBackend::TreePcg,
+        ] {
+            let params = CfcmParams {
+                backend,
+                cg_tol: 1e-11,
+                ..CfcmParams::default()
+            };
+            let c = node_centrality(&g, &params).unwrap();
+            for (u, (&a, &b)) in reference.iter().zip(&c).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-6 * a.abs(),
+                    "{backend:?} node {u}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_centrality_rejects_degenerate_inputs() {
+        let lonely = cfcc_graph::Graph::from_edges(1, &[]).unwrap();
+        assert!(node_centrality(&lonely, &CfcmParams::default()).is_err());
+        let split = cfcc_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            node_centrality(&split, &CfcmParams::default()),
+            Err(CfcmError::Disconnected)
+        ));
     }
 
     #[test]

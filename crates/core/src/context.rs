@@ -114,6 +114,25 @@ impl SolveContext {
         Self::new(params.clone())
     }
 
+    /// Seed the context with a recycled [`GreedyWorkspace`] (builder
+    /// style). Persisted sketches are revalidated against the graph by
+    /// fingerprint inside the engine, so handing a workspace from a
+    /// previous run — even one on a different graph — is always safe and
+    /// skips the per-run resample when the graph, sketch width, and seed
+    /// match. Pair with [`SolveContext::take_workspace`] to thread one
+    /// workspace through a sequence of runs (what
+    /// [`crate::SolveSession::run_reusing`] does).
+    pub fn with_workspace(mut self, ws: GreedyWorkspace) -> Self {
+        self.workspace = Mutex::new(ws);
+        self
+    }
+
+    /// Take the workspace back out of a finished run, leaving a fresh one
+    /// behind — the other half of the recycle loop.
+    pub fn take_workspace(&mut self) -> GreedyWorkspace {
+        std::mem::take(self.workspace.get_mut().expect("workspace mutex poisoned"))
+    }
+
     /// Attach a cancellation token (builder style).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
@@ -182,7 +201,7 @@ impl SolveContext {
         &self,
         g: &'g Graph,
         in_s: &[bool],
-    ) -> Result<Box<dyn SddFactor + 'g>, CfcmError> {
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, CfcmError> {
         let kept = in_s.iter().filter(|&&s| !s).count();
         // `auto`'s diameter sniff is memoized per context: the greedy
         // loops factor the same (immutable) graph once per round.

@@ -100,6 +100,14 @@ pub struct GreedyWorkspace {
     sketch: Option<JlSketch>,
     /// Full-space sketched incidence `(Q B)ᵀ` (`n × w`), sampled once.
     den_rhs: Option<DenseMatrix>,
+    /// Identity of the persisted sketches: `(graph fingerprint, w, seed)`.
+    /// Sketches survive across runs (service reuse) and are resampled
+    /// only when this key changes — a different graph, width, or seed.
+    sketch_key: Option<(u64, usize, u64)>,
+    /// How many times the sketches have been (re)sampled over this
+    /// workspace's lifetime — lets reuse tests observe that consecutive
+    /// runs on the same graph skip the `O(w·(n+m))` resample.
+    resamples: u64,
     /// Previous iteration's solution blocks (`d_prev × w` each) and the
     /// compact-order kept nodes they are indexed by.
     prev_num: DenseMatrix,
@@ -124,14 +132,21 @@ impl GreedyWorkspace {
         Self::default()
     }
 
-    /// Start a new run: drop warm-start state and sketches from any
-    /// previous run (they may belong to a different graph) and reset the
-    /// aggregated solver stats.
+    /// Start a new run: drop warm-start state from any previous run and
+    /// reset the aggregated solver stats. Sketches are **kept** — they are
+    /// validated against the graph by fingerprint in
+    /// [`GreedyWorkspace::ensure_sketch`], so a workspace recycled across
+    /// requests (see [`crate::SolveSession::run_reusing`]) skips the
+    /// per-run resample instead of re-sketching every time.
     pub fn begin_run(&mut self) {
-        self.sketch = None;
-        self.den_rhs = None;
         self.prev_kept.clear();
         self.solve = SolveStats::default();
+    }
+
+    /// Times the sketches have been (re)sampled over this workspace's
+    /// lifetime (1 after any number of same-graph/same-seed runs).
+    pub fn sketch_resamples(&self) -> u64 {
+        self.resamples
     }
 
     /// Aggregated [`SolveStats`] across every factor absorbed so far.
@@ -150,16 +165,16 @@ impl GreedyWorkspace {
         self.solve.precond_shift = self.solve.precond_shift.max(s.precond_shift);
     }
 
-    /// Sample the persistent sketches for an `n`-node graph at width `w`
-    /// (idempotent while the shape matches). The RNG stream is derived
-    /// from `seed` alone, so runs stay deterministic.
+    /// Sample the persistent sketches for graph `g` at width `w`
+    /// (idempotent while the `(graph, w, seed)` identity matches — across
+    /// runs, not just within one). The RNG stream is derived from `seed`
+    /// alone, so runs stay deterministic, and a reused workspace produces
+    /// exactly the sketch a fresh one would: resampling from the same seed
+    /// and keeping the old sample are indistinguishable.
     pub fn ensure_sketch(&mut self, g: &Graph, w: usize, seed: u64) {
         let n = g.num_nodes();
-        if self
-            .sketch
-            .as_ref()
-            .is_some_and(|s| s.width() == w && s.dim() == n)
-        {
+        let key = (graph_fingerprint(g), w, seed);
+        if self.sketch.is_some() && self.sketch_key == Some(key) {
             return;
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0xE2617E);
@@ -174,6 +189,8 @@ impl GreedyWorkspace {
             }
         }
         self.den_rhs = Some(den);
+        self.sketch_key = Some(key);
+        self.resamples += 1;
         // New sketches invalidate any previous solutions as warm starts.
         self.prev_kept.clear();
     }
@@ -274,6 +291,26 @@ impl GreedyWorkspace {
     }
 }
 
+/// FNV-1a over the node count, edge count, and edge list — the identity
+/// under which persisted sketches stay valid. `O(m)`, a factor `w` cheaper
+/// than resampling the sketched incidence, which is the point: recycled
+/// workspaces (daemon requests, repeated sessions) pay a hash, not a
+/// resample. Collisions would need two different graphs with identical
+/// FNV streams — vanishingly unlikely and at worst a quality (not
+/// soundness) issue, since sketches are random projections to begin with.
+fn graph_fingerprint(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(PRIME)
+    }
+    let mut h = mix(mix(OFFSET, g.num_nodes() as u64), g.num_edges() as u64);
+    for (a, b) in g.edges() {
+        h = mix(h, (u64::from(a) << 32) | u64::from(b));
+    }
+    h
+}
+
 /// Seed `x` (a `d × c` chunk covering sketch columns `j0..j0+c`) from the
 /// previous round's solutions: row `i` of the new compact space maps to
 /// previous row `i` (before the dropped row) or `i + 1` (after it). With
@@ -318,6 +355,25 @@ mod tests {
         assert_eq!(ws.sketch.as_ref().unwrap().column(3), &col0[..]);
         ws.ensure_sketch(&g, 12, 7);
         assert_eq!(ws.sketch.as_ref().unwrap().width(), 12);
+    }
+
+    #[test]
+    fn sketches_survive_begin_run_and_track_graph_identity() {
+        let g = generators::cycle(30);
+        let mut ws = GreedyWorkspace::new();
+        ws.ensure_sketch(&g, 8, 7);
+        assert_eq!(ws.sketch_resamples(), 1);
+        // A new run on the same graph/width/seed reuses the sample.
+        ws.begin_run();
+        ws.ensure_sketch(&g, 8, 7);
+        assert_eq!(ws.sketch_resamples(), 1);
+        // Same shape but different edges: fingerprint forces a resample.
+        let g2 = generators::path(30);
+        ws.ensure_sketch(&g2, 8, 7);
+        assert_eq!(ws.sketch_resamples(), 2);
+        // Different seed: the persisted sample no longer matches.
+        ws.ensure_sketch(&g2, 8, 9);
+        assert_eq!(ws.sketch_resamples(), 3);
     }
 
     #[test]

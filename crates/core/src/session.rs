@@ -22,6 +22,7 @@
 use std::time::{Duration, Instant};
 
 use crate::context::{CancelToken, ProgressSink, SolveContext};
+use crate::engine::GreedyWorkspace;
 use crate::registry;
 use crate::result::{IterStats, Selection};
 use crate::solver::{Capability, CfcmSolver};
@@ -135,6 +136,52 @@ impl<'g> SolveSession<'g> {
 
     /// Resolve the solver, check its capability hint, and run.
     pub fn run(self) -> Result<Selection, CfcmError> {
+        let (solver, graph, k, ctx) = self.prepare()?;
+        solver.solve(graph, k, &ctx)
+    }
+
+    /// Like [`SolveSession::run`], but threading a caller-owned
+    /// [`GreedyWorkspace`] through the run instead of building a fresh one
+    /// — the session-reuse path for callers that answer many requests on
+    /// the same graph (the `cfcc-serve` daemon). The workspace's persisted
+    /// sketches are revalidated by graph fingerprint, so repeat runs with
+    /// the same graph, sketch width, and seed skip the `O(w·(n+m))`
+    /// resample entirely, and results are identical to a cold run (the
+    /// kept sketch is the one the same seed would resample). The workspace
+    /// is returned to `ws` whether the run succeeds or fails.
+    ///
+    /// ```
+    /// use cfcc_core::engine::GreedyWorkspace;
+    /// use cfcc_core::SolveSession;
+    /// use cfcc_graph::generators;
+    ///
+    /// let g = generators::barbell(8, 3);
+    /// let mut ws = GreedyWorkspace::new();
+    /// for _ in 0..2 {
+    ///     let sel = SolveSession::new(&g)
+    ///         .k(2)
+    ///         .solver("approx")
+    ///         .epsilon(0.4)
+    ///         .run_reusing(&mut ws)
+    ///         .unwrap();
+    ///     assert_eq!(sel.nodes.len(), 2);
+    /// }
+    /// assert_eq!(ws.sketch_resamples(), 1); // second run reused the sketch
+    /// ```
+    pub fn run_reusing(self, ws: &mut GreedyWorkspace) -> Result<Selection, CfcmError> {
+        let (solver, graph, k, mut ctx) = self.prepare()?;
+        ctx = ctx.with_workspace(std::mem::take(ws));
+        let out = solver.solve(graph, k, &ctx);
+        *ws = ctx.take_workspace();
+        out
+    }
+
+    /// Shared front half of [`SolveSession::run`] /
+    /// [`SolveSession::run_reusing`]: resolve the solver, check its
+    /// capability hint, and assemble the [`SolveContext`].
+    fn prepare(
+        self,
+    ) -> Result<(&'static dyn CfcmSolver, &'g Graph, usize, SolveContext), CfcmError> {
         let solver = match self.solver {
             SolverChoice::Named(ref name) => registry::resolve(name)?,
             SolverChoice::Resolved(solver) => solver,
@@ -153,7 +200,7 @@ impl<'g> SolveSession<'g> {
         if let Some(sink) = self.progress {
             ctx = ctx.with_progress_box(sink);
         }
-        solver.solve(self.graph, self.k, &ctx)
+        Ok((solver, self.graph, self.k, ctx))
     }
 }
 

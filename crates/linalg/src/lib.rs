@@ -88,4 +88,4 @@ pub use cg::{CgConfig, CgStats};
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use laplacian::LaplacianSubmatrix;
-pub use sdd::{SddBackend, SddFactor, SddOptions, SddSolver, SolveStats};
+pub use sdd::{OwnedFactor, SddBackend, SddFactor, SddOptions, SddSolver, SolveStats};

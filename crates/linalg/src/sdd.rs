@@ -273,7 +273,7 @@ pub trait SddSolver: Sync {
         g: &'g Graph,
         in_s: &[bool],
         opts: &SddOptions,
-    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError>;
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError>;
 }
 
 /// Original-node → compact-index map for a kept-node list (`usize::MAX`
@@ -344,7 +344,7 @@ impl SddSolver for DenseCholeskyBackend {
         g: &'g Graph,
         in_s: &[bool],
         opts: &SddOptions,
-    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
         let (dense, keep) = laplacian_submatrix_dense(g, in_s);
         let n = dense.rows();
         let ch = dense.cholesky_threaded(opts.threads)?;
@@ -453,7 +453,7 @@ impl SddSolver for CgJacobiBackend {
         g: &'g Graph,
         in_s: &[bool],
         opts: &SddOptions,
-    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
         check_grounding(g, in_s)?;
         let op = LaplacianSubmatrix::new(g, in_s);
         let inv_diag: Vec<f64> = op.diagonal().iter().map(|&d| 1.0 / d).collect();
@@ -648,7 +648,7 @@ impl SddSolver for SparseCgBackend {
         g: &'g Graph,
         in_s: &[bool],
         opts: &SddOptions,
-    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
         check_grounding(g, in_s)?;
         let (csr, keep, pos) = CsrMatrix::grounded_laplacian(g, in_s);
         let ic = IncompleteCholesky::factor(&csr)?;
@@ -809,7 +809,7 @@ impl SddSolver for TreePcgBackend {
         g: &'g Graph,
         in_s: &[bool],
         opts: &SddOptions,
-    ) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
         check_grounding(g, in_s)?;
         let (csr, keep, pos) = CsrMatrix::grounded_laplacian(g, in_s);
         let tree = TreePreconditioner::build(g, in_s, &keep, &pos)?;
@@ -1099,9 +1099,88 @@ pub fn factor<'g>(
     in_s: &[bool],
     backend: SddBackend,
     opts: &SddOptions,
-) -> Result<Box<dyn SddFactor + 'g>, LinalgError> {
+) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
     let kept = in_s.iter().filter(|&&s| !s).count();
     backend.resolve_for_graph(g, kept).factor(g, in_s, opts)
+}
+
+/// A factor that owns (a reference count on) its graph, so it can outlive
+/// the borrow scope it was created in — the cacheable form a resident
+/// service needs: [`SddSolver::factor`] ties the factor's lifetime to the
+/// graph borrow, which makes `Box<dyn SddFactor + 'g>` impossible to store
+/// in a long-lived cache keyed across requests.
+///
+/// Produced by [`factor_owned`]. Delegates every [`SddFactor`] method to
+/// the wrapped factor.
+pub struct OwnedFactor {
+    /// The factor, with its graph borrow erased to `'static`. Declared
+    /// before `_graph` so it drops first — the only ordering under which
+    /// the erased borrow never dangles.
+    factor: Box<dyn SddFactor + Send + 'static>,
+    /// Keeps the borrowed graph alive (and at a stable address — `Arc`
+    /// contents never move) for as long as the factor exists.
+    _graph: std::sync::Arc<Graph>,
+    /// Resolved backend name (after `auto` routing) — cache keys and
+    /// service stats want the concrete backend, not the policy.
+    backend_name: &'static str,
+}
+
+impl OwnedFactor {
+    /// The concrete backend that produced this factor (post-`auto`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+}
+
+impl SddFactor for OwnedFactor {
+    fn dim(&self) -> usize {
+        self.factor.dim()
+    }
+    fn kept_nodes(&self) -> &[Node] {
+        self.factor.kept_nodes()
+    }
+    fn compact_of(&self, u: Node) -> Option<usize> {
+        self.factor.compact_of(u)
+    }
+    fn solve_vec_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        self.factor.solve_vec_into(b, x)
+    }
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        self.factor.solve_mat_into(b, x)
+    }
+    fn diag_inverse(&mut self) -> Result<Vec<f64>, LinalgError> {
+        self.factor.diag_inverse()
+    }
+    fn trace_inverse(&mut self) -> Result<f64, LinalgError> {
+        self.factor.trace_inverse()
+    }
+    fn stats(&self) -> SolveStats {
+        self.factor.stats()
+    }
+}
+
+/// Factor `L_{-S}` like [`factor`], but against an `Arc`-owned graph,
+/// yielding an [`OwnedFactor`] free of the graph borrow — the form a
+/// factor cache can hold across requests.
+pub fn factor_owned(
+    g: &std::sync::Arc<Graph>,
+    in_s: &[bool],
+    backend: SddBackend,
+    opts: &SddOptions,
+) -> Result<OwnedFactor, LinalgError> {
+    let kept = in_s.iter().filter(|&&s| !s).count();
+    let solver = backend.resolve_for_graph(g, kept);
+    let raw: Box<dyn SddFactor + Send + '_> = solver.factor(g, in_s, opts)?;
+    // SAFETY: the only borrow the factor may hold is `&Graph` into the
+    // `Arc` allocation. The `Arc` clone stored alongside keeps that
+    // allocation alive (at a fixed address) for the wrapper's whole
+    // lifetime, and field order drops the factor before the graph.
+    let factor: Box<dyn SddFactor + Send + 'static> = unsafe { std::mem::transmute(raw) };
+    Ok(OwnedFactor {
+        factor,
+        _graph: std::sync::Arc::clone(g),
+        backend_name: solver.name(),
+    })
 }
 
 #[cfg(test)]

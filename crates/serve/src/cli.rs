@@ -1,0 +1,141 @@
+//! Argument parsing and entry points for the `cfcm serve` / `cfcm client`
+//! subcommands (the `cfcm` binary dispatches here when its first argument
+//! is one of those words).
+
+use std::time::Duration;
+
+use crate::client::Client;
+use crate::{ServeConfig, Server};
+
+/// Usage text for the daemon subcommands, appended to the main `cfcm`
+/// usage.
+pub const SERVE_USAGE: &str = "\
+cfcm serve — resident CFCC query daemon (factor caching + solve batching)
+
+USAGE:
+    cfcm serve [OPTIONS]
+    cfcm client --addr <host:port> <request line…>
+
+SERVE OPTIONS:
+    --addr <host:port>      bind address (default: 127.0.0.1:0 — ephemeral
+                            port, printed on startup)
+    --no-batching           solve every request alone (baseline mode)
+    --window-ms <int>       batch collection window in ms (default: 2)
+    --max-batch-cols <int>  fused-column cap per blocked solve (default: 64)
+    --cache-cap <int>       factor cache capacity in factors (default: 32)
+    --probes <int>          default Hutchinson probes per eval_group on
+                            iterative backends (default: 16)
+    --threads <int>         worker threads per solve (default: 1)
+    --rel-tol <float>       iterative solve residual target (default: 1e-8)
+
+CLIENT:
+    Joins the remaining arguments into one request line, sends it, prints
+    every response line, and exits non-zero if the terminal line is an
+    error. Examples:
+
+        cfcm client --addr 127.0.0.1:4317 load_graph name=g dataset=karate
+        cfcm client --addr 127.0.0.1:4317 eval_group graph=g nodes=0,33
+        cfcm client --addr 127.0.0.1:4317 topk_greedy graph=g k=4
+        cfcm client --addr 127.0.0.1:4317 stats
+        cfcm client --addr 127.0.0.1:4317 shutdown
+
+The protocol is plain UTF-8 lines over TCP; see the README for the full
+request/response reference and error-code table.
+";
+
+fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("bad value '{v}' for {flag}"))
+}
+
+/// `cfcm serve …` — bind, announce, and serve until `shutdown`.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = need(&mut it, "--addr")?,
+            "--no-batching" => cfg.batching = false,
+            "--window-ms" => {
+                cfg.batch_window =
+                    Duration::from_millis(parse(&need(&mut it, "--window-ms")?, "--window-ms")?);
+            }
+            "--max-batch-cols" => {
+                cfg.max_batch_cols =
+                    parse(&need(&mut it, "--max-batch-cols")?, "--max-batch-cols")?;
+            }
+            "--cache-cap" => {
+                cfg.cache_capacity = parse(&need(&mut it, "--cache-cap")?, "--cache-cap")?;
+            }
+            "--probes" => cfg.probes = parse(&need(&mut it, "--probes")?, "--probes")?,
+            "--threads" => cfg.threads = parse(&need(&mut it, "--threads")?, "--threads")?,
+            "--rel-tol" => cfg.rel_tol = parse(&need(&mut it, "--rel-tol")?, "--rel-tol")?,
+            "--help" => {
+                print!("{SERVE_USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    let server = Server::bind(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // CI and scripts parse this exact line to discover the ephemeral port.
+    println!("cfcc-serve listening on {addr}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run();
+    Ok(())
+}
+
+/// `cfcm client --addr <a> <request…>` — one request, print the response.
+pub fn run_client(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut request: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(need(&mut it, "--addr")?),
+            "--help" => {
+                print!("{SERVE_USAGE}");
+                return Ok(());
+            }
+            _ => request.push(arg.clone()),
+        }
+    }
+    let addr = addr.ok_or("client requires --addr <host:port>")?;
+    if request.is_empty() {
+        return Err("client requires a request line (e.g. 'ping')".into());
+    }
+    let line = request.join(" ");
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let lines = client
+        .request(&line)
+        .map_err(|e| format!("request failed: {e}"))?;
+    for l in &lines {
+        println!("{l}");
+    }
+    let terminal = lines.last().expect("response has a terminal line");
+    if terminal.starts_with("err") {
+        return Err(format!("server error: {terminal}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_flags_reject_garbage() {
+        assert!(run_serve(&["--bogus".into()]).is_err());
+        assert!(run_serve(&["--window-ms".into(), "x".into()]).is_err());
+        assert!(run_client(&[]).is_err());
+        assert!(run_client(&["ping".into()]).is_err()); // no --addr
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal blocking client for the `cfcc-serve` line protocol — used by
+//! the CLI `client` subcommand, the integration tests, and the load
+//! bench. One request at a time per connection (the protocol itself is
+//! sequential per connection; open more connections for concurrency).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Send a raw request line without waiting for the response (the
+    /// cancellation tests disconnect mid-request through this).
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Read response lines until the terminal `ok`/`err` line, feeding
+    /// each `progress` line to `on_progress`. Returns the terminal line.
+    pub fn read_response(&mut self, mut on_progress: impl FnMut(&str)) -> std::io::Result<String> {
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            let line = line.trim_end();
+            if line.starts_with("ok") || line.starts_with("err") {
+                return Ok(line.to_string());
+            }
+            on_progress(line);
+        }
+    }
+
+    /// Send one request and collect the full response — progress lines
+    /// first, terminal line last.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+        self.send(line)?;
+        let mut lines = Vec::new();
+        let terminal = self.read_response(|p| lines.push(p.to_string()))?;
+        lines.push(terminal);
+        Ok(lines)
+    }
+
+    /// Send one request and return just the terminal line (progress
+    /// discarded).
+    pub fn request_terminal(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.read_response(|_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, Server};
+
+    #[test]
+    fn ping_round_trip_and_unknown_verb() {
+        let server = Server::bind(ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut handle = server.spawn();
+        let mut c = Client::connect(addr).unwrap();
+        let reply = c.request_terminal("ping").unwrap();
+        assert!(reply.starts_with("ok "), "{reply}");
+        let reply = c.request_terminal("warp_drive").unwrap();
+        assert!(reply.starts_with("err code=unknown_verb"), "{reply}");
+        handle.shutdown();
+    }
+}

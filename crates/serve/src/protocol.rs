@@ -1,0 +1,454 @@
+//! The `cfcc-serve` wire protocol: UTF-8 lines over TCP.
+//!
+//! One request per line — `<verb> key=value key=value …` — answered by one
+//! or more response lines. Every response sequence ends with exactly one
+//! terminal line starting `ok` or `err`; `topk_greedy` interleaves
+//! `progress …` lines before its terminal line. The format is designed to
+//! be driven from a shell (`printf … | nc`), the bundled CLI client, or
+//! the in-process [`crate::client::Client`], with no JSON parser required
+//! on either side (the offline build has no serde; responses embed JSON
+//! only as opaque single-line values, e.g. `stats=<json>`).
+//!
+//! See the repository README for the full request/response reference and
+//! error-code table.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cfcc_graph::Node;
+use cfcc_util::json;
+
+/// Machine-readable error classes carried in `err code=…` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed request line: unknown key, missing field, bad number.
+    BadRequest,
+    /// Unknown verb.
+    UnknownVerb,
+    /// `graph=` names a graph that was never loaded.
+    UnknownGraph,
+    /// A node id is out of range, duplicated, or the grounding is invalid.
+    BadNode,
+    /// The request's deadline expired before its solve started.
+    Deadline,
+    /// The request was cancelled (client disconnect mid-run).
+    Cancelled,
+    /// The solver failed (non-convergence, singular grounding, …).
+    Solver,
+    /// Filesystem/dataset error while loading a graph.
+    Load,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// Internal invariant broke (batcher died, poisoned lock).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::UnknownGraph => "unknown_graph",
+            ErrorCode::BadNode => "bad_node",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Solver => "solver",
+            ErrorCode::Load => "load",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A protocol-level error: code plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    pub code: ErrorCode,
+    pub msg: String,
+}
+
+impl ServeError {
+    pub fn new(code: ErrorCode, msg: impl Into<String>) -> Self {
+        Self {
+            code,
+            msg: msg.into(),
+        }
+    }
+
+    /// Render the terminal `err` line (message JSON-escaped so it stays on
+    /// one line regardless of content).
+    pub fn render(&self) -> String {
+        format!(
+            "err code={} msg={}",
+            self.code.as_str(),
+            json::escape(&self.msg)
+        )
+    }
+}
+
+/// Where `load_graph` gets its edges from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// Bundled dataset by registry name (`cfcc_datasets::by_name`).
+    Dataset { name: String, scale: f64 },
+    /// Whitespace edge-list file on the server's filesystem.
+    Path(String),
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    LoadGraph {
+        name: String,
+        source: GraphSource,
+    },
+    EvalGroup {
+        graph: String,
+        nodes: Vec<Node>,
+        backend: Option<String>,
+        probes: Option<usize>,
+        seed: Option<u64>,
+        deadline: Option<Duration>,
+    },
+    NodeCentrality {
+        graph: String,
+        node: Option<Node>,
+        top: Option<usize>,
+        backend: Option<String>,
+        deadline: Option<Duration>,
+    },
+    TopkGreedy {
+        graph: String,
+        k: usize,
+        algo: String,
+        epsilon: Option<f64>,
+        seed: Option<u64>,
+        backend: Option<String>,
+        threads: Option<usize>,
+        deadline: Option<Duration>,
+    },
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorCode::BadRequest, msg)
+}
+
+/// Split a request/response line into its `key=value` fields (tokens
+/// without `=` are skipped). Shared by the parser, the tests, and the
+/// bench's response scraping.
+pub fn fields(line: &str) -> HashMap<&str, &str> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+struct Kv<'a> {
+    map: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Kv<'a> {
+    fn parse(rest: &'a [&'a str], allowed: &[&str]) -> Result<Self, ServeError> {
+        let mut map = HashMap::new();
+        for tok in rest {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| bad(format!("expected key=value, got '{tok}'")))?;
+            if !allowed.contains(&k) {
+                return Err(bad(format!("unknown key '{k}'")));
+            }
+            if map.insert(k, v).is_some() {
+                return Err(bad(format!("duplicate key '{k}'")));
+            }
+        }
+        Ok(Self { map })
+    }
+
+    fn str(&self, key: &str) -> Option<String> {
+        self.map.get(key).map(|v| v.to_string())
+    }
+
+    fn required(&self, key: &str) -> Result<String, ServeError> {
+        self.str(key)
+            .ok_or_else(|| bad(format!("missing required key '{key}'")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ServeError> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| bad(format!("bad value '{v}' for '{key}'"))),
+        }
+    }
+
+    fn required_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ServeError> {
+        self.num(key)?
+            .ok_or_else(|| bad(format!("missing required key '{key}'")))
+    }
+
+    fn node_list(&self, key: &str) -> Result<Option<Vec<Node>>, ServeError> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|t| {
+                    t.parse::<Node>()
+                        .map_err(|_| bad(format!("bad node id '{t}' in '{key}'")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+
+    fn deadline(&self) -> Result<Option<Duration>, ServeError> {
+        Ok(self.num::<u64>("deadline_ms")?.map(Duration::from_millis))
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (&verb, rest) = tokens
+        .split_first()
+        .ok_or_else(|| bad("empty request line"))?;
+    match verb {
+        "load_graph" => {
+            let kv = Kv::parse(rest, &["name", "dataset", "scale", "path"])?;
+            let name = kv.required("name")?;
+            let source = match (kv.str("dataset"), kv.str("path")) {
+                (Some(ds), None) => GraphSource::Dataset {
+                    name: ds,
+                    scale: kv.num::<f64>("scale")?.unwrap_or(1.0),
+                },
+                (None, Some(path)) => {
+                    if kv.map.contains_key("scale") {
+                        return Err(bad("'scale' only applies to dataset loads"));
+                    }
+                    GraphSource::Path(path)
+                }
+                _ => return Err(bad("exactly one of 'dataset' or 'path' required")),
+            };
+            Ok(Request::LoadGraph { name, source })
+        }
+        "eval_group" => {
+            let kv = Kv::parse(
+                rest,
+                &["graph", "nodes", "backend", "probes", "seed", "deadline_ms"],
+            )?;
+            let nodes = kv
+                .node_list("nodes")?
+                .ok_or_else(|| bad("missing required key 'nodes'"))?;
+            if nodes.is_empty() {
+                return Err(bad("'nodes' must be non-empty"));
+            }
+            Ok(Request::EvalGroup {
+                graph: kv.required("graph")?,
+                nodes,
+                backend: kv.str("backend"),
+                probes: kv.num("probes")?,
+                seed: kv.num("seed")?,
+                deadline: kv.deadline()?,
+            })
+        }
+        "node_centrality" => {
+            let kv = Kv::parse(rest, &["graph", "node", "top", "backend", "deadline_ms"])?;
+            if kv.map.contains_key("node") && kv.map.contains_key("top") {
+                return Err(bad("'node' and 'top' are mutually exclusive"));
+            }
+            Ok(Request::NodeCentrality {
+                graph: kv.required("graph")?,
+                node: kv.num("node")?,
+                top: kv.num("top")?,
+                backend: kv.str("backend"),
+                deadline: kv.deadline()?,
+            })
+        }
+        "topk_greedy" => {
+            let kv = Kv::parse(
+                rest,
+                &[
+                    "graph",
+                    "k",
+                    "algo",
+                    "epsilon",
+                    "seed",
+                    "backend",
+                    "threads",
+                    "deadline_ms",
+                ],
+            )?;
+            Ok(Request::TopkGreedy {
+                graph: kv.required("graph")?,
+                k: kv.required_num("k")?,
+                algo: kv.str("algo").unwrap_or_else(|| "schur".into()),
+                epsilon: kv.num("epsilon")?,
+                seed: kv.num("seed")?,
+                backend: kv.str("backend"),
+                threads: kv.num("threads")?,
+                deadline: kv.deadline()?,
+            })
+        }
+        "stats" => {
+            Kv::parse(rest, &[])?;
+            Ok(Request::Stats)
+        }
+        "ping" => {
+            Kv::parse(rest, &[])?;
+            Ok(Request::Ping)
+        }
+        "shutdown" => {
+            Kv::parse(rest, &[])?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(ServeError::new(
+            ErrorCode::UnknownVerb,
+            format!("unknown verb '{other}'"),
+        )),
+    }
+}
+
+/// Builder for `ok …` / `progress …` lines.
+#[derive(Debug, Default)]
+pub struct Line {
+    parts: Vec<String>,
+}
+
+impl Line {
+    /// Start a terminal success line.
+    pub fn ok() -> Self {
+        Self {
+            parts: vec!["ok".into()],
+        }
+    }
+
+    /// Start a streaming progress line.
+    pub fn progress() -> Self {
+        Self {
+            parts: vec!["progress".into()],
+        }
+    }
+
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.parts.push(format!("{key}={value}"));
+        self
+    }
+
+    /// A float field rendered with full round-trip precision.
+    pub fn float(self, key: &str, value: f64) -> Self {
+        self.field(key, format_args!("{value:.17e}"))
+    }
+
+    /// A comma-separated list field.
+    pub fn list(self, key: &str, items: impl IntoIterator<Item = impl std::fmt::Display>) -> Self {
+        let joined = items
+            .into_iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.field(key, joined)
+    }
+
+    pub fn render(&self) -> String {
+        self.parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_request_surface() {
+        assert_eq!(
+            parse_request("load_graph name=g dataset=karate").unwrap(),
+            Request::LoadGraph {
+                name: "g".into(),
+                source: GraphSource::Dataset {
+                    name: "karate".into(),
+                    scale: 1.0
+                }
+            }
+        );
+        assert_eq!(
+            parse_request("load_graph name=g path=/tmp/edges.txt").unwrap(),
+            Request::LoadGraph {
+                name: "g".into(),
+                source: GraphSource::Path("/tmp/edges.txt".into())
+            }
+        );
+        let r = parse_request("eval_group graph=g nodes=1,2,3 deadline_ms=250").unwrap();
+        match r {
+            Request::EvalGroup {
+                nodes, deadline, ..
+            } => {
+                assert_eq!(nodes, vec![1, 2, 3]);
+                assert_eq!(deadline, Some(Duration::from_millis(250)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request("topk_greedy graph=g k=4 epsilon=0.3 seed=7").unwrap();
+        match r {
+            Request::TopkGreedy { k, algo, .. } => {
+                assert_eq!(k, 4);
+                assert_eq!(algo, "schur");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "",
+            "warp_drive",
+            "eval_group graph=g",                   // missing nodes
+            "eval_group graph=g nodes=",            // empty node list
+            "eval_group graph=g nodes=1,x",         // bad node id
+            "eval_group nodes=1",                   // missing graph
+            "eval_group graph=g nodes=1 bogus=1",   // unknown key
+            "eval_group graph=g nodes=1 nodes=2",   // duplicate key
+            "load_graph name=g",                    // no source
+            "load_graph name=g dataset=a path=b",   // two sources
+            "load_graph name=g path=p scale=2",     // scale without dataset
+            "node_centrality graph=g node=1 top=2", // exclusive keys
+            "topk_greedy graph=g",                  // missing k
+            "topk_greedy graph=g k=x",              // bad k
+            "stats verbose=1",                      // stats takes no keys
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                matches!(err.code, ErrorCode::BadRequest | ErrorCode::UnknownVerb),
+                "{line}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lines_render_and_scrape_round_trip() {
+        let line = Line::ok()
+            .field("cache", "hit")
+            .float("cfcc", 1.25)
+            .list("nodes", [3, 1, 4])
+            .render();
+        assert!(line.starts_with("ok "));
+        let f = fields(&line);
+        assert_eq!(f["cache"], "hit");
+        assert_eq!(f["nodes"], "3,1,4");
+        assert_eq!(f["cfcc"].parse::<f64>().unwrap(), 1.25);
+    }
+
+    #[test]
+    fn error_lines_stay_single_line() {
+        let e = ServeError::new(ErrorCode::Solver, "multi\nline \"quoted\"");
+        let r = e.render();
+        assert_eq!(r.lines().count(), 1);
+        assert!(r.starts_with("err code=solver msg="));
+    }
+}

@@ -1,0 +1,139 @@
+//! Resident graph store: named graphs that survive across requests, each
+//! with an **epoch counter** bumped on every (re)load under the same name.
+//!
+//! The epoch is what keeps the factor cache sound without invalidation
+//! hooks: cache keys embed `(graph name, epoch)`, so reloading a graph
+//! silently orphans every factor of the old epoch — they age out of the
+//! LRU instead of ever being served against the wrong topology.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cfcc_graph::traversal::largest_connected_component;
+use cfcc_graph::Graph;
+
+use crate::protocol::{ErrorCode, GraphSource, ServeError};
+
+/// One resident graph: the (LCC-reduced, connected) graph plus its epoch.
+#[derive(Debug, Clone)]
+pub struct ResidentGraph {
+    pub graph: Arc<Graph>,
+    pub epoch: u64,
+    /// Whether the loaded input was reduced to its largest connected
+    /// component (node ids are post-reduction ids when true).
+    pub reduced: bool,
+}
+
+/// Named, epoch-versioned graph registry. All methods are `&self`; the
+/// registry is shared across connection threads.
+#[derive(Default)]
+pub struct GraphRegistry {
+    inner: Mutex<HashMap<String, ResidentGraph>>,
+}
+
+impl GraphRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) `name`, reducing to the largest connected
+    /// component if needed — every solver in the stack requires a
+    /// connected graph. Returns the resident entry (epoch 1 for a fresh
+    /// name, previous+1 on replace).
+    pub fn insert(&self, name: &str, graph: Graph) -> Result<ResidentGraph, ServeError> {
+        let (graph, reduced) = if graph.is_connected() {
+            (graph, false)
+        } else {
+            let (lcc, _) = largest_connected_component(&graph);
+            (lcc, true)
+        };
+        if graph.num_nodes() < 2 {
+            return Err(ServeError::new(
+                ErrorCode::Load,
+                "graph must have at least 2 connected nodes",
+            ));
+        }
+        let mut map = self.inner.lock().expect("registry lock poisoned");
+        let epoch = map.get(name).map_or(1, |e| e.epoch + 1);
+        let entry = ResidentGraph {
+            graph: Arc::new(graph),
+            epoch,
+            reduced,
+        };
+        map.insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Load from a request's [`GraphSource`] and insert under `name`.
+    pub fn load(&self, name: &str, source: &GraphSource) -> Result<ResidentGraph, ServeError> {
+        let graph = match source {
+            GraphSource::Dataset { name: ds, scale } => cfcc_datasets::by_name(ds, *scale)
+                .ok_or_else(|| {
+                    ServeError::new(ErrorCode::Load, format!("unknown dataset '{ds}'"))
+                })?,
+            GraphSource::Path(path) => {
+                let (g, _labels) = cfcc_graph::io::read_edge_list_file(path)
+                    .map_err(|e| ServeError::new(ErrorCode::Load, e.to_string()))?;
+                g
+            }
+        };
+        self.insert(name, graph)
+    }
+
+    /// Look up a resident graph.
+    pub fn get(&self, name: &str) -> Result<ResidentGraph, ServeError> {
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::UnknownGraph,
+                    format!("graph '{name}' not loaded (use load_graph)"),
+                )
+            })
+    }
+
+    /// Snapshot `(name, epoch, n, m)` for `stats`.
+    pub fn snapshot(&self) -> Vec<(String, u64, usize, usize)> {
+        let map = self.inner.lock().expect("registry lock poisoned");
+        let mut out: Vec<_> = map
+            .iter()
+            .map(|(k, e)| (k.clone(), e.epoch, e.graph.num_nodes(), e.graph.num_edges()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfcc_graph::generators;
+
+    #[test]
+    fn epochs_bump_on_replace_and_lcc_reduction_applies() {
+        let reg = GraphRegistry::new();
+        let e1 = reg.insert("g", generators::cycle(6)).unwrap();
+        assert_eq!((e1.epoch, e1.reduced), (1, false));
+        // Disconnected input: reduced to its LCC, epoch bumped.
+        let split = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (5, 6)]).unwrap();
+        let e2 = reg.insert("g", split).unwrap();
+        assert_eq!(e2.epoch, 2);
+        assert!(e2.reduced);
+        assert_eq!(e2.graph.num_nodes(), 4);
+        assert_eq!(reg.get("g").unwrap().epoch, 2);
+        assert_eq!(
+            reg.get("missing").unwrap_err().code,
+            ErrorCode::UnknownGraph
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_graphs() {
+        let reg = GraphRegistry::new();
+        let lonely = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(reg.insert("g", lonely).unwrap_err().code, ErrorCode::Load);
+    }
+}

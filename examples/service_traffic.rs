@@ -1,0 +1,113 @@
+//! Mixed service traffic against an in-process `cfcc-serve` daemon: boot
+//! the daemon on an ephemeral port, fire a burst of concurrent clients
+//! running every request type — group evaluations on repeated groundings
+//! (these fuse in the batcher), single-node centrality lookups (memoized
+//! per factor), and a streamed top-k greedy run — then read the server's
+//! own `stats` to see the cache hit rate and batch occupancy the trace
+//! produced.
+//!
+//! ```sh
+//! cargo run --release --example service_traffic
+//! ```
+
+use cfcc_graph::generators;
+use cfcc_serve::client::Client;
+use cfcc_serve::protocol::fields;
+use cfcc_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A mid-size scale-free graph, resident before the first request.
+    let mut rng = StdRng::seed_from_u64(0x5E41);
+    let graph = generators::barabasi_albert(2_000, 3, &mut rng);
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    server
+        .registry()
+        .insert("web", graph)
+        .expect("insert graph");
+    let addr = server.local_addr().unwrap();
+    let mut handle = server.spawn();
+    println!("daemon up on {addr}\n");
+
+    // Burst: 8 evaluation clients over 4 shared groundings (pairs fuse),
+    // 4 centrality clients (first one pays, the rest hit the memo), and
+    // one top-k greedy run streaming progress.
+    let groundings = ["0,1", "5,9", "17,3", "100,200"];
+    std::thread::scope(|s| {
+        for w in 0..8 {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let req = format!(
+                    "eval_group graph=web nodes={} backend=sparse-cg probes=8 seed={w}",
+                    groundings[w % groundings.len()]
+                );
+                let t = c.request_terminal(&req).expect("eval_group");
+                let f = fields(&t);
+                println!(
+                    "eval_group  nodes={:9} cfcc={:>9.5} cache={:4} fused {} request(s) into a {}-column solve",
+                    groundings[w % groundings.len()],
+                    f["cfcc"].parse::<f64>().unwrap(),
+                    f["cache"],
+                    f["batch_jobs"],
+                    f["batch"],
+                );
+            });
+        }
+        for w in 0..4 {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let t = c
+                    .request_terminal(&format!("node_centrality graph=web node={}", w * 7))
+                    .expect("node_centrality");
+                let f = fields(&t);
+                println!(
+                    "node_centrality  node={:3}  C={:>9.5}  cache={}",
+                    w * 7,
+                    f["centrality"].parse::<f64>().unwrap(),
+                    f["cache"],
+                );
+            });
+        }
+        s.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.send("topk_greedy graph=web k=4 epsilon=0.4 seed=7")
+                .expect("send");
+            let terminal = c
+                .read_response(|p| {
+                    let f = fields(p);
+                    println!(
+                        "topk_greedy  round {}: chose node {}",
+                        f["iter"], f["chosen"]
+                    );
+                })
+                .expect("topk_greedy");
+            println!("topk_greedy  selection: {}", fields(&terminal)["nodes"]);
+        });
+    });
+
+    // The server's own view of that trace.
+    let mut c = Client::connect(addr).unwrap();
+    let t = c.request_terminal("stats").unwrap();
+    let stats = fields(&t)["stats"].to_string();
+    let scrape = |key: &str| {
+        let pat = format!("\"{key}\":");
+        let at = stats.find(&pat).map(|i| i + pat.len()).unwrap_or(0);
+        stats[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect::<String>()
+    };
+    println!(
+        "\nserver stats: cache hit rate {}, {} batched jobs in {} solves (mean width {}), {} PCG iterations total",
+        scrape("hit_rate"),
+        scrape("batched_jobs"),
+        scrape("batches"),
+        scrape("mean_width"),
+        scrape("iterations"),
+    );
+
+    c.request_terminal("shutdown").unwrap();
+    handle.shutdown();
+    println!("daemon shut down cleanly");
+}
