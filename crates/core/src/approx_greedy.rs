@@ -64,6 +64,9 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
         rel_tol: params.cg_tol,
         max_iter: 50_000,
         threads: params.threads,
+        // First-pick pseudoinverse solves poll the context's cancel
+        // token / deadline, same as the grounded solves below.
+        stop: ctx.stop_hook(),
     };
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xA99);
     let mut stats = RunStats::default();
@@ -85,6 +88,12 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
         }
         x.fill(0.0);
         let st = solve_pseudoinverse(g, &rhs, &mut x, &cg);
+        if st.stopped.is_some() {
+            // Interrupted mid-first-pick: fall back to whatever probes
+            // accumulated so far — the run still yields a selection, and
+            // it yields it promptly.
+            break;
+        }
         if !st.converged {
             return Err(CfcmError::Numerical(
                 "pseudoinverse CG did not converge".into(),
@@ -129,9 +138,20 @@ pub fn approx_greedy_ctx(g: &Graph, k: usize, ctx: &SolveContext) -> Result<Sele
         // (shared SpMV/preconditioner sweeps, converged columns deflated),
         // seeded with the previous round's solutions when warm starts are
         // on.
-        let mut factor = ctx.factor_grounded(g, &in_s)?;
+        // A mid-solve interruption (cancel token, deadline) surfaces as a
+        // typed error from the factor path; it ends the run with the
+        // partial selection, exactly like the round-boundary
+        // `interrupted()` check above. The workspace stays warm-start
+        // consistent: an aborted round never swaps its `prev_*` blocks.
+        let mut factor = match ctx.factor_grounded(g, &in_s) {
+            Err(CfcmError::Interrupted(_)) => break,
+            r => r?,
+        };
         let d = factor.dim();
-        let (num, den) = ws.sketched_gains(factor.as_mut(), params.warm_start)?;
+        let (num, den) = match ws.sketched_gains(factor.as_mut(), params.warm_start) {
+            Err(CfcmError::Interrupted(_)) => break,
+            r => r?,
+        };
         let mut best_c = 0usize;
         let mut best_gain = f64::NEG_INFINITY;
         for cix in 0..d {

@@ -16,6 +16,7 @@ use crate::result::IterStats;
 use crate::{CfcmError, CfcmParams};
 use cfcc_graph::Graph;
 use cfcc_linalg::sdd::{self, SddFactor, SddOptions};
+use cfcc_linalg::{StopCause, StopHook};
 
 /// Cooperative cancellation flag, cheaply cloneable across threads.
 ///
@@ -184,9 +185,35 @@ impl SolveContext {
 
     /// SDD solver options derived from the parameters (CG tolerance,
     /// thread count for the worker pool behind the blocked kernels and
-    /// the blocked multi-RHS PCG).
+    /// the blocked multi-RHS PCG), with this context's run control
+    /// attached: when a cancel token or deadline is present, every
+    /// iterative solve polls it each sweep, so interruption reaches
+    /// *inside* in-flight solves instead of waiting for round boundaries.
     pub fn sdd_options(&self) -> SddOptions {
-        engine::solve_options(&self.params)
+        SddOptions {
+            stop: self.stop_hook(),
+            ..engine::solve_options(&self.params)
+        }
+    }
+
+    /// The [`StopHook`] mirroring [`SolveContext::interrupted`]: fires
+    /// [`StopCause::Cancelled`] when the cancel token trips and
+    /// [`StopCause::DeadlineExceeded`] once the deadline passes. Returns
+    /// a no-op hook when neither is attached, so unconstrained solves
+    /// pay nothing per iteration.
+    pub fn stop_hook(&self) -> StopHook {
+        match (self.cancel.clone(), self.deadline) {
+            (None, None) => StopHook::none(),
+            (cancel, deadline) => StopHook::new(move || {
+                if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Some(StopCause::Cancelled);
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Some(StopCause::DeadlineExceeded);
+                }
+                None
+            }),
+        }
     }
 
     /// Factor the grounded Laplacian `L_{-S}` through the backend chosen

@@ -65,6 +65,9 @@ pub fn solve_options(params: &CfcmParams) -> SddOptions {
         rel_tol: params.cg_tol,
         max_iter: 50_000,
         threads: params.threads,
+        // Run control (cancel/deadline) is attached by the owning
+        // `SolveContext`, which layers its stop hook on top of these.
+        ..SddOptions::default()
     }
 }
 
@@ -256,9 +259,15 @@ impl GreedyWorkspace {
                     .copy_from_slice(&sketch.column(u as usize)[j0..j0 + c]);
             }
             seed_guess(&self.prev_num, shift, &mut self.x_chunk, j0, c);
-            factor
-                .solve_mat_into(&self.rhs_chunk, &mut self.x_chunk)
-                .map_err(CfcmError::from)?;
+            // On a failed or interrupted solve the round is abandoned
+            // without swapping `prev_*` — they still describe the
+            // `prev_kept` grounding, so the workspace stays reusable for
+            // a retry — but the factor's partial work is absorbed first
+            // so aborted sweeps show up in the run's stats.
+            if let Err(e) = factor.solve_mat_into(&self.rhs_chunk, &mut self.x_chunk) {
+                self.absorb_solve_stats(factor.stats());
+                return Err(CfcmError::from(e));
+            }
             for (i, acc) in num.iter_mut().enumerate() {
                 let row = self.x_chunk.row(i);
                 *acc += norm2_sq(row);
@@ -273,9 +282,10 @@ impl GreedyWorkspace {
                     .copy_from_slice(&den_rhs.row(u as usize)[j0..j0 + c]);
             }
             seed_guess(&self.prev_den, shift, &mut self.x_chunk, j0, c);
-            factor
-                .solve_mat_into(&self.rhs_chunk, &mut self.x_chunk)
-                .map_err(CfcmError::from)?;
+            if let Err(e) = factor.solve_mat_into(&self.rhs_chunk, &mut self.x_chunk) {
+                self.absorb_solve_stats(factor.stats());
+                return Err(CfcmError::from(e));
+            }
             for (i, acc) in den.iter_mut().enumerate() {
                 let row = self.x_chunk.row(i);
                 *acc += norm2_sq(row);

@@ -24,6 +24,11 @@ pub enum CfcmError {
     /// The selected solver declared itself unable to run at this problem
     /// size (its `supports` capability hint).
     Unsupported(String),
+    /// The run was interrupted mid-solve by its cancel token or deadline
+    /// (see [`crate::SolveContext::stop_hook`]). Greedy loops catch this
+    /// and return the partial selection accumulated so far; it only
+    /// escapes from entry points with nothing partial to return.
+    Interrupted(cfcc_linalg::StopCause),
 }
 
 impl fmt::Display for CfcmError {
@@ -47,6 +52,13 @@ impl fmt::Display for CfcmError {
                 )
             }
             CfcmError::Unsupported(msg) => write!(f, "solver unsupported here: {msg}"),
+            CfcmError::Interrupted(cause) => {
+                let what = match cause {
+                    cfcc_linalg::StopCause::Cancelled => "cancelled",
+                    cfcc_linalg::StopCause::DeadlineExceeded => "deadline exceeded",
+                };
+                write!(f, "run interrupted: {what}")
+            }
         }
     }
 }
@@ -55,7 +67,15 @@ impl std::error::Error for CfcmError {}
 
 impl From<cfcc_linalg::LinalgError> for CfcmError {
     fn from(e: cfcc_linalg::LinalgError) -> Self {
-        CfcmError::Numerical(e.to_string())
+        match e {
+            cfcc_linalg::LinalgError::Cancelled { .. } => {
+                CfcmError::Interrupted(cfcc_linalg::StopCause::Cancelled)
+            }
+            cfcc_linalg::LinalgError::DeadlineExceeded { .. } => {
+                CfcmError::Interrupted(cfcc_linalg::StopCause::DeadlineExceeded)
+            }
+            other => CfcmError::Numerical(other.to_string()),
+        }
     }
 }
 

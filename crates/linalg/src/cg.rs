@@ -7,14 +7,66 @@
 //! symmetric positive definite for connected `G`), plus a nullspace-projected
 //! CG for pseudoinverse applications `x = L† b`.
 
+use std::sync::Arc;
+
 use crate::laplacian::LaplacianSubmatrix;
 use crate::pool::{self, SendPtr};
 use crate::vector::{axpy, dot, norm2, project_out_ones, xpby};
 use crate::DenseMatrix;
 use cfcc_graph::Graph;
 
+/// Why an in-flight solve was interrupted before it could converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The caller's cancel token fired (client gone, shutdown, …).
+    Cancelled,
+    /// The caller's deadline elapsed mid-sweep.
+    DeadlineExceeded,
+}
+
+/// Cooperative cancellation hook polled once per CG iteration. The
+/// default is a no-op (`None` inside — `check()` is one branch), so
+/// solves without a caller-imposed deadline pay nothing. When the hook
+/// fires, the solve returns immediately with the partial iterate left in
+/// `x` — a warm-startable state, not a poisoned one.
+#[derive(Clone, Default)]
+pub struct StopHook(Option<Arc<dyn Fn() -> Option<StopCause> + Send + Sync>>);
+
+impl StopHook {
+    /// Hook that polls `f` every iteration.
+    pub fn new(f: impl Fn() -> Option<StopCause> + Send + Sync + 'static) -> Self {
+        Self(Some(Arc::new(f)))
+    }
+
+    /// No hook: never fires, costs one branch per poll.
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// Whether a hook is installed at all.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Poll the hook; `None` means keep iterating.
+    #[inline]
+    pub fn check(&self) -> Option<StopCause> {
+        self.0.as_ref().and_then(|f| f())
+    }
+}
+
+impl std::fmt::Debug for StopHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "StopHook(set)"
+        } else {
+            "StopHook(none)"
+        })
+    }
+}
+
 /// Convergence controls for CG.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CgConfig {
     /// Stop when `‖r‖ ≤ rel_tol · ‖b‖`.
     pub rel_tol: f64,
@@ -26,6 +78,8 @@ pub struct CgConfig {
     /// reductions stay serial so results are bit-identical across thread
     /// counts).
     pub threads: usize,
+    /// Cooperative cancellation, polled at the top of every iteration.
+    pub stop: StopHook,
 }
 
 impl Default for CgConfig {
@@ -34,6 +88,7 @@ impl Default for CgConfig {
             rel_tol: 1e-8,
             max_iter: 20_000,
             threads: 1,
+            stop: StopHook::none(),
         }
     }
 }
@@ -57,6 +112,10 @@ pub struct CgStats {
     pub rel_residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Set when the solve was interrupted by the [`StopHook`] rather than
+    /// finishing on its own (`converged` is `false` in that case and the
+    /// partial iterate is left in `x` for a warm-started retry).
+    pub stopped: Option<StopCause>,
 }
 
 /// Preconditioned CG over an abstract SPD operator: `apply` computes
@@ -94,9 +153,20 @@ where
             iterations: 0,
             rel_residual: res,
             converged: true,
+            stopped: None,
         };
     }
     for it in 1..=cfg.max_iter {
+        if let Some(cause) = cfg.stop.check() {
+            // Interrupted: the current iterate stays in `x`, ready to be
+            // warm-started by a retry.
+            return CgStats {
+                iterations: it - 1,
+                rel_residual: res,
+                converged: false,
+                stopped: Some(cause),
+            };
+        }
         apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
@@ -105,6 +175,7 @@ where
                 iterations: it,
                 rel_residual: res,
                 converged: false,
+                stopped: None,
             };
         }
         let alpha = rz / pap;
@@ -116,6 +187,7 @@ where
                 iterations: it,
                 rel_residual: res,
                 converged: true,
+                stopped: None,
             };
         }
         precond(&r, &mut z);
@@ -128,6 +200,7 @@ where
         iterations: cfg.max_iter,
         rel_residual: res,
         converged: false,
+        stopped: None,
     }
 }
 
@@ -217,6 +290,7 @@ where
             iterations: 0,
             rel_residual: 0.0,
             converged: true,
+            stopped: None,
         };
         c
     ];
@@ -279,6 +353,21 @@ where
     let mut n_finished = 0usize;
 
     for it in 1..=cfg.max_iter {
+        if let Some(cause) = cfg.stop.check() {
+            // Interrupted: freeze every still-active column at its current
+            // iterate (already scattered into `x`) so a retry warm-starts.
+            for (s, &j) in active.iter().enumerate() {
+                if !finished[s] {
+                    stats[j] = CgStats {
+                        iterations: it - 1,
+                        rel_residual: res[s],
+                        converged: false,
+                        stopped: Some(cause),
+                    };
+                }
+            }
+            return stats;
+        }
         apply(&p, &mut ap);
         col_dots(&p, &ap, &mut pap);
         for s in 0..w {
@@ -291,6 +380,7 @@ where
                     iterations: it,
                     rel_residual: res[s],
                     converged: false,
+                    stopped: None,
                 };
                 finished[s] = true;
                 n_finished += 1;
@@ -330,6 +420,7 @@ where
                     iterations: it,
                     rel_residual: res[s],
                     converged: true,
+                    stopped: None,
                 };
                 finished[s] = true;
                 n_finished += 1;
@@ -389,6 +480,7 @@ where
                 iterations: cfg.max_iter,
                 rel_residual: res[s],
                 converged: false,
+                stopped: None,
             };
         }
     }
@@ -464,9 +556,19 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
             iterations: 0,
             rel_residual: res,
             converged: true,
+            stopped: None,
         };
     }
     for it in 1..=cfg.max_iter {
+        if let Some(cause) = cfg.stop.check() {
+            project_out_ones(x);
+            return CgStats {
+                iterations: it - 1,
+                rel_residual: res,
+                converged: false,
+                stopped: Some(cause),
+            };
+        }
         apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
@@ -474,6 +576,7 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
                 iterations: it,
                 rel_residual: res,
                 converged: false,
+                stopped: None,
             };
         }
         let alpha = rz / pap;
@@ -487,6 +590,7 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
                 iterations: it,
                 rel_residual: res,
                 converged: true,
+                stopped: None,
             };
         }
         for i in 0..n {
@@ -503,6 +607,7 @@ pub fn solve_pseudoinverse(g: &Graph, b: &[f64], x: &mut [f64], cfg: &CgConfig) 
         iterations: cfg.max_iter,
         rel_residual: res,
         converged: false,
+        stopped: None,
     }
 }
 

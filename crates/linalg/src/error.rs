@@ -35,6 +35,34 @@ pub enum LinalgError {
     },
     /// Dimension mismatch between operands.
     DimensionMismatch(String),
+    /// An in-flight solve was cancelled through the
+    /// [`StopHook`](crate::StopHook) (client disconnect, shutdown, …).
+    /// The iterate completed so far is left behind for a warm-started
+    /// retry; cumulative [`SolveStats`](crate::SolveStats) include the
+    /// partial work.
+    Cancelled {
+        /// Iterations completed before the cancel fired.
+        iterations: usize,
+    },
+    /// An in-flight solve ran past its deadline and was interrupted
+    /// mid-sweep through the [`StopHook`](crate::StopHook). Like
+    /// [`Cancelled`](Self::Cancelled), the partial iterate is preserved.
+    DeadlineExceeded {
+        /// Iterations completed before the deadline fired.
+        iterations: usize,
+    },
+}
+
+impl LinalgError {
+    /// Whether this error is an interruption (cancel/deadline) rather
+    /// than a numerical failure — interruptions leave solver state
+    /// warm-startable and are usually mapped to partial results upstream.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            LinalgError::Cancelled { .. } | LinalgError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for LinalgError {
@@ -65,6 +93,12 @@ impl fmt::Display for LinalgError {
                 )
             }
             LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::Cancelled { iterations } => {
+                write!(f, "solve cancelled after {iterations} iterations")
+            }
+            LinalgError::DeadlineExceeded { iterations } => {
+                write!(f, "solve deadline exceeded after {iterations} iterations")
+            }
         }
     }
 }

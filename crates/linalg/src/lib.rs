@@ -84,7 +84,7 @@ pub mod trace;
 pub mod tree;
 pub mod vector;
 
-pub use cg::{CgConfig, CgStats};
+pub use cg::{CgConfig, CgStats, StopCause, StopHook};
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use laplacian::LaplacianSubmatrix;

@@ -56,7 +56,7 @@
 //! [`backends`], [`by_name`], and [`name_list`] expose the registry for
 //! discoverability (`--list-backends`).
 
-use crate::cg::{pcg_operator, pcg_operator_block, CgConfig};
+use crate::cg::{pcg_operator, pcg_operator_block, CgConfig, StopCause, StopHook};
 use crate::csr::{CsrMatrix, IncompleteCholesky};
 use crate::dense::Cholesky;
 use crate::error::LinalgError;
@@ -109,7 +109,7 @@ pub struct SolveStats {
 }
 
 /// Tuning for a factorization (tolerances only bind iterative backends).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SddOptions {
     /// Relative residual target of iterative solves.
     pub rel_tol: f64,
@@ -117,6 +117,12 @@ pub struct SddOptions {
     pub max_iter: usize,
     /// Worker threads for the blocked dense kernels.
     pub threads: usize,
+    /// Cooperative cancellation, polled every iteration by the iterative
+    /// backends' inner CG loops. A fired hook surfaces as
+    /// [`LinalgError::Cancelled`] / [`LinalgError::DeadlineExceeded`]
+    /// with the partial work already folded into [`SolveStats`] and the
+    /// partial iterate left in `x` for a warm-started retry.
+    pub stop: StopHook,
 }
 
 impl Default for SddOptions {
@@ -125,6 +131,7 @@ impl Default for SddOptions {
             rel_tol: 1e-8,
             max_iter: 50_000,
             threads: 1,
+            stop: StopHook::none(),
         }
     }
 }
@@ -252,6 +259,13 @@ pub trait SddFactor {
 
     /// Cumulative work report.
     fn stats(&self) -> SolveStats;
+
+    /// Install (or clear, with [`StopHook::none`]) the cooperative stop
+    /// hook polled by subsequent iterative solves — the seam a server
+    /// uses to attach per-request deadlines to a long-lived cached
+    /// factor. No-op on direct backends. Callers that install a
+    /// request-scoped hook must clear it before the factor is reused.
+    fn set_stop(&mut self, _stop: StopHook) {}
 }
 
 /// A pluggable way to factor grounded Laplacians. Implementations are
@@ -463,6 +477,7 @@ impl SddSolver for CgJacobiBackend {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
                 threads: opts.threads,
+                stop: opts.stop.clone(),
             },
             edges2: 2 * g.num_edges() as u64,
             stats: SolveStats::default(),
@@ -484,6 +499,11 @@ fn record_iterative(
     total.max_rel_residual = total.max_rel_residual.max(run.rel_residual);
     total.last_rel_residual = run.rel_residual;
     total.flops += run.iterations as u64 * flops_per_iter;
+    // An interruption is reported AFTER the partial work is folded into
+    // the stats: callers see the true cost of the aborted sweep.
+    if let Some(cause) = run.stopped {
+        return Err(stop_error(cause, run.iterations));
+    }
     if !run.converged {
         return Err(LinalgError::DidNotConverge {
             iterations: run.iterations,
@@ -491,6 +511,14 @@ fn record_iterative(
         });
     }
     Ok(())
+}
+
+/// Map a fired [`StopCause`] to the typed error contract.
+fn stop_error(cause: StopCause, iterations: usize) -> LinalgError {
+    match cause {
+        StopCause::Cancelled => LinalgError::Cancelled { iterations },
+        StopCause::DeadlineExceeded => LinalgError::DeadlineExceeded { iterations },
+    }
 }
 
 /// Fold one blocked multi-RHS PCG run (one [`crate::cg::CgStats`] per
@@ -505,6 +533,7 @@ fn record_block(
     flops_per_iter: u64,
 ) -> Result<(), LinalgError> {
     let mut worst: Option<&crate::cg::CgStats> = None;
+    let mut stopped: Option<(StopCause, usize)> = None;
     let mut block_res = 0.0f64;
     for run in runs {
         total.solves += 1;
@@ -512,11 +541,19 @@ fn record_block(
         total.max_rel_residual = total.max_rel_residual.max(run.rel_residual);
         block_res = block_res.max(run.rel_residual);
         total.flops += run.iterations as u64 * flops_per_iter;
-        if !run.converged && worst.is_none_or(|w| run.rel_residual > w.rel_residual) {
+        if let Some(cause) = run.stopped {
+            stopped = Some((cause, run.iterations));
+        } else if !run.converged && worst.is_none_or(|w| run.rel_residual > w.rel_residual) {
             worst = Some(run);
         }
     }
     total.last_rel_residual = block_res;
+    // Interruption wins over non-convergence: a fired hook freezes every
+    // active column, so a "did not converge" column in the same block is
+    // just a column the interrupt reached first.
+    if let Some((cause, iterations)) = stopped {
+        return Err(stop_error(cause, iterations));
+    }
     if let Some(w) = worst {
         return Err(LinalgError::DidNotConverge {
             iterations: w.iterations,
@@ -609,6 +646,10 @@ impl<'g> SddFactor for CgJacobiFactor<'g> {
     fn stats(&self) -> SolveStats {
         self.stats
     }
+
+    fn set_stop(&mut self, stop: StopHook) {
+        self.cfg.stop = stop;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -661,6 +702,7 @@ impl SddSolver for SparseCgBackend {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
                 threads: opts.threads,
+                stop: opts.stop.clone(),
             },
         )))
     }
@@ -767,6 +809,10 @@ impl SddFactor for SparseCgFactor {
     fn stats(&self) -> SolveStats {
         self.stats
     }
+
+    fn set_stop(&mut self, stop: StopHook) {
+        self.cfg.stop = stop;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -826,6 +872,7 @@ impl SddSolver for TreePcgBackend {
                 rel_tol: opts.rel_tol,
                 max_iter: opts.max_iter,
                 threads: opts.threads,
+                stop: opts.stop.clone(),
             },
             csr,
         }))
@@ -904,6 +951,10 @@ impl SddFactor for TreePcgFactor {
 
     fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    fn set_stop(&mut self, stop: StopHook) {
+        self.cfg.stop = stop;
     }
 }
 
@@ -1157,6 +1208,9 @@ impl SddFactor for OwnedFactor {
     fn stats(&self) -> SolveStats {
         self.factor.stats()
     }
+    fn set_stop(&mut self, stop: StopHook) {
+        self.factor.set_stop(stop);
+    }
 }
 
 /// Factor `L_{-S}` like [`factor`], but against an `Arc`-owned graph,
@@ -1279,7 +1333,7 @@ mod tests {
         let opts = SddOptions {
             rel_tol: 1e-14,
             max_iter: 2,
-            threads: 1,
+            ..SddOptions::default()
         };
         let mut rng = StdRng::seed_from_u64(63);
         let b: Vec<f64> = (0..399).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -1556,7 +1610,7 @@ mod tests {
         let opts = SddOptions {
             rel_tol: 1e-14,
             max_iter: 2,
-            threads: 1,
+            ..SddOptions::default()
         };
         let mut rng = StdRng::seed_from_u64(0xBADC);
         let mut rhs = DenseMatrix::zeros(399, 4);

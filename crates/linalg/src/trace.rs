@@ -64,6 +64,7 @@ pub fn trace_inverse_hutchinson_factor<R: Rng>(
         iterations: 0,
         rel_residual: 0.0,
         converged: true,
+        stopped: None,
     };
     for _ in 0..probes {
         for zi in z.iter_mut() {
@@ -106,6 +107,7 @@ pub fn trace_inverse_hutchinson<R: Rng>(
         rel_tol: cfg.rel_tol,
         max_iter: cfg.max_iter,
         threads: 1,
+        stop: cfg.stop.clone(),
     };
     let mut factor = sdd::factor(g, in_s, SddBackend::CgJacobi, &opts)?;
     trace_inverse_hutchinson_factor(factor.as_mut(), probes, rng)
@@ -125,6 +127,7 @@ pub fn trace_inverse_exact_cg(
         rel_tol: cfg.rel_tol,
         max_iter: cfg.max_iter,
         threads: 1,
+        stop: cfg.stop.clone(),
     };
     let mut factor = sdd::factor(g, in_s, SddBackend::CgJacobi, &opts)?;
     trace_inverse_exact_factor(factor.as_mut())
@@ -142,6 +145,7 @@ pub fn trace_inverse_exact_factor(
         iterations: 0,
         rel_residual: 0.0,
         converged: true,
+        stopped: None,
     };
     aggregate(&mut cg, &factor.stats(), before);
     Ok(TraceEstimate {

@@ -14,23 +14,37 @@
 //! Batching off degenerates to per-job solves against the same factor
 //! mutex, which is exactly the baseline the `serve` bench measures.
 //!
-//! Deadlines are enforced at batch boundaries: a job whose deadline has
-//! passed when the batcher picks it up is answered with a `deadline`
-//! error instead of joining a solve (and a request whose deadline passed
-//! before submission never enqueues at all — the handler checks first).
+//! Deadlines are enforced twice. At the batch boundary, a job whose
+//! deadline already passed is answered with a `deadline` error instead of
+//! joining a solve (and a request whose deadline passed before submission
+//! never enqueues at all — the handler checks first). **Inside** the
+//! solve, the batcher installs a [`StopHook`] on the cached factor set to
+//! the earliest deadline in the chunk: when it fires, the PCG sweep
+//! returns a typed interruption, expired jobs are answered, and the
+//! survivors' solve resumes **warm-started from the partial iterate** —
+//! no work is thrown away and no job waits on a slower sibling's full
+//! convergence. The same hook path force-cancels in-flight solves when a
+//! shutdown drain times out ([`BatchQueue::cancel_inflight`]).
+//!
+//! A panicking solve (injected fault, or a real bug) is caught per chunk:
+//! every job in the chunk gets an `internal` error, the offending factor's
+//! cache entry is evicted, and the batcher thread keeps serving.
+//!
 //! Group solves run through `cfcc_linalg::pool` when several keys are
 //! ready at once, so distinct factors solve in parallel while same-key
 //! work fuses.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cfcc_linalg::{pool, DenseMatrix};
+use cfcc_linalg::{pool, DenseMatrix, LinalgError, SddFactor, StopCause, StopHook};
 
-use crate::cache::{CacheEntry, FactorKey};
+use crate::cache::{CacheEntry, FactorCache, FactorKey};
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, ServeError};
 
@@ -54,11 +68,26 @@ pub struct SolveJob {
     pub reply: Sender<Result<SolveOutcome, ServeError>>,
 }
 
+/// What the batcher needs from the server besides the queue itself —
+/// passed in by the owning thread so the queue stays free of `Arc` cycles
+/// back into the server state.
+pub struct BatchCtx<'a> {
+    pub metrics: &'a Metrics,
+    /// Evicted on a caught solve panic so the (possibly corrupt) factor
+    /// is rebuilt instead of reused.
+    pub cache: &'a FactorCache,
+    pub fault: Arc<FaultPlan>,
+}
+
 /// Shared job queue + batcher control.
 pub struct BatchQueue {
     jobs: Mutex<VecDeque<SolveJob>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Set by [`BatchQueue::cancel_inflight`]; polled by every in-flight
+    /// solve's stop hook. One-way: only used when a shutdown drain times
+    /// out, after which no new solves are accepted anyway.
+    force_cancel: Arc<AtomicBool>,
     /// Collection window: after the first job arrives, wait this long for
     /// companions before executing. Zero = execute as soon as drained.
     window: Duration,
@@ -75,6 +104,7 @@ impl BatchQueue {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            force_cancel: Arc::new(AtomicBool::new(false)),
             window,
             batching,
             max_batch_cols: max_batch_cols.max(1),
@@ -90,7 +120,8 @@ impl BatchQueue {
         self.available.notify_all();
     }
 
-    /// Jobs currently waiting (the `stats` queue-depth gauge).
+    /// Jobs currently waiting (the `stats` queue-depth gauge and the
+    /// admission-control depth bound).
     pub fn depth(&self) -> usize {
         self.jobs.lock().expect("batch queue lock poisoned").len()
     }
@@ -101,7 +132,13 @@ impl BatchQueue {
         self.available.notify_all();
     }
 
-    fn drain(&self) -> Vec<SolveJob> {
+    /// Interrupt every in-flight solve through its stop hook (shutdown
+    /// drain timed out; jobs get `shutting_down` errors). Irreversible.
+    pub fn cancel_inflight(&self) {
+        self.force_cancel.store(true, Ordering::Relaxed);
+    }
+
+    fn drain_queue(&self) -> Vec<SolveJob> {
         self.jobs
             .lock()
             .expect("batch queue lock poisoned")
@@ -111,7 +148,7 @@ impl BatchQueue {
 
     /// The batcher thread body: loop until [`BatchQueue::stop`], then
     /// answer any stragglers with a shutdown error.
-    pub fn run_batcher(&self, metrics: &Metrics) {
+    pub fn run_batcher(&self, ctx: &BatchCtx<'_>) {
         loop {
             // Wait for work.
             let mut guard = self.jobs.lock().expect("batch queue lock poisoned");
@@ -137,16 +174,16 @@ impl BatchQueue {
             if self.batching && !self.window.is_zero() {
                 std::thread::sleep(self.window);
             }
-            let jobs = self.drain();
+            let jobs = self.drain_queue();
             if jobs.is_empty() {
                 continue;
             }
-            self.execute(jobs, metrics);
+            self.execute(jobs, ctx);
         }
     }
 
     /// Group, fuse, solve, scatter.
-    fn execute(&self, jobs: Vec<SolveJob>, metrics: &Metrics) {
+    fn execute(&self, jobs: Vec<SolveJob>, ctx: &BatchCtx<'_>) {
         // Group by key, preserving arrival order within a group.
         let mut groups: Vec<(FactorKey, Vec<SolveJob>)> = Vec::new();
         for job in jobs {
@@ -190,91 +227,193 @@ impl BatchQueue {
                 .expect("batch slot lock poisoned")
                 .take()
                 .expect("each slot runs exactly once");
-            execute_chunk(chunk, metrics);
+            // Panic isolation: a chunk that blows up answers its own jobs
+            // with `internal`, evicts the (possibly corrupt) factor, and
+            // leaves the batcher and its siblings running.
+            let key = chunk[0].key.clone();
+            let repliers: Vec<Sender<Result<SolveOutcome, ServeError>>> =
+                chunk.iter().map(|j| j.reply.clone()).collect();
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.execute_chunk(chunk, ctx)));
+            if outcome.is_err() {
+                ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                ctx.cache.remove(&key);
+                let e = ServeError::new(
+                    ErrorCode::Internal,
+                    "solve panicked; factor evicted — retry the request",
+                );
+                for reply in &repliers {
+                    // Jobs answered before the panic just drop the
+                    // duplicate message on their closed receiver.
+                    let _ = reply.send(Err(e.clone()));
+                }
+            }
         });
     }
-}
 
-/// Solve one fused chunk (all jobs share a key) and scatter the columns.
-fn execute_chunk(mut jobs: Vec<SolveJob>, metrics: &Metrics) {
-    // Deadline check at the batch boundary: expired jobs error out
-    // instead of joining the solve.
-    let now = Instant::now();
-    let mut live = Vec::with_capacity(jobs.len());
-    for job in jobs.drain(..) {
-        if job.deadline.is_some_and(|d| now >= d) {
-            metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServeError::new(
-                ErrorCode::Deadline,
-                "deadline expired before solve",
-            )));
-        } else {
-            live.push(job);
-        }
-    }
-    if live.is_empty() {
-        return;
-    }
-    let entry = Arc::clone(&live[0].entry);
-    let dim = live[0].rhs.rows();
-    let width: usize = live.iter().map(|j| j.rhs.cols()).sum();
-    metrics.record_batch(live.len(), width);
-
-    // Fuse the RHS blocks column-wise (skip the copy for solo jobs).
-    let fused = if live.len() == 1 {
-        live[0].rhs.clone()
-    } else {
-        let mut fused = DenseMatrix::zeros(dim, width);
-        let mut at = 0;
-        for job in &live {
-            let jc = job.rhs.cols();
-            for i in 0..dim {
-                fused.row_mut(i)[at..at + jc].copy_from_slice(job.rhs.row(i));
-            }
-            at += jc;
-        }
-        fused
-    };
-
-    // One blocked solve against the shared factor.
-    let mut factor_slot = entry.factor();
-    let result = match factor_slot.as_mut() {
-        Some(factor) => {
-            let before = cfcc_linalg::SddFactor::stats(factor);
-            let solved = cfcc_linalg::SddFactor::solve_mat(factor, &fused);
-            let after = cfcc_linalg::SddFactor::stats(factor);
-            metrics.absorb_solve_delta(before, after);
-            solved.map_err(|e| ServeError::new(ErrorCode::Solver, e.to_string()))
-        }
-        None => Err(ServeError::new(
-            ErrorCode::Internal,
-            "cache entry lost its factor",
-        )),
-    };
-    drop(factor_slot);
-
-    // Scatter columns back to the responders.
-    match result {
-        Ok(x) => {
-            let mut at = 0;
-            for job in &live {
-                let jc = job.rhs.cols();
-                let mut part = DenseMatrix::zeros(dim, jc);
-                for i in 0..dim {
-                    part.row_mut(i).copy_from_slice(&x.row(i)[at..at + jc]);
-                }
-                at += jc;
-                let _ = job.reply.send(Ok(SolveOutcome {
-                    x: part,
-                    batch_width: width,
-                    batch_jobs: live.len(),
-                }));
+    /// Solve one fused chunk (all jobs share a key) and scatter the
+    /// columns, restarting from the partial iterate whenever an in-solve
+    /// deadline expiry drops jobs from the fused block.
+    fn execute_chunk(&self, mut jobs: Vec<SolveJob>, ctx: &BatchCtx<'_>) {
+        // Deadline check at the batch boundary: expired jobs error out
+        // instead of joining the solve.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs.drain(..) {
+            if job.deadline.is_some_and(|d| now >= d) {
+                ctx.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(ServeError::new(
+                    ErrorCode::Deadline,
+                    "deadline expired before solve",
+                )));
+            } else {
+                live.push(job);
             }
         }
-        Err(e) => {
+        if live.is_empty() {
+            return;
+        }
+        ctx.fault.on_batched_solve();
+        let entry = Arc::clone(&live[0].entry);
+        let dim = live[0].rhs.rows();
+        let width: usize = live.iter().map(|j| j.rhs.cols()).sum();
+        ctx.metrics.record_batch(live.len(), width);
+
+        let mut factor_slot = entry.factor();
+        let Some(factor) = factor_slot.as_mut() else {
+            let e = ServeError::new(ErrorCode::Internal, "cache entry lost its factor");
             for job in &live {
                 let _ = job.reply.send(Err(e.clone()));
             }
+            return;
+        };
+        let before = factor.stats();
+
+        // Warm-startable solution block, column-aligned with `live`.
+        let mut x = DenseMatrix::zeros(dim, width);
+        loop {
+            let fused = fuse_rhs(&live, dim);
+            factor.set_stop(chunk_stop_hook(
+                live.iter().filter_map(|j| j.deadline).min(),
+                Arc::clone(&self.force_cancel),
+                Arc::clone(&ctx.fault),
+            ));
+            let solved = factor.solve_mat_into(&fused, &mut x);
+            match solved {
+                Ok(()) => {
+                    let mut at = 0;
+                    for job in &live {
+                        let jc = job.rhs.cols();
+                        let mut part = DenseMatrix::zeros(dim, jc);
+                        for i in 0..dim {
+                            part.row_mut(i).copy_from_slice(&x.row(i)[at..at + jc]);
+                        }
+                        at += jc;
+                        let _ = job.reply.send(Ok(SolveOutcome {
+                            x: part,
+                            batch_width: width,
+                            batch_jobs: live.len(),
+                        }));
+                    }
+                    break;
+                }
+                Err(LinalgError::DeadlineExceeded { .. }) => {
+                    // The earliest deadline in the chunk fired mid-sweep.
+                    // Answer the expired jobs now, keep the survivors'
+                    // partial iterate as the warm start, and resume.
+                    ctx.metrics.solver_cancelled.fetch_add(1, Ordering::Relaxed);
+                    let now = Instant::now();
+                    let mut survivors = Vec::with_capacity(live.len());
+                    let mut kept_cols: Vec<usize> = Vec::with_capacity(width);
+                    let mut at = 0;
+                    for job in live.drain(..) {
+                        let jc = job.rhs.cols();
+                        if job.deadline.is_some_and(|d| now >= d) {
+                            ctx.metrics.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                            let _ = job.reply.send(Err(ServeError::new(
+                                ErrorCode::Deadline,
+                                "deadline expired mid-solve",
+                            )));
+                        } else {
+                            kept_cols.extend(at..at + jc);
+                            survivors.push(job);
+                        }
+                        at += jc;
+                    }
+                    if survivors.is_empty() {
+                        break;
+                    }
+                    let mut next_x = DenseMatrix::zeros(dim, kept_cols.len());
+                    for i in 0..dim {
+                        let row = x.row(i);
+                        let dst = next_x.row_mut(i);
+                        for (c, &src) in kept_cols.iter().enumerate() {
+                            dst[c] = row[src];
+                        }
+                    }
+                    x = next_x;
+                    live = survivors;
+                }
+                Err(LinalgError::Cancelled { .. }) => {
+                    // Force-cancel: the shutdown drain timed out.
+                    ctx.metrics.solver_cancelled.fetch_add(1, Ordering::Relaxed);
+                    let e = ServeError::new(ErrorCode::ShuttingDown, "solve cancelled by shutdown");
+                    for job in &live {
+                        let _ = job.reply.send(Err(e.clone()));
+                    }
+                    break;
+                }
+                Err(e) => {
+                    let e = ServeError::new(ErrorCode::Solver, e.to_string());
+                    for job in &live {
+                        let _ = job.reply.send(Err(e.clone()));
+                    }
+                    break;
+                }
+            }
         }
+        // The hook captures this chunk's deadlines: clear it before the
+        // factor goes back to the cache, or a stale deadline would cancel
+        // some later request's solve.
+        factor.set_stop(StopHook::none());
+        let after = factor.stats();
+        ctx.metrics.absorb_solve_delta(before, after);
     }
+}
+
+/// Fuse the live jobs' RHS blocks column-wise (skip the copy for solo
+/// jobs).
+fn fuse_rhs(live: &[SolveJob], dim: usize) -> DenseMatrix {
+    if live.len() == 1 {
+        return live[0].rhs.clone();
+    }
+    let width: usize = live.iter().map(|j| j.rhs.cols()).sum();
+    let mut fused = DenseMatrix::zeros(dim, width);
+    let mut at = 0;
+    for job in live {
+        let jc = job.rhs.cols();
+        for i in 0..dim {
+            fused.row_mut(i)[at..at + jc].copy_from_slice(job.rhs.row(i));
+        }
+        at += jc;
+    }
+    fused
+}
+
+/// The per-chunk stop hook: earliest deadline in the chunk, the queue's
+/// shutdown force-cancel flag, and the fault plan's per-iteration pause.
+fn chunk_stop_hook(
+    min_deadline: Option<Instant>,
+    force_cancel: Arc<AtomicBool>,
+    fault: Arc<FaultPlan>,
+) -> StopHook {
+    StopHook::new(move || {
+        fault.iteration_pause();
+        if force_cancel.load(Ordering::Relaxed) {
+            return Some(StopCause::Cancelled);
+        }
+        if min_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopCause::DeadlineExceeded);
+        }
+        None
+    })
 }

@@ -54,13 +54,31 @@ pub struct CacheEntry {
 
 impl CacheEntry {
     /// Lock the factor slot (build-or-use seam).
+    ///
+    /// A panic during a build or solve (an injected fault, or a real bug)
+    /// poisons this lock with a factor in an unknown state. Recover by
+    /// clearing the slot: the next requester sees an empty entry and
+    /// rebuilds, instead of every future request on this key panicking on
+    /// the poisoned mutex.
     pub fn factor(&self) -> MutexGuard<'_, Option<OwnedFactor>> {
-        self.factor.lock().expect("factor lock poisoned")
+        match self.factor.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
+        }
     }
 
     /// Memoized exact trace: compute once, then serve from memory.
     pub fn trace_or_compute<E>(&self, compute: impl FnOnce() -> Result<f64, E>) -> Result<f64, E> {
-        let mut slot = self.trace.lock().expect("trace lock poisoned");
+        // Memoized values are only written complete, so a poisoned lock
+        // (panicking compute closure) can keep its contents.
+        let mut slot = self
+            .trace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(t) = *slot {
             return Ok(t);
         }
@@ -74,7 +92,10 @@ impl CacheEntry {
         &self,
         compute: impl FnOnce() -> Result<Vec<f64>, E>,
     ) -> Result<Arc<Vec<f64>>, E> {
-        let mut slot = self.centrality.lock().expect("centrality lock poisoned");
+        let mut slot = self
+            .centrality
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = &*slot {
             return Ok(Arc::clone(c));
         }
@@ -250,5 +271,21 @@ mod tests {
         assert!(!hit, "stale epoch must be purged");
         let (_, hit) = cache.get_or_insert(&key("g", 2, &[0]));
         assert!(hit, "current epoch must survive the purge");
+    }
+
+    #[test]
+    fn poisoned_factor_lock_recovers_empty() {
+        let entry = Arc::new(CacheEntry::default());
+        let poisoner = Arc::clone(&entry);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.factor();
+            panic!("poison the factor lock");
+        })
+        .join();
+        // The poisoned slot recovers as empty instead of propagating the
+        // panic to every later requester.
+        assert!(entry.factor().is_none());
+        let t: Result<f64, ()> = entry.trace_or_compute(|| Ok(1.0));
+        assert_eq!(t, Ok(1.0));
     }
 }

@@ -27,6 +27,13 @@ SERVE OPTIONS:
                             iterative backends (default: 16)
     --threads <int>         worker threads per solve (default: 1)
     --rel-tol <float>       iterative solve residual target (default: 1e-8)
+    --max-inflight <int>    shed solve requests beyond this many in flight
+                            with 'err code=overloaded retry_after_ms=…'
+                            (default: 256; 0 = unbounded)
+    --max-queue-depth <int> shed solve requests once this many jobs wait in
+                            the batch queue (default: 1024; 0 = unbounded)
+    --drain-ms <int>        graceful-shutdown drain budget before in-flight
+                            work is cooperatively cancelled (default: 5000)
 
 CLIENT:
     Joins the remaining arguments into one request line, sends it, prints
@@ -76,6 +83,17 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
             "--probes" => cfg.probes = parse(&need(&mut it, "--probes")?, "--probes")?,
             "--threads" => cfg.threads = parse(&need(&mut it, "--threads")?, "--threads")?,
             "--rel-tol" => cfg.rel_tol = parse(&need(&mut it, "--rel-tol")?, "--rel-tol")?,
+            "--max-inflight" => {
+                cfg.max_inflight = parse(&need(&mut it, "--max-inflight")?, "--max-inflight")?;
+            }
+            "--max-queue-depth" => {
+                cfg.max_queue_depth =
+                    parse(&need(&mut it, "--max-queue-depth")?, "--max-queue-depth")?;
+            }
+            "--drain-ms" => {
+                cfg.drain_timeout =
+                    Duration::from_millis(parse(&need(&mut it, "--drain-ms")?, "--drain-ms")?);
+            }
             "--help" => {
                 print!("{SERVE_USAGE}");
                 return Ok(());

@@ -5,6 +5,9 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol;
 
 /// A connected protocol client.
 pub struct Client {
@@ -62,6 +65,44 @@ impl Client {
     pub fn request_terminal(&mut self, line: &str) -> std::io::Result<String> {
         self.send(line)?;
         self.read_response(|_| {})
+    }
+
+    /// Send one request, retrying `err code=overloaded` responses with
+    /// capped exponential backoff (honoring the server's `retry_after_ms`
+    /// hint when it is larger). Retried lines are stamped `retry=<n>` so
+    /// the server's `stats` can count observed retries. Returns the full
+    /// response of the final attempt — which is still the `overloaded`
+    /// error if `max_retries` attempts were all shed.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        max_retries: u32,
+    ) -> std::io::Result<Vec<String>> {
+        const BACKOFF_CAP: Duration = Duration::from_secs(2);
+        let mut backoff = Duration::from_millis(10);
+        let mut attempt = 0u32;
+        loop {
+            let stamped;
+            let request = if attempt == 0 {
+                line
+            } else {
+                stamped = format!("{line} retry={attempt}");
+                &stamped
+            };
+            let lines = self.request(request)?;
+            let terminal = lines.last().expect("response has a terminal line");
+            if attempt >= max_retries || !terminal.starts_with("err code=overloaded") {
+                return Ok(lines);
+            }
+            let hint = protocol::fields(terminal)
+                .get("retry_after_ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::ZERO);
+            std::thread::sleep(backoff.max(hint).min(BACKOFF_CAP));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+            attempt += 1;
+        }
     }
 }
 

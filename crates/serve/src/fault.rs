@@ -1,0 +1,144 @@
+//! Compile-time-free fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] rides in [`crate::ServeConfig`] (the default plan is
+//! inert — every probe is a relaxed atomic load on the hot path) and lets
+//! tests break the daemon on purpose at its three seams: factorization
+//! (panic on the Nth build), the batched solve path (delay before a
+//! solve, a per-iteration pause that makes solves slow enough to
+//! interrupt, panic on the Nth chunk), and the reply path (drop the
+//! connection instead of writing the Nth reply). The chaos suite in
+//! `tests/faults.rs` drives all of them end to end; production builds
+//! carry the same code with every trigger disarmed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Injectable failure plan. All triggers are disarmed by default; `Nth`
+/// counters are 1-based and fire exactly once.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Panic on this factorization build (0 = disarmed).
+    fail_factor_nth: AtomicU64,
+    factor_builds: AtomicU64,
+    /// Panic on this batched chunk solve (0 = disarmed).
+    fail_solve_nth: AtomicU64,
+    solve_calls: AtomicU64,
+    /// Sleep this long before every batched chunk solve.
+    solve_delay_ms: AtomicU64,
+    /// Sleep this long at every stop-hook poll (≈ once per PCG
+    /// iteration) — turns any solve into a slow, interruptible one.
+    iter_delay_us: AtomicU64,
+    /// Drop the connection instead of writing this reply (0 = disarmed).
+    drop_reply_nth: AtomicU64,
+    replies: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An inert plan behind an `Arc` (what [`crate::ServeConfig`] holds).
+    pub fn none() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arm: panic on the `n`th factorization build (1-based).
+    pub fn fail_factor(&self, n: u64) {
+        self.fail_factor_nth.store(n, Ordering::Relaxed);
+    }
+
+    /// Arm: panic on the `n`th batched chunk solve (1-based).
+    pub fn fail_solve(&self, n: u64) {
+        self.fail_solve_nth.store(n, Ordering::Relaxed);
+    }
+
+    /// Arm: sleep `d` before every batched chunk solve.
+    pub fn delay_solves(&self, d: Duration) {
+        self.solve_delay_ms
+            .store(d.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Arm: pause `d` at every solver stop-hook poll, making iterative
+    /// solves arbitrarily slow while staying interruptible.
+    pub fn delay_iterations(&self, d: Duration) {
+        self.iter_delay_us
+            .store(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Arm: drop the connection instead of writing the `n`th reply
+    /// (1-based, counted across all connections).
+    pub fn drop_reply(&self, n: u64) {
+        self.drop_reply_nth.store(n, Ordering::Relaxed);
+    }
+
+    /// Probe at a factorization build: panics when armed for this build.
+    pub fn on_factor_build(&self) {
+        let c = self.factor_builds.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.fail_factor_nth.load(Ordering::Relaxed);
+        if n != 0 && c == n {
+            panic!("injected fault: factorization {c}");
+        }
+    }
+
+    /// Probe at a batched chunk solve: injected delay, then panics when
+    /// armed for this solve.
+    pub fn on_batched_solve(&self) {
+        let ms = self.solve_delay_ms.load(Ordering::Relaxed);
+        if ms != 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let c = self.solve_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.fail_solve_nth.load(Ordering::Relaxed);
+        if n != 0 && c == n {
+            panic!("injected fault: batched solve {c}");
+        }
+    }
+
+    /// Probe inside the solver stop hook: injected per-iteration pause.
+    pub fn iteration_pause(&self) {
+        let us = self.iter_delay_us.load(Ordering::Relaxed);
+        if us != 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+
+    /// Probe before writing a reply: true when the connection should be
+    /// dropped instead.
+    pub fn should_drop_reply(&self) -> bool {
+        let c = self.replies.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.drop_reply_nth.load(Ordering::Relaxed);
+        n != 0 && c == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_is_inert() {
+        let f = FaultPlan::default();
+        for _ in 0..10 {
+            f.on_factor_build();
+            f.on_batched_solve();
+            f.iteration_pause();
+            assert!(!f.should_drop_reply());
+        }
+    }
+
+    #[test]
+    fn nth_triggers_fire_exactly_once() {
+        let f = FaultPlan::default();
+        f.fail_factor(2);
+        f.on_factor_build();
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.on_factor_build())).is_err()
+        );
+        f.on_factor_build(); // third build: disarmed again
+
+        let g = FaultPlan::default();
+        g.drop_reply(3);
+        assert!(!g.should_drop_reply());
+        assert!(!g.should_drop_reply());
+        assert!(g.should_drop_reply());
+        assert!(!g.should_drop_reply());
+    }
+}

@@ -35,12 +35,15 @@ pub mod batch;
 pub mod cache;
 pub mod cli;
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -55,8 +58,9 @@ use cfcc_linalg::{DenseMatrix, SddFactor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use batch::{BatchQueue, SolveJob};
+use batch::{BatchCtx, BatchQueue, SolveJob};
 use cache::{CacheEntry, FactorCache, FactorKey};
+use fault::FaultPlan;
 use metrics::Metrics;
 use protocol::{ErrorCode, GraphSource, Line, Request, ServeError};
 use registry::{GraphRegistry, ResidentGraph};
@@ -86,6 +90,20 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Relative residual target for iterative solves.
     pub rel_tol: f64,
+    /// Admission control: shed solve requests once this many jobs wait in
+    /// the batch queue (0 = unbounded).
+    pub max_queue_depth: usize,
+    /// Admission control: shed solve requests once this many requests are
+    /// in flight (0 = unbounded). `ping`/`stats`/`shutdown`/`load_graph`
+    /// are never shed — health checks must work *especially* under
+    /// overload.
+    pub max_inflight: usize,
+    /// Graceful shutdown: how long to wait for in-flight requests before
+    /// force-cancelling their solves through the stop hook.
+    pub drain_timeout: Duration,
+    /// Fault-injection plan for chaos tests; inert by default (a few
+    /// relaxed atomic loads per solve).
+    pub fault: Arc<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +117,10 @@ impl Default for ServeConfig {
             probes: 16,
             threads: 1,
             rel_tol: 1e-8,
+            max_queue_depth: 1024,
+            max_inflight: 256,
+            drain_timeout: Duration::from_secs(5),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -122,15 +144,23 @@ struct ServerState {
     /// repeat top-k queries on the same graph skip the re-sketch
     /// (the session-reuse path added alongside this crate).
     workspaces: Mutex<Vec<GreedyWorkspace>>,
+    /// Cancel tokens of in-flight `topk_greedy` runs, keyed by request
+    /// sequence number — fired when a shutdown drain times out so the
+    /// greedy loops return their partial selections instead of holding
+    /// the drain hostage.
+    inflight_cancels: Mutex<HashMap<u64, CancelToken>>,
 }
 
 const WORKSPACE_POOL_CAP: usize = 8;
 
 impl ServerState {
     fn pop_workspace(&self) -> GreedyWorkspace {
+        // Pooled workspaces stay warm-start consistent even across aborted
+        // runs, and a poisoning panic never leaves one mid-mutation in the
+        // pool (it is only pushed back after a completed run) — recover.
         self.workspaces
             .lock()
-            .expect("workspace pool lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default()
     }
@@ -139,19 +169,52 @@ impl ServerState {
         let mut pool = self
             .workspaces
             .lock()
-            .expect("workspace pool lock poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if pool.len() < WORKSPACE_POOL_CAP {
             pool.push(ws);
         }
     }
 
-    fn begin_shutdown(&self) {
+    /// Flip into shutdown and drain gracefully: stop accepting, let
+    /// in-flight requests finish, and only then stop the batcher. `grace`
+    /// is how many `active` requests belong to the caller itself (1 when
+    /// the `shutdown` verb drains from its own connection thread) and are
+    /// therefore not waited on.
+    ///
+    /// If the drain outlives [`ServeConfig::drain_timeout`], in-flight
+    /// work is interrupted through the cooperative stop hooks: greedy runs
+    /// return partial selections, batched solves answer `shutting_down` —
+    /// nothing blocks shutdown indefinitely.
+    fn begin_shutdown(&self, grace: i64) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.queue.stop();
-        // Unblock the blocking accept loop with a dummy connection.
+        // Unblock the blocking accept loop with a dummy connection; from
+        // here on no new requests are admitted.
         let _ = TcpStream::connect(self.addr);
+        let drain_until = Instant::now() + self.cfg.drain_timeout;
+        while self.metrics.active.load(Ordering::Relaxed) > grace && Instant::now() < drain_until {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if self.metrics.active.load(Ordering::Relaxed) > grace {
+            // Drain timed out: force the stragglers out through their
+            // cooperative cancellation seams.
+            for (_, cancel) in self
+                .inflight_cancels
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+            {
+                cancel.cancel();
+            }
+            self.queue.cancel_inflight();
+            let hard_until = Instant::now() + Duration::from_secs(2);
+            while self.metrics.active.load(Ordering::Relaxed) > grace && Instant::now() < hard_until
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        self.queue.stop();
     }
 
     fn sdd_options(&self) -> SddOptions {
@@ -159,7 +222,29 @@ impl ServerState {
             rel_tol: self.cfg.rel_tol,
             max_iter: 50_000,
             threads: self.cfg.threads,
+            // Factors are cached and shared: they carry no stop hook of
+            // their own. Per-request deadlines are installed (and cleared)
+            // around each solve via `SddFactor::set_stop`.
+            ..SddOptions::default()
         }
+    }
+
+    /// Admission control for the solve verbs: refuse with `overloaded` (+
+    /// a backoff hint) rather than queueing without bound. The caller's
+    /// own request is already counted in `active`.
+    fn admit(&self) -> Result<(), ServeError> {
+        let overloaded = (self.cfg.max_inflight > 0
+            && self.metrics.active.load(Ordering::Relaxed) > self.cfg.max_inflight as i64)
+            || (self.cfg.max_queue_depth > 0 && self.queue.depth() >= self.cfg.max_queue_depth);
+        if !overloaded {
+            return Ok(());
+        }
+        self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        let retry_ms = (self.cfg.batch_window.as_millis() as u64 * 2).max(25);
+        Err(
+            ServeError::new(ErrorCode::Overloaded, "server at capacity, retry later")
+                .with_retry_after(retry_ms),
+        )
     }
 }
 
@@ -186,6 +271,7 @@ impl Server {
             started: Instant::now(),
             seq: AtomicU64::new(1),
             workspaces: Mutex::new(Vec::new()),
+            inflight_cancels: Mutex::new(HashMap::new()),
             addr,
             cfg,
         });
@@ -208,7 +294,11 @@ impl Server {
         let addr = self.state.addr;
         let batcher_state = Arc::clone(&self.state);
         let batcher = std::thread::spawn(move || {
-            batcher_state.queue.run_batcher(&batcher_state.metrics);
+            batcher_state.queue.run_batcher(&BatchCtx {
+                metrics: &batcher_state.metrics,
+                cache: &batcher_state.cache,
+                fault: Arc::clone(&batcher_state.cfg.fault),
+            });
         });
         let accept_state = Arc::clone(&self.state);
         let listener = self.listener;
@@ -226,7 +316,11 @@ impl Server {
     pub fn run(self) {
         let batcher_state = Arc::clone(&self.state);
         let batcher = std::thread::spawn(move || {
-            batcher_state.queue.run_batcher(&batcher_state.metrics);
+            batcher_state.queue.run_batcher(&BatchCtx {
+                metrics: &batcher_state.metrics,
+                cache: &batcher_state.cache,
+                fault: Arc::clone(&batcher_state.cfg.fault),
+            });
         });
         accept_loop(Arc::clone(&self.state), self.listener);
         let _ = batcher.join();
@@ -257,12 +351,11 @@ impl ServerHandle {
         self.state.metrics.cancelled.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, stop the batcher, and join both threads.
-    /// Connection threads serving in-flight requests finish on their own;
-    /// poll [`ServerHandle::active_requests`] to drain before teardown
-    /// when that matters.
+    /// Stop accepting, drain in-flight requests (up to the configured
+    /// drain timeout, after which they are cooperatively cancelled), stop
+    /// the batcher, and join both threads.
     pub fn shutdown(&mut self) {
-        self.state.begin_shutdown();
+        self.state.begin_shutdown(0);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -290,15 +383,30 @@ fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
 }
 
 fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
-    use std::io::BufRead;
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = std::io::BufReader::new(read_half);
+    let mut reader = std::io::BufReader::new(read_half);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match protocol::read_line_bounded(&mut reader) {
+            Ok(Some(Ok(line))) => line,
+            // Oversized or non-UTF-8 line: answer `bad_request` and keep
+            // the connection — hostile input must not cost the session.
+            Ok(Some(Err(e))) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if writeln!(writer, "{}", e.render())
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            // Clean EOF or transport error: the client is gone.
+            Ok(None) | Err(_) => break,
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -309,7 +417,19 @@ fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
             break;
         }
         state.metrics.active.fetch_add(1, Ordering::Relaxed);
-        let (out, stop) = dispatch(&state, line, &mut writer);
+        // Panic isolation: a handler that blows up answers `internal` and
+        // the connection (and daemon) keep serving.
+        let caught = catch_unwind(AssertUnwindSafe(|| dispatch(&state, line, &mut writer)));
+        let (out, stop) = caught.unwrap_or_else(|_| {
+            state.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            (
+                Err(ServeError::new(
+                    ErrorCode::Internal,
+                    "request handler panicked — see server log",
+                )),
+                false,
+            )
+        });
         let rendered = match &out {
             Ok(l) => l.clone(),
             Err(e) => {
@@ -317,8 +437,18 @@ fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
                 e.render()
             }
         };
-        let wrote = writeln!(writer, "{rendered}").and_then(|_| writer.flush());
         state.metrics.active.fetch_sub(1, Ordering::Relaxed);
+        if state.cfg.fault.should_drop_reply() {
+            // Injected mid-stream connection drop (chaos tests).
+            break;
+        }
+        // An empty terminal means the handler already delivered its reply
+        // inline (the `shutdown` ack races process exit otherwise).
+        let wrote = if rendered.is_empty() {
+            Ok(())
+        } else {
+            writeln!(writer, "{rendered}").and_then(|_| writer.flush())
+        };
         if wrote.is_err() || stop {
             break;
         }
@@ -337,12 +467,27 @@ fn dispatch(
         Ok(r) => r,
         Err(e) => return (Err(e), false),
     };
+    if req.retry_attempt().is_some() {
+        state
+            .metrics
+            .retries_observed
+            .fetch_add(1, Ordering::Relaxed);
+    }
     match req {
         Request::Ping => (Ok(Line::ok().field("pong", 1).render()), false),
         Request::Stats => (Ok(handle_stats(state)), false),
         Request::Shutdown => {
-            state.begin_shutdown();
-            (Ok(Line::ok().field("shutdown", 1).render()), true)
+            // Acknowledge before draining: once `begin_shutdown` returns,
+            // the accept loop — and under `cfcm serve`, the whole process —
+            // is free to exit, which can beat this thread's reply to the
+            // socket. An empty terminal tells the connection loop the
+            // reply is already delivered.
+            let ack = Line::ok().field("shutdown", 1).render();
+            let _ = writeln!(writer, "{ack}").and_then(|_| writer.flush());
+            // Drain from this connection thread: our own request is the
+            // one unit of `active` grace.
+            state.begin_shutdown(1);
+            (Ok(String::new()), true)
         }
         Request::LoadGraph { name, source } => {
             state.metrics.load_graph.fetch_add(1, Ordering::Relaxed);
@@ -355,8 +500,12 @@ fn dispatch(
             probes,
             seed,
             deadline,
+            retry: _,
         } => {
             state.metrics.eval_group.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = state.admit() {
+                return (Err(e), false);
+            }
             (
                 handle_eval_group(
                     state,
@@ -376,11 +525,15 @@ fn dispatch(
             top,
             backend,
             deadline,
+            retry: _,
         } => {
             state
                 .metrics
                 .node_centrality
                 .fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = state.admit() {
+                return (Err(e), false);
+            }
             (
                 handle_node_centrality(state, &graph, node, top, backend.as_deref(), deadline),
                 false,
@@ -395,8 +548,12 @@ fn dispatch(
             backend,
             threads,
             deadline,
+            retry: _,
         } => {
             state.metrics.topk_greedy.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = state.admit() {
+                return (Err(e), false);
+            }
             (
                 handle_topk_greedy(
                     state,
@@ -470,6 +627,10 @@ fn map_cfcm_error(e: CfcmError) -> ServeError {
     let code = match &e {
         CfcmError::InvalidK { .. } | CfcmError::InvalidParameter(_) => ErrorCode::BadRequest,
         CfcmError::UnknownSolver(_) | CfcmError::Unsupported(_) => ErrorCode::BadRequest,
+        // Mid-solve interruptions that escaped with nothing partial to
+        // return keep their identity on the wire.
+        CfcmError::Interrupted(cfcc_linalg::StopCause::DeadlineExceeded) => ErrorCode::Deadline,
+        CfcmError::Interrupted(cfcc_linalg::StopCause::Cancelled) => ErrorCode::Cancelled,
         _ => ErrorCode::Solver,
     };
     ServeError::new(code, e.to_string())
@@ -477,7 +638,9 @@ fn map_cfcm_error(e: CfcmError) -> ServeError {
 
 /// Build the factor for `key` if the entry is still empty. A failed build
 /// removes the entry so later requests retry instead of hitting a
-/// permanently empty slot.
+/// permanently empty slot; a *panicking* build (injected fault, or a real
+/// bug in a backend) is caught the same way — the requester gets
+/// `internal`, the daemon keeps serving.
 fn ensure_factor(
     state: &ServerState,
     entry: &Arc<CacheEntry>,
@@ -488,12 +651,25 @@ fn ensure_factor(
 ) -> Result<(), ServeError> {
     let mut slot = entry.factor();
     if slot.is_none() {
-        match sdd::factor_owned(&resident.graph, mask, backend, &state.sdd_options()) {
-            Ok(f) => *slot = Some(f),
-            Err(e) => {
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            state.cfg.fault.on_factor_build();
+            sdd::factor_owned(&resident.graph, mask, backend, &state.sdd_options())
+        }));
+        match built {
+            Ok(Ok(f)) => *slot = Some(f),
+            Ok(Err(e)) => {
                 drop(slot);
                 state.cache.remove(key);
                 return Err(ServeError::new(ErrorCode::Solver, e.to_string()));
+            }
+            Err(_) => {
+                drop(slot);
+                state.cache.remove(key);
+                state.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::new(
+                    ErrorCode::Internal,
+                    "factorization panicked; entry evicted — retry the request",
+                ));
             }
         }
     }
@@ -732,9 +908,22 @@ fn handle_topk_greedy(
         Some(d) => session.deadline(d),
         None => session,
     };
+    // Register the run's cancel token so a timed-out shutdown drain can
+    // interrupt it (the greedy loop returns its partial selection).
+    let run_id = state.seq.fetch_add(1, Ordering::Relaxed);
+    state
+        .inflight_cancels
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(run_id, cancel.clone());
     let mut ws = state.pop_workspace();
     let result = session.run_reusing(&mut ws);
     state.push_workspace(ws);
+    state
+        .inflight_cancels
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&run_id);
 
     let sel = result.map_err(map_cfcm_error)?;
     if cancel.is_cancelled() {

@@ -21,6 +21,18 @@ pub struct Metrics {
     pub errors: AtomicU64,
     pub cancelled: AtomicU64,
     pub deadline_misses: AtomicU64,
+    /// Requests refused by admission control (`overloaded` responses).
+    pub shed: AtomicU64,
+    /// Panics caught and isolated (handler dispatch, factor builds,
+    /// batched solves). Nonzero means a request died; the daemon did not.
+    pub panics: AtomicU64,
+    /// Requests that arrived stamped `retry=<n>` — client backoff retries
+    /// actually observed by the server.
+    pub retries_observed: AtomicU64,
+    /// Iterative solves interrupted mid-sweep by the in-solve stop hook
+    /// (deadline expiry or shutdown), as opposed to deadline checks at
+    /// batch boundaries.
+    pub solver_cancelled: AtomicU64,
     /// Requests currently being served (accepted, not yet answered).
     pub active: AtomicI64,
     /// Batched solve executions by fused column width: histogram[w] =
@@ -127,6 +139,16 @@ impl Metrics {
                         "deadline_misses",
                         self.deadline_misses.load(Ordering::Relaxed) as i64,
                     )
+                    .int("shed", self.shed.load(Ordering::Relaxed) as i64)
+                    .int("panics", self.panics.load(Ordering::Relaxed) as i64)
+                    .int(
+                        "retries_observed",
+                        self.retries_observed.load(Ordering::Relaxed) as i64,
+                    )
+                    .int(
+                        "solver_cancelled",
+                        self.solver_cancelled.load(Ordering::Relaxed) as i64,
+                    )
                     .int("active", self.active.load(Ordering::Relaxed))
                     .render(),
             )
@@ -180,8 +202,15 @@ mod tests {
         m.record_batch(3, 24);
         m.record_batch(1, 8);
         assert!((m.mean_batch_width() - 40.0 / 3.0).abs() < 1e-12);
+        m.shed.fetch_add(3, Ordering::Relaxed);
+        m.panics.fetch_add(1, Ordering::Relaxed);
+        m.retries_observed.fetch_add(2, Ordering::Relaxed);
         let j = m.to_json(&CacheCounters::default(), 2, 1.0, &[]);
         assert!(j.contains(r#""queue_depth":2"#));
+        assert!(j.contains(r#""shed":3"#));
+        assert!(j.contains(r#""panics":1"#));
+        assert!(j.contains(r#""retries_observed":2"#));
+        assert!(j.contains(r#""solver_cancelled":0"#));
         assert!(j.contains(r#"{"width":8,"batches":2}"#));
         assert!(j.contains(r#"{"width":24,"batches":1}"#));
         assert!(j.contains(r#""batched_jobs":5"#));

@@ -13,10 +13,16 @@
 //! error-code table.
 
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::time::Duration;
 
 use cfcc_graph::Node;
 use cfcc_util::json;
+
+/// Hard cap on an inbound request line. Anything longer is drained and
+/// answered with `bad_request` instead of buffering without bound (or
+/// silently dropping the connection).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Machine-readable error classes carried in `err code=…` lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +39,9 @@ pub enum ErrorCode {
     Deadline,
     /// The request was cancelled (client disconnect mid-run).
     Cancelled,
+    /// Admission control shed the request (queue depth or in-flight cap);
+    /// the `retry_after_ms` field says when to try again.
+    Overloaded,
     /// The solver failed (non-convergence, singular grounding, …).
     Solver,
     /// Filesystem/dataset error while loading a graph.
@@ -53,6 +62,7 @@ impl ErrorCode {
             ErrorCode::BadNode => "bad_node",
             ErrorCode::Deadline => "deadline",
             ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Solver => "solver",
             ErrorCode::Load => "load",
             ErrorCode::ShuttingDown => "shutting_down",
@@ -66,6 +76,8 @@ impl ErrorCode {
 pub struct ServeError {
     pub code: ErrorCode,
     pub msg: String,
+    /// Backoff hint on `overloaded` errors: retry no sooner than this.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServeError {
@@ -73,17 +85,83 @@ impl ServeError {
         Self {
             code,
             msg: msg.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach the `retry_after_ms` backoff hint (shed responses).
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// Render the terminal `err` line (message JSON-escaped so it stays on
     /// one line regardless of content).
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "err code={} msg={}",
             self.code.as_str(),
             json::escape(&self.msg)
-        )
+        );
+        if let Some(ms) = self.retry_after_ms {
+            line.push_str(&format!(" retry_after_ms={ms}"));
+        }
+        line
+    }
+}
+
+/// Read one protocol line with a [`MAX_LINE_BYTES`] bound, never trusting
+/// the peer to stay reasonable.
+///
+/// Returns:
+/// * `Ok(None)` — clean EOF (close the connection);
+/// * `Ok(Some(Ok(line)))` — a complete UTF-8 line, newline stripped;
+/// * `Ok(Some(Err(e)))` — an oversized or non-UTF-8 line; the input is
+///   resynchronized to the next newline, so the caller should answer `e`
+///   and **keep the connection** — a hostile or buggy line must not kill
+///   a session's remaining well-formed requests;
+/// * `Err(_)` — transport error (close the connection).
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+) -> std::io::Result<Option<Result<String, ServeError>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a partial trailing line is still a line.
+            if buf.is_empty() && !oversized {
+                return Ok(None);
+            }
+            break;
+        }
+        let (take, content, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, i, true),
+            None => (chunk.len(), chunk.len(), false),
+        };
+        if !oversized {
+            let keep = content.min(MAX_LINE_BYTES + 1 - buf.len());
+            buf.extend_from_slice(&chunk[..keep]);
+            if buf.len() > MAX_LINE_BYTES {
+                oversized = true;
+            }
+        }
+        reader.consume(take);
+        if done {
+            break;
+        }
+    }
+    if oversized {
+        return Ok(Some(Err(bad(format!(
+            "request line exceeds {MAX_LINE_BYTES} bytes"
+        )))));
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(Err(bad("request line is not valid UTF-8")))),
     }
 }
 
@@ -110,6 +188,7 @@ pub enum Request {
         probes: Option<usize>,
         seed: Option<u64>,
         deadline: Option<Duration>,
+        retry: Option<u64>,
     },
     NodeCentrality {
         graph: String,
@@ -117,6 +196,7 @@ pub enum Request {
         top: Option<usize>,
         backend: Option<String>,
         deadline: Option<Duration>,
+        retry: Option<u64>,
     },
     TopkGreedy {
         graph: String,
@@ -127,10 +207,25 @@ pub enum Request {
         backend: Option<String>,
         threads: Option<usize>,
         deadline: Option<Duration>,
+        retry: Option<u64>,
     },
     Stats,
     Ping,
     Shutdown,
+}
+
+impl Request {
+    /// Which retry attempt this request declared itself to be (the client
+    /// stamps `retry=<n>` on backoff retries so the server can count
+    /// observed retries in `stats`).
+    pub fn retry_attempt(&self) -> Option<u64> {
+        match self {
+            Request::EvalGroup { retry, .. }
+            | Request::NodeCentrality { retry, .. }
+            | Request::TopkGreedy { retry, .. } => *retry,
+            _ => None,
+        }
+    }
 }
 
 fn bad(msg: impl Into<String>) -> ServeError {
@@ -238,7 +333,15 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         "eval_group" => {
             let kv = Kv::parse(
                 rest,
-                &["graph", "nodes", "backend", "probes", "seed", "deadline_ms"],
+                &[
+                    "graph",
+                    "nodes",
+                    "backend",
+                    "probes",
+                    "seed",
+                    "deadline_ms",
+                    "retry",
+                ],
             )?;
             let nodes = kv
                 .node_list("nodes")?
@@ -253,10 +356,14 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 probes: kv.num("probes")?,
                 seed: kv.num("seed")?,
                 deadline: kv.deadline()?,
+                retry: kv.num("retry")?,
             })
         }
         "node_centrality" => {
-            let kv = Kv::parse(rest, &["graph", "node", "top", "backend", "deadline_ms"])?;
+            let kv = Kv::parse(
+                rest,
+                &["graph", "node", "top", "backend", "deadline_ms", "retry"],
+            )?;
             if kv.map.contains_key("node") && kv.map.contains_key("top") {
                 return Err(bad("'node' and 'top' are mutually exclusive"));
             }
@@ -266,6 +373,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 top: kv.num("top")?,
                 backend: kv.str("backend"),
                 deadline: kv.deadline()?,
+                retry: kv.num("retry")?,
             })
         }
         "topk_greedy" => {
@@ -280,6 +388,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                     "backend",
                     "threads",
                     "deadline_ms",
+                    "retry",
                 ],
             )?;
             Ok(Request::TopkGreedy {
@@ -291,6 +400,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 backend: kv.str("backend"),
                 threads: kv.num("threads")?,
                 deadline: kv.deadline()?,
+                retry: kv.num("retry")?,
             })
         }
         "stats" => {
@@ -450,5 +560,101 @@ mod tests {
         let r = e.render();
         assert_eq!(r.lines().count(), 1);
         assert!(r.starts_with("err code=solver msg="));
+    }
+
+    #[test]
+    fn overloaded_errors_carry_the_backoff_hint() {
+        let e = ServeError::new(ErrorCode::Overloaded, "at capacity").with_retry_after(25);
+        let r = e.render();
+        assert!(r.starts_with("err code=overloaded "), "{r}");
+        assert_eq!(fields(&r)["retry_after_ms"], "25");
+    }
+
+    #[test]
+    fn bounded_reader_survives_oversized_and_non_utf8_lines() {
+        use std::io::Cursor;
+        let mut input = Vec::new();
+        input.extend_from_slice(b"ping\n");
+        input.extend_from_slice(&vec![b'a'; MAX_LINE_BYTES + 100]);
+        input.push(b'\n');
+        input.extend_from_slice(&[0xFF, 0xFE, b'x', b'\n']);
+        input.extend_from_slice(b"stats\r\n");
+        let mut r = Cursor::new(input);
+
+        let line = read_line_bounded(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(line, "ping");
+        let err = read_line_bounded(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.msg.contains("exceeds"), "{}", err.msg);
+        // The oversized line was drained to its newline: the stream is
+        // resynchronized and the next reads see the following lines.
+        let err = read_line_bounded(&mut r).unwrap().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.msg.contains("UTF-8"), "{}", err.msg);
+        let line = read_line_bounded(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(line, "stats");
+        assert!(read_line_bounded(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn exact_boundary_line_is_accepted() {
+        use std::io::Cursor;
+        let mut input = vec![b'a'; MAX_LINE_BYTES];
+        input.push(b'\n');
+        let mut r = Cursor::new(input);
+        let line = read_line_bounded(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(line.len(), MAX_LINE_BYTES);
+    }
+
+    #[test]
+    fn malformed_input_loop_never_panics() {
+        // Seeded LCG fuzz loop over the parser and the bounded reader:
+        // whatever bytes arrive, the worst outcome is a typed error.
+        let verbs = [
+            "eval_group",
+            "topk_greedy",
+            "node_centrality",
+            "load_graph",
+            "stats",
+            "ping",
+            "shutdown",
+            "",
+        ];
+        let frags = [
+            "graph=g",
+            "nodes=1,2",
+            "nodes=,",
+            "k=",
+            "k=-3",
+            "=v",
+            "a=b=c",
+            "deadline_ms=x",
+            "seed=18446744073709551616",
+            "retry=1",
+            "probes=9e9",
+            "\u{7f}",
+            "käse=1",
+            "node=✓",
+        ];
+        let mut s: u64 = 0xC0FFEE;
+        let mut rand = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for _ in 0..2000 {
+            let mut line = verbs[rand() % verbs.len()].to_string();
+            for _ in 0..(rand() % 5) {
+                line.push(' ');
+                line.push_str(frags[rand() % frags.len()]);
+            }
+            // Must return, never panic; err or ok are both acceptable.
+            let _ = parse_request(&line);
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            let mut r = std::io::Cursor::new(bytes);
+            while let Ok(Some(_)) = read_line_bounded(&mut r) {}
+        }
     }
 }
