@@ -1,0 +1,172 @@
+//! The `cfcc-audit` binary: `lint` and `model` subcommands, both exiting
+//! nonzero on failure so CI can gate on them.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cfcc_audit::lint;
+use cfcc_audit::model::{Config, Explorer};
+use cfcc_audit::protocols;
+
+const USAGE: &str = "\
+cfcc-audit — workspace soundness toolkit
+
+USAGE:
+    cfcc-audit lint [--root <dir>] [--allow <file>]
+        Run the workspace invariant linter over crates/*/src/**.
+        Defaults: root = nearest ancestor containing Cargo.toml + crates/,
+        allow = <root>/crates/audit/lint.allow.
+
+    cfcc-audit model [--preemptions <n>] [--schedules <n>]
+        Exhaustively model-check the pool park/dispatch, FactorCache
+        thundering-herd, and BatchQueue shutdown/drain protocols, then
+        confirm the planted-bug variants fail.
+        --schedules N switches to N seeded random schedules per model
+        (the CFCC_MODEL_SCHEDULES CI bounding mode).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("model") => run_model(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Nearest ancestor of the current directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root")
+        .map(PathBuf::from)
+        .unwrap_or_else(find_root);
+    let allow = flag_value(args, "--allow")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("crates/audit/lint.allow"));
+    let report = lint::run(&root, &allow);
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.allowlist_errors {
+        println!("{e}");
+    }
+    println!(
+        "cfcc-lint: {} files, {} violations, {} allowlisted",
+        report.files,
+        report.violations.len(),
+        report.allowed
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_model(args: &[String]) -> ExitCode {
+    let mut cfg = Config::default();
+    if let Some(p) = flag_value(args, "--preemptions") {
+        match p.parse() {
+            Ok(n) => cfg.max_preemptions = Some(n),
+            Err(_) => {
+                eprintln!("invalid --preemptions value: {p}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--schedules").or_else(|| {
+        std::env::var("CFCC_MODEL_SCHEDULES")
+            .ok()
+            .filter(|v| !v.is_empty())
+    }) {
+        match n.parse() {
+            Ok(n) => cfg.random_schedules = Some((0x5EED, n)),
+            Err(_) => {
+                eprintln!("invalid schedule count: {n}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    let mut check = |name: &str, expect_ok: bool, model: Box<dyn Fn() + Send + Sync>| {
+        let report = Explorer::new(cfg.clone()).explore(model);
+        let ok = report.ok() == expect_ok;
+        println!(
+            "model {name:<28} [{}] {report}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            failed = true;
+        }
+    };
+
+    check(
+        "pool-dispatch",
+        true,
+        Box::new(protocols::pool_dispatch(false)),
+    );
+    check("cache-herd", true, Box::new(protocols::cache_herd(false)));
+    check(
+        "cache-herd-build-failure",
+        true,
+        Box::new(protocols::cache_herd(true)),
+    );
+    check(
+        "batch-drain",
+        true,
+        Box::new(protocols::batch_drain(protocols::BatchBugs::default())),
+    );
+    // Planted bugs: the checker must find each of these.
+    check(
+        "pool-lost-wakeup (planted)",
+        false,
+        Box::new(protocols::pool_dispatch(true)),
+    );
+    check(
+        "batch-stranded-submit (planted)",
+        false,
+        Box::new(protocols::batch_drain(protocols::BatchBugs {
+            unchecked_submit: true,
+            ..Default::default()
+        })),
+    );
+    check(
+        "batch-unlocked-stop (planted)",
+        false,
+        Box::new(protocols::batch_drain(protocols::BatchBugs {
+            unlocked_stop: true,
+            ..Default::default()
+        })),
+    );
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

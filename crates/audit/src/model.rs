@@ -1,0 +1,1273 @@
+//! `cfcc-model` — a deterministic interleaving explorer (a mini-loom).
+//!
+//! # What this is
+//!
+//! The concurrency protocols in this workspace (`cfcc_linalg::pool`
+//! park/dispatch, `cfcc_serve` factor-cache thundering herd, batch-queue
+//! shutdown/drain) are exercised by stress tests, which sample a handful
+//! of interleavings per run. This module checks *small models* of those
+//! protocols against **every** interleaving (up to a preemption bound):
+//! model code uses the shim types in [`sync`] and [`thread`] instead of
+//! `std::sync`/`std::thread`, and [`Explorer::explore`] re-runs the model
+//! under depth-first enumeration of scheduler choices.
+//!
+//! # How it works
+//!
+//! Model threads are real OS threads, but only **one runs at a time**:
+//! every shim operation (mutex lock/unlock, condvar wait/notify, atomic
+//! access, join) is a *decision point* where the running thread parks and
+//! a controller picks which runnable thread proceeds next. A schedule is
+//! the sequence of picks; the explorer enumerates schedules in DFS order,
+//! replaying the shared prefix each run. Three well-known tricks bound
+//! the space:
+//!
+//! * **Bounded preemptions** ([`Config::max_preemptions`]): switching
+//!   away from a thread that could still run costs one preemption;
+//!   schedules over budget are not explored. Most real concurrency bugs
+//!   need very few preemptions (CHESS's observation), so a bound of 2–3
+//!   retains practically all bug-finding power at polynomial cost.
+//! * **State-hash pruning** ([`Config::state_pruning`]): at a fresh
+//!   decision point the controller hashes the visible state (every shim
+//!   object's state + every thread's status and pending operation). If
+//!   that state was already reached with at least as much remaining
+//!   preemption budget, the subtree is not branched again.
+//! * **Seeded random schedules** ([`Config::random_schedules`], or the
+//!   `CFCC_MODEL_SCHEDULES=N` environment variable in the test suite):
+//!   instead of DFS, run `N` randomly scheduled executions — a cheap
+//!   CI-time bound for models whose exhaustive space is too large.
+//!
+//! Failures the explorer reports, with a full decision trace:
+//!
+//! * **panics** in model code (`assert!` violations — the model's own
+//!   invariants);
+//! * **deadlock**: no thread can run but some are unfinished (this is
+//!   also how a *lost wakeup* manifests: the sleeper waits forever);
+//! * **livelock/step-limit**: an execution exceeding
+//!   [`Config::max_steps`] decisions.
+//!
+//! # Model semantics (deliberate simplifications)
+//!
+//! * Atomics are **sequentially consistent** regardless of the
+//!   `Ordering` argument (which is accepted and ignored, so model code
+//!   can mirror production code verbatim). Bugs that require observing
+//!   relaxed-memory reorderings are out of scope.
+//! * Condvars do **not** wake spuriously, and `notify_one` wakes waiters
+//!   in FIFO order. (Production code must still use `while`-loop waits;
+//!   models that rely on no-spurious-wakeup are checking a *stronger*
+//!   claim than std promises, which is the safe direction for absence
+//!   checks on the protocols themselves.)
+//! * There is no time: `sleep`/timeout-based code must be modeled by a
+//!   plain decision point ([`thread::yield_now`]).
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread per
+    /// execution (`None` = unbounded — truly exhaustive, exponential).
+    pub max_preemptions: Option<usize>,
+    /// Hard cap on explored executions; hitting it clears
+    /// [`Report::exhausted`] so callers can tell "space covered" from
+    /// "budget exhausted".
+    pub max_schedules: usize,
+    /// Decisions per execution before declaring a livelock.
+    pub max_steps: usize,
+    /// Prune subtrees whose visible state was already explored with at
+    /// least the current preemption budget.
+    pub state_pruning: bool,
+    /// `Some((seed, n))`: run `n` seeded random schedules instead of DFS
+    /// (the CI-time bounding mode).
+    pub random_schedules: Option<(u64, usize)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_preemptions: Some(3),
+            max_schedules: 250_000,
+            max_steps: 10_000,
+            state_pruning: true,
+            random_schedules: None,
+        }
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A model thread panicked (failed `assert!` = violated invariant).
+    Panic { thread: usize, message: String },
+    /// Unfinished threads exist but none can be scheduled. Lost wakeups
+    /// land here: the sleeper's pending wait is reported.
+    Deadlock { waiting: Vec<String> },
+    /// One execution exceeded [`Config::max_steps`] decisions.
+    StepLimit,
+}
+
+/// A failing schedule: what went wrong plus the decision trace that
+/// reproduces it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// One line per scheduler decision: `T<tid> <op> @ <file:line>`.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Panic { thread, message } => {
+                writeln!(f, "model thread T{thread} panicked: {message}")?
+            }
+            FailureKind::Deadlock { waiting } => {
+                writeln!(f, "deadlock — unfinished threads, none schedulable:")?;
+                for w in waiting {
+                    writeln!(f, "    {w}")?;
+                }
+            }
+            FailureKind::StepLimit => writeln!(f, "step limit exceeded (livelock?)")?,
+        }
+        writeln!(f, "  schedule trace ({} decisions):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions run.
+    pub schedules: usize,
+    /// Whether the bounded schedule space was fully enumerated (always
+    /// `false` in random mode).
+    pub exhausted: bool,
+    /// First failing schedule, if any (exploration stops on it).
+    pub failure: Option<Failure>,
+    /// Decision points where state-hash pruning cut the subtree.
+    pub pruned: usize,
+    /// Longest execution, in decisions.
+    pub max_depth: usize,
+}
+
+impl Report {
+    /// No failing schedule found.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.failure {
+            None => write!(
+                f,
+                "ok: {} schedules ({}), {} pruned, max depth {}",
+                self.schedules,
+                if self.exhausted {
+                    "exhausted"
+                } else {
+                    "budget-capped"
+                },
+                self.pruned,
+                self.max_depth
+            ),
+            Some(fail) => write!(f, "FAILED after {} schedules\n{fail}", self.schedules),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// World: the per-execution shared state the controller schedules over.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// First decision point of a freshly spawned thread (always enabled).
+    Start,
+    Lock(usize),
+    Unlock(usize, u64),
+    /// Atomic release-and-wait; the release half is applied at submission.
+    CvWait {
+        cv: usize,
+        mutex: usize,
+    },
+    NotifyOne(usize),
+    NotifyAll(usize),
+    Load(usize),
+    Store(usize, u64),
+    FetchAdd(usize, u64),
+    Swap(usize, u64),
+    CompareExchange {
+        id: usize,
+        current: u64,
+        new: u64,
+    },
+    Join(usize),
+    Yield,
+}
+
+impl Op {
+    fn describe(&self) -> String {
+        match self {
+            Op::Start => "start".into(),
+            Op::Lock(m) => format!("lock(mutex#{m})"),
+            Op::Unlock(m, _) => format!("unlock(mutex#{m})"),
+            Op::CvWait { cv, mutex } => format!("wait(cv#{cv}, mutex#{mutex})"),
+            Op::NotifyOne(c) => format!("notify_one(cv#{c})"),
+            Op::NotifyAll(c) => format!("notify_all(cv#{c})"),
+            Op::Load(a) => format!("load(atomic#{a})"),
+            Op::Store(a, v) => format!("store(atomic#{a}, {v})"),
+            Op::FetchAdd(a, v) => format!("fetch_add(atomic#{a}, {v})"),
+            Op::Swap(a, v) => format!("swap(atomic#{a}, {v})"),
+            Op::CompareExchange { id, current, new } => {
+                format!("compare_exchange(atomic#{id}, {current}->{new})")
+            }
+            Op::Join(t) => format!("join(T{t})"),
+            Op::Yield => "yield".into(),
+        }
+    }
+
+    /// Discriminant + operands for the state signature.
+    fn sig(&self, h: &mut DefaultHasher) {
+        std::mem::discriminant(self).hash(h);
+        match self {
+            Op::Start | Op::Yield => {}
+            Op::Lock(x) | Op::NotifyOne(x) | Op::NotifyAll(x) | Op::Load(x) | Op::Join(x) => {
+                x.hash(h)
+            }
+            Op::Unlock(x, v) | Op::Store(x, v) | Op::FetchAdd(x, v) | Op::Swap(x, v) => {
+                (x, v).hash(h)
+            }
+            Op::CvWait { cv, mutex } => (cv, mutex).hash(h),
+            Op::CompareExchange { id, current, new } => (id, current, new).hash(h),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    /// Registered; its OS thread has not reached the first decision point.
+    Settling,
+    /// Parked at a decision point with a pending op.
+    Parked,
+    /// The one thread currently executing model code.
+    Running,
+    /// Parked inside `Condvar::wait`; not schedulable until notified.
+    CvWaiting(usize),
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+enum ObjState {
+    Mutex { locked: bool, data_hash: u64 },
+    Cv { waiters: Vec<(usize, usize)> },
+    Atomic { value: u64 },
+}
+
+struct ThreadInfo {
+    status: Status,
+    pending: Option<(Op, &'static Location<'static>)>,
+    /// Result slot for atomic ops: (value, cas-success).
+    result: (u64, bool),
+}
+
+struct Inner {
+    threads: Vec<ThreadInfo>,
+    objects: Vec<ObjState>,
+    active: Option<usize>,
+    /// Threads registered whose OS thread has not parked yet.
+    settling: usize,
+    aborting: bool,
+    failure: Option<FailureKind>,
+    trace: Vec<String>,
+}
+
+struct World {
+    inner: StdMutex<Inner>,
+    turn: StdCondvar,
+}
+
+impl World {
+    fn new() -> Arc<Self> {
+        Arc::new(World {
+            inner: StdMutex::new(Inner {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: None,
+                settling: 0,
+                aborting: false,
+                failure: None,
+                trace: Vec::new(),
+            }),
+            turn: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Model-thread panics unwind through shim guards; recover instead
+        // of cascading poison panics into the controller.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register_object(&self, state: ObjState) -> usize {
+        let mut inner = self.lock();
+        inner.objects.push(state);
+        inner.objects.len() - 1
+    }
+
+    /// Submit an operation at a decision point and park until scheduled.
+    /// Returns the op's result slot (meaningful for atomic ops).
+    fn op(self: &Arc<Self>, tid: usize, op: Op, loc: &'static Location<'static>) -> (u64, bool) {
+        if std::thread::panicking() {
+            // Unwinding (assert failure or abort signal): shim guards still
+            // drop and must release their locks without re-parking — the
+            // controller is about to tear this execution down.
+            let mut inner = self.lock();
+            if let Op::Unlock(m, h) = op {
+                if let ObjState::Mutex { locked, data_hash } = &mut inner.objects[m] {
+                    *locked = false;
+                    *data_hash = h;
+                }
+            }
+            return (0, false);
+        }
+        let mut inner = self.lock();
+        if inner.aborting {
+            drop(inner);
+            std::panic::panic_any(ModelAbort);
+        }
+        if inner.threads[tid].status == Status::Settling {
+            inner.settling -= 1;
+        }
+        // Every op — including CvWait — parks here with its effects
+        // still unapplied; the controller applies them at activation.
+        // For CvWait that is load-bearing: between submission and
+        // activation the thread still holds the mutex and is NOT yet on
+        // the condvar's waiter list, which is exactly the real-world
+        // window in which a concurrent notify is lost. Applying the
+        // release+register at submission instead would weld it atomically
+        // to the thread's preceding step and make lost-wakeup schedules
+        // unrepresentable.
+        inner.threads[tid].status = Status::Parked;
+        inner.threads[tid].pending = Some((op, loc));
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.turn.notify_all();
+        loop {
+            if inner.aborting && inner.active == Some(tid) {
+                inner.active = None;
+                inner.threads[tid].status = Status::Running;
+                drop(inner);
+                std::panic::panic_any(ModelAbort);
+            }
+            if inner.active == Some(tid) && inner.threads[tid].status == Status::Running {
+                let result = inner.threads[tid].result;
+                return result;
+            }
+            inner = self
+                .turn
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut inner = self.lock();
+        inner.threads[tid].status = Status::Finished;
+        inner.threads[tid].pending = None;
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.turn.notify_all();
+    }
+}
+
+/// Private payload used to unwind model threads during teardown.
+struct ModelAbort;
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which world + model thread this OS thread belongs to.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+    world: Arc<World>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<World>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        let ctx = ctx
+            .as_ref()
+            .expect("cfcc-model primitives may only be used inside Explorer::explore");
+        f(&ctx.world, ctx.tid)
+    })
+}
+
+fn submit(op: Op, loc: &'static Location<'static>) -> (u64, bool) {
+    with_ctx(|world, tid| world.op(tid, op, loc))
+}
+
+// ---------------------------------------------------------------------------
+// Shim primitives.
+// ---------------------------------------------------------------------------
+
+/// Shim synchronization types; drop-in shapes for `std::sync` equivalents.
+pub mod sync {
+    use super::*;
+
+    /// Model mutex. Data must be `Hash` so the explorer can fold it into
+    /// the state signature used for pruning.
+    pub struct Mutex<T: Hash> {
+        id: usize,
+        world: Arc<World>,
+        data: StdMutex<T>,
+    }
+
+    impl<T: Hash> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            let world = with_ctx(|world, _| Arc::clone(world));
+            let mut h = DefaultHasher::new();
+            value.hash(&mut h);
+            let id = world.register_object(ObjState::Mutex {
+                locked: false,
+                data_hash: h.finish(),
+            });
+            Self {
+                id,
+                world,
+                data: StdMutex::new(value),
+            }
+        }
+
+        /// Lock; a decision point that blocks while another model thread
+        /// holds the lock.
+        #[track_caller]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            submit(Op::Lock(self.id), Location::caller());
+            let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                mutex: self,
+                inner: Some(inner),
+            }
+        }
+    }
+
+    /// Guard for [`Mutex`]; releases (a decision point) on drop.
+    pub struct MutexGuard<'a, T: Hash> {
+        mutex: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T: Hash> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: Hash> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard holds the lock")
+        }
+    }
+
+    impl<T: Hash> Drop for MutexGuard<'_, T> {
+        #[track_caller]
+        fn drop(&mut self) {
+            let mut h = DefaultHasher::new();
+            if let Some(inner) = &self.inner {
+                (**inner).hash(&mut h);
+            }
+            let hash = h.finish();
+            // Drop the std guard before announcing the release: once the
+            // model-level unlock is visible the controller may schedule
+            // another locker, which takes the std lock for real.
+            self.inner = None;
+            submit(Op::Unlock(self.mutex.id, hash), Location::caller());
+        }
+    }
+
+    /// Model condvar: no spurious wakeups, FIFO `notify_one`.
+    pub struct Condvar {
+        id: usize,
+        world: Arc<World>,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            let world = with_ctx(|world, _| Arc::clone(world));
+            let id = world.register_object(ObjState::Cv {
+                waiters: Vec::new(),
+            });
+            Self { id, world }
+        }
+
+        /// Atomically release the guard and wait to be notified, then
+        /// reacquire. (Reacquisition is its own decision point, exactly
+        /// like the real race the protocols must survive.)
+        #[track_caller]
+        pub fn wait<'a, T: Hash>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let mutex: &'a Mutex<T> = guard.mutex;
+            debug_assert!(
+                Arc::ptr_eq(&self.world, &mutex.world),
+                "condvar and mutex belong to different explorations"
+            );
+            // Release the std lock by hand (not via Drop, which would
+            // submit a separate Unlock op — wait's release half must be
+            // atomic with parking).
+            guard.inner = None;
+            let loc = Location::caller();
+            submit(
+                Op::CvWait {
+                    cv: self.id,
+                    mutex: mutex.id,
+                },
+                loc,
+            );
+            std::mem::forget(guard);
+            let inner = mutex.data.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                mutex,
+                inner: Some(inner),
+            }
+        }
+
+        /// Wake the longest-waiting thread, if any.
+        #[track_caller]
+        pub fn notify_one(&self) {
+            submit(Op::NotifyOne(self.id), Location::caller());
+        }
+
+        /// Wake every waiting thread.
+        #[track_caller]
+        pub fn notify_all(&self) {
+            submit(Op::NotifyAll(self.id), Location::caller());
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+            /// Sequentially consistent model atomic; the `Ordering`
+            /// argument is accepted (so model code mirrors production
+            /// code) and ignored.
+            pub struct $name {
+                id: usize,
+            }
+
+            impl $name {
+                #[allow(clippy::redundant_closure_call)]
+                pub fn new(value: $ty) -> Self {
+                    let world = with_ctx(|world, _| Arc::clone(world));
+                    let id = world.register_object(ObjState::Atomic {
+                        value: ($to)(value),
+                    });
+                    Self { id }
+                }
+
+                #[track_caller]
+                #[allow(clippy::redundant_closure_call)]
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    ($from)(submit(Op::Load(self.id), Location::caller()).0)
+                }
+
+                #[track_caller]
+                #[allow(clippy::redundant_closure_call)]
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    submit(Op::Store(self.id, ($to)(value)), Location::caller());
+                }
+
+                #[track_caller]
+                #[allow(clippy::redundant_closure_call)]
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    ($from)(submit(Op::Swap(self.id, ($to)(value)), Location::caller()).0)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+    model_atomic!(AtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+
+    impl AtomicUsize {
+        /// Atomic add; returns the previous value.
+        #[track_caller]
+        pub fn fetch_add(&self, value: usize, _order: Ordering) -> usize {
+            submit(Op::FetchAdd(self.id, value as u64), Location::caller()).0 as usize
+        }
+
+        /// Sequentially consistent compare-exchange.
+        #[track_caller]
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<usize, usize> {
+            let (prev, ok) = submit(
+                Op::CompareExchange {
+                    id: self.id,
+                    current: current as u64,
+                    new: new as u64,
+                },
+                Location::caller(),
+            );
+            if ok {
+                Ok(prev as usize)
+            } else {
+                Err(prev as usize)
+            }
+        }
+    }
+}
+
+/// Shim threads: `spawn` registers a model thread with the controller.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait (a blocking decision point) for the thread to finish and
+        /// return its result.
+        #[track_caller]
+        pub fn join(mut self) -> T {
+            submit(Op::Join(self.tid), Location::caller());
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("joined model thread left no result (it panicked)")
+        }
+    }
+
+    /// Spawn a model thread. Must be called from inside a model.
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+        let world = with_ctx(|world, _| Arc::clone(world));
+        let result = Arc::new(StdMutex::new(None));
+        let tid = {
+            let mut inner = world.lock();
+            inner.threads.push(ThreadInfo {
+                status: Status::Settling,
+                pending: None,
+                result: (0, false),
+            });
+            inner.settling += 1;
+            inner.threads.len() - 1
+        };
+        let os = spawn_model_thread(Arc::clone(&world), tid, f, Arc::clone(&result));
+        JoinHandle {
+            tid,
+            result,
+            os: Some(os),
+        }
+    }
+
+    /// An explicit decision point (models `sleep`, timed waits, or any
+    /// "the scheduler may run someone else here" seam).
+    #[track_caller]
+    pub fn yield_now() {
+        submit(Op::Yield, Location::caller());
+    }
+}
+
+/// Silence the default panic printout for model threads: a panicking
+/// model thread is a *finding*, reported through [`Failure`] with its
+/// schedule trace — the raw backtrace (fired once per failing schedule,
+/// and for every teardown unwind) is pure noise. Installed once, chained
+/// to whatever hook was already set so non-model panics print as usual.
+fn silence_model_thread_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("cfcc-model-"));
+            if !in_model_thread {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn spawn_model_thread<T: Send + 'static>(
+    world: Arc<World>,
+    tid: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+    result: Arc<StdMutex<Option<T>>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("cfcc-model-{tid}"))
+        .spawn(move || {
+            CTX.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    world: Arc::clone(&world),
+                    tid,
+                });
+            });
+            // Park at the first decision point so the spawner's schedule
+            // stays deterministic regardless of OS thread startup timing.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                submit(Op::Start, Location::caller());
+                f()
+            }));
+            match outcome {
+                Ok(value) => {
+                    *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                }
+                Err(payload) => {
+                    if !payload.is::<ModelAbort>() {
+                        let message = panic_message(payload.as_ref());
+                        let mut inner = world.lock();
+                        if inner.failure.is_none() {
+                            inner.failure = Some(FailureKind::Panic {
+                                thread: tid,
+                                message,
+                            });
+                        }
+                        inner.aborting = true;
+                    }
+                }
+            }
+            world.finish_thread(tid);
+            CTX.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("spawn model thread")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer.
+// ---------------------------------------------------------------------------
+
+/// One DFS stack frame: the branch taken at a decision point and how many
+/// branches exist there.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    choice: usize,
+    arity: usize,
+}
+
+enum RunOutcome {
+    Completed { depth: usize },
+    Failed(Failure),
+}
+
+/// The schedule enumerator. See the module docs for the method.
+pub struct Explorer {
+    cfg: Config,
+}
+
+impl Explorer {
+    pub fn new(cfg: Config) -> Self {
+        Self { cfg }
+    }
+
+    /// Explore `model` under every schedule (bounded per the config).
+    /// The closure runs once per schedule as model thread `T0`; it
+    /// builds its shared state, spawns model threads, joins them, and
+    /// asserts final-state invariants.
+    pub fn explore(&self, model: impl Fn() + Send + Sync + 'static) -> Report {
+        silence_model_thread_panics();
+        let model = Arc::new(model);
+        if let Some((seed, n)) = self.cfg.random_schedules {
+            return self.explore_random(&model, seed, n);
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut visited: HashMap<u64, usize> = HashMap::new();
+        let mut pruned = 0usize;
+        let mut schedules = 0usize;
+        let mut max_depth = 0usize;
+        loop {
+            if schedules >= self.cfg.max_schedules {
+                return Report {
+                    schedules,
+                    exhausted: false,
+                    failure: None,
+                    pruned,
+                    max_depth,
+                };
+            }
+            schedules += 1;
+            let outcome = run_one(
+                &self.cfg,
+                Arc::clone(&model),
+                &mut stack,
+                &mut visited,
+                &mut pruned,
+                None,
+            );
+            match outcome {
+                RunOutcome::Failed(failure) => {
+                    return Report {
+                        schedules,
+                        exhausted: false,
+                        failure: Some(failure),
+                        pruned,
+                        max_depth,
+                    };
+                }
+                RunOutcome::Completed { depth } => {
+                    max_depth = max_depth.max(depth);
+                    // DFS increment: bump the deepest frame with an
+                    // unexplored branch; drop everything below it.
+                    while let Some(top) = stack.last() {
+                        if top.choice + 1 < top.arity {
+                            break;
+                        }
+                        stack.pop();
+                    }
+                    match stack.last_mut() {
+                        Some(top) => top.choice += 1,
+                        None => {
+                            return Report {
+                                schedules,
+                                exhausted: true,
+                                failure: None,
+                                pruned,
+                                max_depth,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn explore_random(
+        &self,
+        model: &Arc<impl Fn() + Send + Sync + 'static>,
+        seed: u64,
+        n: usize,
+    ) -> Report {
+        let mut rng = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut max_depth = 0usize;
+        for i in 0..n {
+            let mut stack = Vec::new();
+            let mut visited = HashMap::new();
+            let mut pruned = 0;
+            // SplitMix64 step per execution; `run_one` draws from it.
+            rng = splitmix(rng.wrapping_add(i as u64));
+            let outcome = run_one(
+                &self.cfg,
+                Arc::clone(model),
+                &mut stack,
+                &mut visited,
+                &mut pruned,
+                Some(rng),
+            );
+            match outcome {
+                RunOutcome::Failed(failure) => {
+                    return Report {
+                        schedules: i + 1,
+                        exhausted: false,
+                        failure: Some(failure),
+                        pruned: 0,
+                        max_depth,
+                    };
+                }
+                RunOutcome::Completed { depth } => max_depth = max_depth.max(depth),
+            }
+        }
+        Report {
+            schedules: n,
+            exhausted: false,
+            failure: None,
+            pruned: 0,
+            max_depth,
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Run one execution, replaying the choices already on `stack` and
+/// extending it at the frontier (DFS mode) or choosing pseudo-randomly
+/// (random mode, `random_seed = Some`).
+fn run_one(
+    cfg: &Config,
+    model: Arc<impl Fn() + Send + Sync + 'static>,
+    stack: &mut Vec<Frame>,
+    visited: &mut HashMap<u64, usize>,
+    pruned: &mut usize,
+    random_seed: Option<u64>,
+) -> RunOutcome {
+    let world = World::new();
+    let result = Arc::new(StdMutex::new(None::<()>));
+    {
+        let mut inner = world.lock();
+        inner.threads.push(ThreadInfo {
+            status: Status::Settling,
+            pending: None,
+            result: (0, false),
+        });
+        inner.settling = 1;
+    }
+    let root_world = Arc::clone(&world);
+    let root = spawn_model_thread(root_world, 0, move || model(), result);
+
+    let mut depth = 0usize;
+    let mut preemptions = 0usize;
+    let mut prev: Option<usize> = None;
+    let mut rng = random_seed.unwrap_or(0);
+
+    let outcome = loop {
+        let mut inner = world.lock();
+        // Quiesce: nothing running, nothing between spawn and first park.
+        while inner.active.is_some()
+            || inner.settling > 0
+            || inner.threads.iter().any(|t| t.status == Status::Running)
+        {
+            inner = world
+                .turn
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(kind) = inner.failure.take() {
+            let trace = inner.trace.clone();
+            drop(inner);
+            break Some(Failure { kind, trace });
+        }
+        let unfinished = inner
+            .threads
+            .iter()
+            .filter(|t| t.status != Status::Finished)
+            .count();
+        if unfinished == 0 {
+            drop(inner);
+            break None;
+        }
+        // Enabled = parked threads whose pending op can proceed now.
+        let enabled: Vec<usize> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Parked)
+            .filter(|(_, t)| match &t.pending {
+                Some((Op::Lock(m), _)) => {
+                    matches!(inner.objects[*m], ObjState::Mutex { locked: false, .. })
+                }
+                Some((Op::Join(target), _)) => inner.threads[*target].status == Status::Finished,
+                Some(_) => true,
+                None => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            let waiting = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| match &t.pending {
+                    Some((op, loc)) => format!("T{i} blocked on {} @ {loc}", op.describe()),
+                    None => format!("T{i} blocked (no pending op)"),
+                })
+                .collect();
+            let trace = inner.trace.clone();
+            inner.aborting = true;
+            drop(inner);
+            break Some(Failure {
+                kind: FailureKind::Deadlock { waiting },
+                trace,
+            });
+        }
+        if depth >= cfg.max_steps {
+            let trace = inner.trace.clone();
+            inner.aborting = true;
+            world.turn.notify_all();
+            drop(inner);
+            break Some(Failure {
+                kind: FailureKind::StepLimit,
+                trace,
+            });
+        }
+        // Preemption budget: once spent, keep running the previous thread
+        // while it stays enabled.
+        let budget_left = cfg
+            .max_preemptions
+            .map(|max| max.saturating_sub(preemptions));
+        let options: Vec<usize> = match (budget_left, prev) {
+            (Some(0), Some(p)) if enabled.contains(&p) => vec![p],
+            _ => enabled.clone(),
+        };
+        let choice = if let Some(frame) = stack.get(depth) {
+            frame.choice
+        } else if random_seed.is_some() {
+            rng = splitmix(rng);
+            let c = (rng % options.len() as u64) as usize;
+            stack.push(Frame {
+                choice: c,
+                arity: options.len(),
+            });
+            c
+        } else {
+            // Fresh frontier: state-hash pruning may collapse the branch.
+            let arity = if cfg.state_pruning && options.len() > 1 {
+                let sig = state_sig(&inner);
+                let budget = budget_left.unwrap_or(usize::MAX);
+                match visited.get(&sig) {
+                    Some(&seen) if seen >= budget => {
+                        *pruned += 1;
+                        1
+                    }
+                    _ => {
+                        visited.insert(sig, budget);
+                        options.len()
+                    }
+                }
+            } else {
+                options.len()
+            };
+            stack.push(Frame { choice: 0, arity });
+            0
+        };
+        let tid = options[choice.min(options.len() - 1)];
+        if let Some(p) = prev {
+            if p != tid && enabled.contains(&p) {
+                preemptions += 1;
+            }
+        }
+        // Apply the op's effect and hand the thread the processor.
+        let (op, loc) = inner.threads[tid]
+            .pending
+            .clone()
+            .expect("enabled thread has a pending op");
+        inner
+            .trace
+            .push(format!("T{tid} {} @ {loc}", op.describe()));
+        prev = Some(tid);
+        depth += 1;
+        if let Op::CvWait { cv, mutex } = op {
+            // Activation releases the mutex and joins the waiter list as
+            // one atomic step; the thread itself stays blocked (its op()
+            // call keeps sleeping) until a notify re-arms it as a
+            // pending Lock. `pending` is kept for deadlock reports and
+            // the reacquire location.
+            if let ObjState::Mutex { locked, .. } = &mut inner.objects[mutex] {
+                *locked = false;
+            }
+            if let ObjState::Cv { waiters } = &mut inner.objects[cv] {
+                waiters.push((tid, mutex));
+            }
+            inner.threads[tid].status = Status::CvWaiting(cv);
+            drop(inner);
+            continue;
+        }
+        apply_op(&mut inner, tid, &op);
+        inner.threads[tid].status = Status::Running;
+        inner.threads[tid].pending = None;
+        inner.active = Some(tid);
+        drop(inner);
+        world.turn.notify_all();
+    };
+
+    match outcome {
+        Some(failure) => {
+            teardown(&world);
+            let _ = root.join();
+            RunOutcome::Failed(failure)
+        }
+        None => {
+            let _ = root.join();
+            RunOutcome::Completed { depth }
+        }
+    }
+}
+
+/// Apply a scheduled op's state transition (the thread itself only
+/// consumes the stashed result).
+fn apply_op(inner: &mut Inner, tid: usize, op: &Op) {
+    match *op {
+        Op::Start | Op::Yield | Op::Join(_) | Op::CvWait { .. } => {}
+        Op::Lock(m) => {
+            if let ObjState::Mutex { locked, .. } = &mut inner.objects[m] {
+                debug_assert!(!*locked, "scheduled a lock on a held mutex");
+                *locked = true;
+            }
+        }
+        Op::Unlock(m, h) => {
+            if let ObjState::Mutex { locked, data_hash } = &mut inner.objects[m] {
+                *locked = false;
+                *data_hash = h;
+            }
+        }
+        Op::NotifyOne(c) => {
+            if let ObjState::Cv { waiters } = &mut inner.objects[c] {
+                if !waiters.is_empty() {
+                    let (w, mutex) = waiters.remove(0);
+                    wake_waiter(inner, w, mutex);
+                }
+            }
+        }
+        Op::NotifyAll(c) => {
+            if let ObjState::Cv { waiters } = &mut inner.objects[c] {
+                let drained: Vec<(usize, usize)> = std::mem::take(waiters);
+                for (w, mutex) in drained {
+                    wake_waiter(inner, w, mutex);
+                }
+            }
+        }
+        Op::Load(a) => {
+            if let ObjState::Atomic { value } = inner.objects[a] {
+                inner.threads[tid].result = (value, true);
+            }
+        }
+        Op::Store(a, v) => {
+            if let ObjState::Atomic { value } = &mut inner.objects[a] {
+                *value = v;
+            }
+        }
+        Op::FetchAdd(a, v) => {
+            if let ObjState::Atomic { value } = &mut inner.objects[a] {
+                inner.threads[tid].result = (*value, true);
+                *value = value.wrapping_add(v);
+            }
+        }
+        Op::Swap(a, v) => {
+            if let ObjState::Atomic { value } = &mut inner.objects[a] {
+                inner.threads[tid].result = (*value, true);
+                *value = v;
+            }
+        }
+        Op::CompareExchange { id, current, new } => {
+            if let ObjState::Atomic { value } = &mut inner.objects[id] {
+                if *value == current {
+                    inner.threads[tid].result = (*value, true);
+                    *value = new;
+                } else {
+                    inner.threads[tid].result = (*value, false);
+                }
+            }
+        }
+    }
+}
+
+/// A notified waiter becomes a normal parked thread whose pending op is
+/// reacquiring the mutex it released in `wait`.
+fn wake_waiter(inner: &mut Inner, tid: usize, mutex: usize) {
+    let loc = inner.threads[tid]
+        .pending
+        .as_ref()
+        .map(|(_, l)| *l)
+        .unwrap_or_else(Location::caller);
+    inner.threads[tid].status = Status::Parked;
+    inner.threads[tid].pending = Some((Op::Lock(mutex), loc));
+}
+
+/// Hash of the scheduler-visible state at a decision point: object states
+/// plus every thread's status and pending operation.
+fn state_sig(inner: &Inner) -> u64 {
+    let mut h = DefaultHasher::new();
+    for obj in &inner.objects {
+        match obj {
+            ObjState::Mutex { locked, data_hash } => (0u8, locked, data_hash).hash(&mut h),
+            ObjState::Cv { waiters } => {
+                1u8.hash(&mut h);
+                waiters.hash(&mut h);
+            }
+            ObjState::Atomic { value } => (2u8, value).hash(&mut h),
+        }
+    }
+    for t in &inner.threads {
+        match &t.status {
+            Status::Settling => 0u8.hash(&mut h),
+            Status::Parked => 1u8.hash(&mut h),
+            Status::Running => 2u8.hash(&mut h),
+            Status::CvWaiting(cv) => (3u8, cv).hash(&mut h),
+            Status::Finished => 4u8.hash(&mut h),
+        }
+        if let Some((op, loc)) = &t.pending {
+            op.sig(&mut h);
+            (loc.file(), loc.line()).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Unblock every parked model thread so it unwinds via [`ModelAbort`],
+/// then wait for all of them to finish.
+fn teardown(world: &Arc<World>) {
+    loop {
+        let mut inner = world.lock();
+        inner.aborting = true;
+        let next = inner
+            .threads
+            .iter()
+            .position(|t| matches!(t.status, Status::Parked | Status::CvWaiting(_)));
+        match next {
+            Some(tid) => {
+                inner.threads[tid].status = Status::Parked;
+                inner.active = Some(tid);
+                world.turn.notify_all();
+                // Wait until it is no longer ours to schedule.
+                while inner.active == Some(tid) && inner.threads[tid].status != Status::Finished {
+                    inner = world
+                        .turn
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            None => {
+                let all_done = inner
+                    .threads
+                    .iter()
+                    .all(|t| matches!(t.status, Status::Finished));
+                if all_done {
+                    return;
+                }
+                // Someone is Running or Settling: let it reach a decision
+                // point or finish.
+                let _guard = world
+                    .turn
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}

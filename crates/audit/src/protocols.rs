@@ -1,0 +1,376 @@
+//! Small-model renditions of the workspace's three highest-risk lock
+//! protocols, written against the [`crate::model`] shim types so the
+//! explorer can check **every** interleaving (bounded preemptions).
+//!
+//! Each constructor returns the model closure to hand to
+//! [`crate::model::Explorer::explore`]; the closure runs once per
+//! schedule as model thread `T0`. The models are deliberately tiny (2–3
+//! helper threads, 2–3 work items) — the protocols' races are all
+//! visible at that scale, and exhaustive exploration stays cheap.
+//!
+//! Planted-bug variants (`buggy_*` flags) re-introduce the classic
+//! defect each protocol is designed to exclude, proving the checker
+//! detects what it claims to detect.
+
+use crate::model::sync::{AtomicBool, AtomicUsize, Condvar, Mutex};
+use crate::model::thread;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// 1. Worker-pool park/dispatch (cfcc_linalg::pool).
+// ---------------------------------------------------------------------------
+
+/// Model of `cfcc_linalg::pool`'s park/dispatch protocol: a job is
+/// `TASKS` indices claimed from an atomic counter; `HELPERS` workers pop
+/// job handles from a condvar-guarded queue; the caller participates and
+/// then waits on the job's `done`/`finished` pair.
+///
+/// Checked invariants:
+/// * every task index executes **exactly once** (no double-dispatch);
+/// * the caller's `wait` always returns (no lost wakeup — a lost wakeup
+///   shows up as a deadlock on the `finished` condvar);
+/// * workers parked on `ready` always drain on shutdown.
+///
+/// `buggy_wait` replaces the caller's wait with a check-then-wait that
+/// releases the lock between checking `done` and sleeping — the classic
+/// lost-wakeup window the real `Job::wait` (test under the lock, atomic
+/// release-and-wait) is shaped to exclude.
+pub fn pool_dispatch(buggy_wait: bool) -> impl Fn() + Send + Sync + 'static {
+    const TASKS: usize = 2;
+    const HELPERS: usize = 2;
+    move || {
+        // The single in-flight job, exactly as pool.rs lays it out.
+        let next = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(Mutex::new(0usize));
+        let finished = Arc::new(Condvar::new());
+        let executed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+        // The pool's dispatch queue: one marker per pushed job handle.
+        let queue = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let ready = Arc::new(Condvar::new());
+        let pool_shutdown = Arc::new(AtomicBool::new(false));
+
+        // `Job::work`: claim indices until none remain; count completions
+        // under the `done` lock and notify when the job drains.
+        let work = {
+            let next = Arc::clone(&next);
+            let done = Arc::clone(&done);
+            let finished = Arc::clone(&finished);
+            let executed = Arc::clone(&executed);
+            move || loop {
+                let i = next.fetch_add(1, SeqCst);
+                if i >= TASKS {
+                    return;
+                }
+                executed[i].fetch_add(1, SeqCst);
+                let mut d = done.lock();
+                *d += 1;
+                if *d == TASKS {
+                    finished.notify_all();
+                }
+            }
+        };
+
+        // `worker_loop`: park on `ready` until a handle appears (or the
+        // model's shutdown flag ends the worker — the real pool's workers
+        // are immortal; the model must terminate).
+        let workers: Vec<_> = (0..HELPERS)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let ready = Arc::clone(&ready);
+                let pool_shutdown = Arc::clone(&pool_shutdown);
+                let work = work.clone();
+                thread::spawn(move || {
+                    let got_job = {
+                        let mut q = queue.lock();
+                        loop {
+                            if q.pop().is_some() {
+                                break true;
+                            }
+                            if pool_shutdown.load(SeqCst) {
+                                break false;
+                            }
+                            q = ready.wait(q);
+                        }
+                    };
+                    if got_job {
+                        work();
+                    }
+                })
+            })
+            .collect();
+
+        // `WorkerPool::run`: push one handle per helper, wake the pool,
+        // participate, then wait for the job to drain.
+        {
+            let mut q = queue.lock();
+            for _ in 0..HELPERS {
+                q.push(1);
+            }
+        }
+        ready.notify_all();
+        work();
+        if buggy_wait {
+            // PLANTED BUG — non-atomic check-then-wait: the final worker
+            // can finish the job and notify inside the window between the
+            // check's unlock and the wait's sleep; the notification is
+            // lost and the caller sleeps forever.
+            loop {
+                {
+                    let d = done.lock();
+                    if *d >= TASKS {
+                        break;
+                    }
+                }
+                let d = done.lock();
+                let _d = finished.wait(d);
+            }
+        } else {
+            // `Job::wait` as written: test under the lock; wait releases
+            // the lock and parks atomically.
+            let mut d = done.lock();
+            while *d < TASKS {
+                d = finished.wait(d);
+            }
+        }
+        // Job drained; release the workers still parked on `ready`.
+        pool_shutdown.store(true, SeqCst);
+        ready.notify_all();
+        for w in workers {
+            w.join();
+        }
+        for (i, e) in executed.iter().enumerate() {
+            let n = e.load(SeqCst);
+            assert!(n == 1, "task {i} executed {n} times (want exactly 1)");
+        }
+        assert!(*done.lock() == TASKS, "completion count diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. FactorCache thundering herd (cfcc_serve::cache).
+// ---------------------------------------------------------------------------
+
+/// Model of the FactorCache cold-key protocol: requesters race on one
+/// key; the first arrival publishes an empty entry under the map lock and
+/// builds the factor under the entry lock; the herd blocks on the entry
+/// lock and finds the factor built.
+///
+/// Checked invariants (happy path, `with_build_failure = false`):
+/// * **exactly one** factorization per (key, epoch) — the herd never
+///   duplicates the expensive build;
+/// * every requester observes a built factor;
+/// * map lock and entry lock are never held together in the direction
+///   that could deadlock (the model would report it).
+///
+/// With `with_build_failure = true`, requester 0's build "panics":
+/// production poisons the entry lock, `CacheEntry::factor()` recovers by
+/// clearing the slot (modeled as dropping the guard with the slot still
+/// empty — the lock is released, i.e. **never leaked**), and the failed
+/// key is removed from the map so a later requester re-inserts and
+/// rebuilds. Checked: no deadlock (a leaked entry lock would hang the
+/// herd), exactly one build succeeds, and every surviving requester still
+/// sees a factor.
+pub fn cache_herd(with_build_failure: bool) -> impl Fn() + Send + Sync + 'static {
+    const REQUESTERS: usize = 3;
+    move || {
+        // The map collapsed to its single contended key: Some(()) =
+        // entry published. (Entry identity is stable across the modeled
+        // remove/re-insert; production allocates a fresh entry, which
+        // only widens the race this model already covers — a stale Arc
+        // building into the removed entry.)
+        let map = Arc::new(Mutex::new(Option::<u8>::None));
+        // The entry: factor slot guarded by the per-entry lock.
+        let factor_slot = Arc::new(Mutex::new(Option::<u64>::None));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let attempts = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..REQUESTERS)
+            .map(|r| {
+                let map = Arc::clone(&map);
+                let factor_slot = Arc::clone(&factor_slot);
+                let builds = Arc::clone(&builds);
+                let attempts = Arc::clone(&attempts);
+                thread::spawn(move || {
+                    // get_or_insert: publish the entry under the map lock
+                    // (drop the guard before touching the entry lock —
+                    // the documented acquisition order).
+                    {
+                        let mut m = map.lock();
+                        if m.is_none() {
+                            *m = Some(1);
+                        }
+                    }
+                    let fails = with_build_failure && r == 0;
+                    {
+                        let mut slot = factor_slot.lock();
+                        if slot.is_none() {
+                            attempts.fetch_add(1, SeqCst);
+                            if fails {
+                                // Build panics: the guard drop releases
+                                // the entry lock; factor() recovery
+                                // leaves the slot empty for a rebuild.
+                                drop(slot);
+                                // remove(key): failed builds must not
+                                // leave a hit-shaped empty entry behind.
+                                *map.lock() = None;
+                                return false;
+                            }
+                            builds.fetch_add(1, SeqCst);
+                            *slot = Some(42);
+                        }
+                        assert!(
+                            *slot == Some(42),
+                            "requester {r} saw an unbuilt factor through the entry lock"
+                        );
+                    }
+                    true
+                })
+            })
+            .collect();
+
+        let succeeded = handles
+            .into_iter()
+            .map(|h| h.join())
+            .filter(|&ok| ok)
+            .count();
+        let total_attempts = attempts.load(SeqCst);
+        let total_builds = builds.load(SeqCst);
+        // Whether the designated failer actually failed depends on the
+        // schedule: if another requester builds first, requester 0 just
+        // reads the memoized factor.
+        let failed_builds = total_attempts - total_builds;
+        assert!(
+            total_builds == 1,
+            "exactly one successful factorization per (key, epoch), got {total_builds}"
+        );
+        assert!(
+            failed_builds <= usize::from(with_build_failure),
+            "only the planted failure may fail a build"
+        );
+        assert!(
+            succeeded == REQUESTERS - failed_builds,
+            "every surviving requester must be served (served {succeeded}, failed {failed_builds})"
+        );
+        assert!(factor_slot.lock().is_some(), "factor must end built");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. BatchQueue shutdown/drain (cfcc_serve::batch).
+// ---------------------------------------------------------------------------
+
+/// Protocol variants for [`batch_drain`] — each flag re-plants one of
+/// the two defects the model checker surfaced in the pre-audit
+/// `BatchQueue` (both since fixed in `cfcc_serve::batch`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchBugs {
+    /// `submit` pushes without testing the shutdown flag under the jobs
+    /// lock (the pre-fix protocol): a submit serialized after the
+    /// batcher's final drain parks a job on a queue nobody will ever
+    /// read again — its handler blocks on the reply channel forever.
+    pub unchecked_submit: bool,
+    /// `stop` flips the shutdown flag and notifies **without acquiring
+    /// the jobs lock** (the pre-fix protocol): if the batcher sits in
+    /// the window between its empty/shutdown check and `wait` — holding
+    /// the mutex but not yet registered on the condvar — the notify
+    /// finds no waiter, the wakeup is lost, and shutdown hangs joining
+    /// the batcher.
+    pub unlocked_stop: bool,
+}
+
+/// Model of the BatchQueue lifecycle: submitters enqueue under the jobs
+/// lock, the batcher drains batches until `stop()` flips the shutdown
+/// flag, and the final drain answers stragglers with `shutting_down`.
+///
+/// Checked invariants:
+/// * **no job is ever stranded**: every submitted job is either executed
+///   or answered with a rejection;
+/// * **shutdown terminates**: the batcher always observes `stop()` (a
+///   lost shutdown wakeup shows up as a deadlock on `available`).
+///
+/// With `BatchBugs::default()` (both fixes in) the exploration must be
+/// clean; each planted flag must produce its failure.
+pub fn batch_drain(bugs: BatchBugs) -> impl Fn() + Send + Sync + 'static {
+    const SUBMITTERS: usize = 2;
+    move || {
+        let jobs = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let available = Arc::new(Condvar::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // Per-job outcome: 0 = unanswered, 1 = executed, 2 = rejected.
+        let outcome: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..SUBMITTERS).map(|_| AtomicUsize::new(0)).collect());
+
+        // run_batcher: wait for work or shutdown; on shutdown, drain the
+        // stragglers into rejections and exit.
+        let batcher = {
+            let jobs = Arc::clone(&jobs);
+            let available = Arc::clone(&available);
+            let shutdown = Arc::clone(&shutdown);
+            let outcome = Arc::clone(&outcome);
+            thread::spawn(move || loop {
+                let mut g = jobs.lock();
+                while g.is_empty() && !shutdown.load(SeqCst) {
+                    g = available.wait(g);
+                }
+                if shutdown.load(SeqCst) {
+                    for j in g.drain(..) {
+                        outcome[j].store(2, SeqCst);
+                    }
+                    return;
+                }
+                let batch: Vec<usize> = g.drain(..).collect();
+                drop(g);
+                for j in batch {
+                    outcome[j].store(1, SeqCst);
+                }
+            })
+        };
+
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|i| {
+                let jobs = Arc::clone(&jobs);
+                let available = Arc::clone(&available);
+                let shutdown = Arc::clone(&shutdown);
+                let outcome = Arc::clone(&outcome);
+                thread::spawn(move || {
+                    let mut g = jobs.lock();
+                    if !bugs.unchecked_submit && shutdown.load(SeqCst) {
+                        // Refused: the handler answers shutting_down.
+                        drop(g);
+                        outcome[i].store(2, SeqCst);
+                        return;
+                    }
+                    g.push(i);
+                    drop(g);
+                    available.notify_all();
+                })
+            })
+            .collect();
+
+        // begin_shutdown → queue.stop(), racing the submitters. The flag
+        // flip must serialize against the batcher's check-then-wait by
+        // taking the jobs lock; the notify itself can stay outside it.
+        if bugs.unlocked_stop {
+            shutdown.store(true, SeqCst);
+        } else {
+            let g = jobs.lock();
+            shutdown.store(true, SeqCst);
+            drop(g);
+        }
+        available.notify_all();
+
+        for s in submitters {
+            s.join();
+        }
+        batcher.join();
+        for (i, o) in outcome.iter().enumerate() {
+            let o = o.load(SeqCst);
+            assert!(
+                o != 0,
+                "job {i} stranded: submitted but neither executed nor rejected"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The workspace must lint clean — the same gate CI runs through
+//! `cfcc-audit lint`, kept as a test so `cargo test` alone catches a
+//! violation before a push does.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use cfcc_audit::lint;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit sits two levels under the workspace root")
+        .to_path_buf();
+    let allow = root.join("crates/audit/lint.allow");
+    let report = lint::run(&root, &allow);
+    assert!(
+        report.files >= 30,
+        "linter saw only {} files — source discovery is broken",
+        report.files
+    );
+    let mut msg = String::new();
+    for v in &report.violations {
+        msg.push_str(&format!("{v}\n"));
+    }
+    for e in &report.allowlist_errors {
+        msg.push_str(&format!("{e}\n"));
+    }
+    assert!(report.clean(), "workspace lint violations:\n{msg}");
+}

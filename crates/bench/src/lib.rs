@@ -15,6 +15,8 @@
 //! All randomized algorithms run with fixed seeds, so outputs are
 //! reproducible per preset.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 
 use cfcc_core::{CfcmParams, Selection, SolveSession};

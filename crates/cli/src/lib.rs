@@ -13,6 +13,8 @@
 //! cfcm --list-datasets
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod run;
 

@@ -1,5 +1,7 @@
 //! `cfcm` — run CFCM solvers from the command line.
 
+#![forbid(unsafe_code)]
+
 use cfcm_cli::args::{parse_args, USAGE};
 use cfcm_cli::run::{execute, render_backend_list, render_dataset_list, render_solver_list};
 

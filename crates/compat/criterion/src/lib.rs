@@ -10,6 +10,8 @@
 //! the real crate when a registry is available; bench sources compile
 //! unchanged.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -14,6 +14,8 @@
 //! consumer seeds explicitly and asserts statistical, not bitwise,
 //! properties.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Low-level entropy source: everything derives from `next_u64`.

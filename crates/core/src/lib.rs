@@ -90,6 +90,8 @@
 //!
 //! To add a new solver, see the [`solver`] module docs.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod approx_greedy;
 pub mod cfcc;

@@ -19,6 +19,8 @@
 //! Every proxy is generated from a fixed per-dataset seed — calling
 //! [`by_name`] twice yields identical graphs.
 
+#![forbid(unsafe_code)]
+
 pub mod karate;
 pub mod registry;
 pub mod usa;

@@ -19,6 +19,8 @@
 //! * [`sampler`] — deterministic (seeded) serial/parallel batch driver with
 //!   doubling batch sizes, mirroring the `2^{r'}` loop of Algorithms 2–5.
 
+#![forbid(unsafe_code)]
+
 pub mod bernstein;
 pub mod estimators;
 pub mod forest;

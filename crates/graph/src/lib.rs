@@ -19,6 +19,8 @@
 //! assert!(g.is_connected());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod diameter;
 pub mod error;
 pub mod generators;

@@ -394,8 +394,8 @@ where
         // worker pool (bit-identical for every thread count).
         {
             let xw = x.cols();
-            let xp = SendPtr(x.data_mut().as_mut_ptr());
-            let rp = SendPtr(r.data_mut().as_mut_ptr());
+            let xp = SendPtr::new(x.data_mut());
+            let rp = SendPtr::new(r.data_mut());
             let (pm, apm, act, al) = (&p, &ap, &active, &alpha);
             par_rows(cfg.threads, n, 4 * w, &move |r0, r1| {
                 for i in r0..r1 {
@@ -405,6 +405,7 @@ where
                     for (s, &j) in act.iter().enumerate() {
                         xr[j] += al[s] * pm.get(i, s);
                     }
+                    // SAFETY: as above — row i of r belongs to this task.
                     let rr = unsafe { rp.slice(i * apm.cols(), apm.cols()) };
                     for (s, rv) in rr.iter_mut().enumerate() {
                         *rv -= al[s] * apm.get(i, s);
@@ -458,7 +459,7 @@ where
         }
         {
             let pw = p.cols();
-            let pp = SendPtr(p.data_mut().as_mut_ptr());
+            let pp = SendPtr::new(p.data_mut());
             let (zm, al) = (&z, &alpha);
             par_rows(cfg.threads, n, 2 * w, &move |r0, r1| {
                 for i in r0..r1 {

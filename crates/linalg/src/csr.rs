@@ -124,7 +124,7 @@ impl CsrMatrix {
         /// Minimum multiply-adds per pool task.
         const GRAIN: usize = 16 * 1024;
         let t = threads.max(1).min(self.n).min(1 + self.nnz() * w / GRAIN);
-        let yp = SendPtr(y.data_mut().as_mut_ptr());
+        let yp = SendPtr::new(y.data_mut());
         pool::run(t, t, &move |tix| {
             let r0 = self.n * tix / t;
             let r1 = self.n * (tix + 1) / t;

@@ -70,9 +70,9 @@ const SMALL_FLOPS: usize = 64 * 1024;
 #[inline(always)]
 fn micro_kernel(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
     let mut local = *acc;
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
-        let a: &[f64; MR] = a.try_into().unwrap();
-        let b: &[f64; NR] = b.try_into().unwrap();
+    let (a_tiles, _) = ap.as_chunks::<MR>();
+    let (b_tiles, _) = bp.as_chunks::<NR>();
+    for (a, b) in a_tiles.iter().zip(b_tiles).take(kc) {
         for r in 0..MR {
             let ar = a[r];
             for c in 0..NR {
@@ -301,7 +301,7 @@ pub fn gemm_acc(
     // depend only on (m, t), so results are bit-identical for every thread
     // count and pool size.
     let len = c.len();
-    let base = SendPtr(c.as_mut_ptr());
+    let base = SendPtr::new(c);
     pool::run(t, t, &move |tix| {
         let r0 = m * tix / t;
         let r1 = m * (tix + 1) / t;
@@ -395,7 +395,7 @@ fn syrk_lower_acc_impl(
         .collect();
     bounds[t] = m;
     let len = c.len();
-    let base = SendPtr(c.as_mut_ptr());
+    let base = SendPtr::new(c);
     let bounds = &bounds;
     pool::run(t, t, &move |tix| {
         let (r0, r1) = (bounds[tix], bounds[tix + 1]);

@@ -137,7 +137,7 @@ impl<'g> LaplacianSubmatrix<'g> {
         const GRAIN: usize = 16 * 1024;
         let edges2 = 2 * self.graph.num_edges() + n;
         let t = threads.max(1).min(n.max(1)).min(1 + edges2 * w / GRAIN);
-        let yp = crate::pool::SendPtr(y.data_mut().as_mut_ptr());
+        let yp = crate::pool::SendPtr::new(y.data_mut());
         crate::pool::run(t, t, &move |tix| {
             let r0 = n * tix / t;
             let r1 = n * (tix + 1) / t;

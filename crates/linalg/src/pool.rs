@@ -35,27 +35,59 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
-/// A raw `*mut f64` that may cross thread boundaries. The pool itself
-/// guarantees nothing about aliasing — every call site must partition the
-/// underlying buffer into disjoint per-task regions and document why.
+/// A bounds-carrying raw `*mut f64` that may cross thread boundaries. The
+/// pool itself guarantees nothing about aliasing — every call site must
+/// partition the underlying buffer into disjoint per-task regions and
+/// document why.
 #[derive(Clone, Copy)]
-pub struct SendPtr(pub *mut f64);
+pub struct SendPtr {
+    ptr: *mut f64,
+    len: usize,
+}
 
+// SAFETY: SendPtr is a plain pointer+length pair; possessing one confers
+// no access. Every dereference goes through the `unsafe` [`SendPtr::slice`]
+// whose caller contract (in-bounds range, buffer outlives the job, ranges
+// disjoint across tasks) is what actually makes cross-thread use sound —
+// the full argument lives at each call site and in SAFETY.md.
 unsafe impl Send for SendPtr {}
+// SAFETY: as for Send — sharing the pair grants nothing until a call site
+// invokes `slice` under its documented contract.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
+    /// Capture `buf`'s pointer and length for fan-out to pool tasks.
+    #[inline]
+    pub fn new(buf: &mut [f64]) -> Self {
+        Self {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
+
     /// Reconstruct the mutable sub-slice `[offset, offset + len)`.
     ///
+    /// Debug builds bounds-check the range against the captured buffer
+    /// length, so a bad partition fails loudly in every test run instead
+    /// of corrupting a neighbor's panel; release builds trust the caller.
+    ///
     /// # Safety
-    /// The caller must ensure the range lies inside the original buffer
-    /// and that no other task (nor the owner) touches it concurrently.
+    /// The caller must ensure the range lies inside the original buffer,
+    /// that the buffer outlives every use of the returned slice, and that
+    /// no other task (nor the owner) touches the range concurrently.
     #[inline]
     pub unsafe fn slice(self, offset: usize, len: usize) -> &'static mut [f64] {
-        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+        debug_assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "SendPtr::slice out of bounds: [{offset}, {offset}+{len}) vs captured len {}",
+            self.len
+        );
+        // SAFETY: in-bounds (checked above in debug), non-overlapping and
+        // live per this function's caller contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
     }
 }
 
@@ -73,6 +105,11 @@ struct Job {
     tasks: usize,
     done: Mutex<usize>,
     finished: Condvar,
+    /// Debug guard for the claim protocol: set false by `run` the moment
+    /// `wait` returns (the erased borrow's last valid instant). A task
+    /// claim observing `false` means the lifetime-erasure invariant was
+    /// broken — caught by `debug_assert` in every test run.
+    live: AtomicBool,
     /// First panic payload raised by any task — re-thrown to the
     /// submitting caller after the job drains, mirroring what
     /// `std::thread::scope` did on join. Without this a panicking task
@@ -80,7 +117,15 @@ struct Job {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
+// SAFETY: `f` is the only field that is not automatically Send (a raw wide
+// pointer). It is only ever dereferenced under the claim protocol
+// documented on the field — by an executor holding a task index
+// `< tasks`, within the window in which the submitting `run` call is
+// still blocked — and the pointee is required to be `Sync` at the
+// submission boundary, so moving the handle to a worker thread is sound.
 unsafe impl Send for Job {}
+// SAFETY: as for Send — all mutable state in Job is behind atomics or
+// locks, and `f` is a `Sync` closure dereferenced read-only.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -94,15 +139,23 @@ impl Job {
             if i >= self.tasks {
                 return;
             }
+            debug_assert!(
+                self.live.load(Ordering::Acquire),
+                "pool claim protocol violated: task {i} claimed after run() returned"
+            );
             // SAFETY: `i < tasks` proves the job is still live — the
             // submitting `run` call cannot have returned, because it waits
             // for `done == tasks` and task `i` has not completed yet.
             let f = unsafe { &*self.f };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
-                let mut slot = self.panic.lock().unwrap();
+                // Poison recovery throughout this module: both counters are
+                // plain integers/options, valid after any panic, and a
+                // panicking executor must still be able to finish the
+                // count-up or the submitting caller deadlocks.
+                let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
                 slot.get_or_insert(payload);
             }
-            let mut done = self.done.lock().unwrap();
+            let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
             *done += 1;
             if *done == self.tasks {
                 self.finished.notify_all();
@@ -112,9 +165,12 @@ impl Job {
 
     /// Block until every task has completed.
     fn wait(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         while *done < self.tasks {
-            done = self.finished.wait(done).unwrap();
+            done = self
+                .finished
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -155,12 +211,15 @@ fn worker_loop(shared: Arc<Shared>) {
     IN_TASK.with(|t| t.set(true));
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
-                queue = shared.ready.wait(queue).unwrap();
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         job.work();
@@ -182,18 +241,23 @@ impl WorkerPool {
     /// Workers spawned so far (monotone, capped at [`max_workers`]) —
     /// exposed so tests can assert the pool is reused rather than regrown.
     pub fn spawned(&self) -> usize {
-        *self.spawned.lock().unwrap()
+        *self.spawned.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn ensure_workers(&self, want: usize) {
         let want = want.min(max_workers());
-        let mut spawned = self.spawned.lock().unwrap();
+        let mut spawned = self.spawned.lock().unwrap_or_else(PoisonError::into_inner);
         while *spawned < want {
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            let res = std::thread::Builder::new()
                 .name(format!("cfcc-pool-{spawned}"))
-                .spawn(move || worker_loop(shared))
-                .expect("spawn pool worker");
+                .spawn(move || worker_loop(shared));
+            if res.is_err() {
+                // Out of OS threads: degrade to however many helpers exist.
+                // `run` stays correct at any pool size (the caller is always
+                // an executor), so fewer workers only costs parallelism.
+                break;
+            }
             *spawned += 1;
         }
     }
@@ -215,21 +279,36 @@ impl WorkerPool {
             return;
         }
         self.ensure_workers(helpers);
-        // Lifetime erasure: the borrow stays valid because this function
-        // does not return until `done == tasks`, and no executor touches
-        // `f` without having claimed a task index `< tasks` first.
-        let f_static: *const (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        // The reference-to-raw cast is safe; only the type-level lifetime
+        // bound on the trait object still needs erasing to `'static` below.
+        let f_short = f as *const (dyn Fn(usize) + Sync);
+        // SAFETY: pure lifetime erasure between two identically laid out
+        // raw wide pointers. The erased borrow stays valid for every
+        // dereference because this function does not return until
+        // `done == tasks`, and no executor touches `f` without having
+        // claimed a task index `< tasks` first; the `live` flag
+        // debug-checks that protocol on every claim.
+        let f_static = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f_short)
+        };
         let job = Arc::new(Job {
             f: f_static,
             next: AtomicUsize::new(0),
             tasks,
             done: Mutex::new(0),
             finished: Condvar::new(),
+            live: AtomicBool::new(true),
             panic: Mutex::new(None),
         });
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for _ in 0..helpers {
                 queue.push_back(Arc::clone(&job));
             }
@@ -256,9 +335,16 @@ impl WorkerPool {
             job.work();
         }
         job.wait();
+        // The erased borrow dies when this function returns: flip the
+        // debug guard so any later claim (a protocol bug) asserts.
+        job.live.store(false, Ordering::Release);
         // Every task has run; re-raise the first task panic to the
         // caller, matching `std::thread::scope`'s join behavior.
-        let payload = job.panic.lock().unwrap().take();
+        let payload = job
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -359,7 +445,7 @@ mod tests {
     #[test]
     fn borrowed_mutable_buffer_via_sendptr() {
         let mut buf = vec![0.0f64; 64];
-        let ptr = SendPtr(buf.as_mut_ptr());
+        let ptr = SendPtr::new(&mut buf);
         let tasks = 8;
         run(4, tasks, &|t| {
             // SAFETY: task t owns the disjoint range [8t, 8t + 8).

@@ -46,6 +46,7 @@ use cfcc_linalg::{pool, DenseMatrix, LinalgError, SddFactor, StopCause, StopHook
 use crate::cache::{CacheEntry, FactorCache, FactorKey};
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
+use crate::poison::{lock_recover, wait_recover};
 use crate::protocol::{ErrorCode, ServeError};
 
 /// What a finished job hands back to its requester.
@@ -111,24 +112,49 @@ impl BatchQueue {
         }
     }
 
-    /// Enqueue a job and wake the batcher.
+    /// Enqueue a job and wake the batcher. A job submitted after
+    /// [`BatchQueue::stop`] is answered with `shutting_down` immediately.
     pub fn submit(&self, job: SolveJob) {
-        self.jobs
-            .lock()
-            .expect("batch queue lock poisoned")
-            .push_back(job);
-        self.available.notify_all();
+        {
+            let mut jobs = lock_recover(&self.jobs);
+            // The shutdown check must happen under the jobs lock: the
+            // batcher reads the flag and drains the queue under this same
+            // lock, so an unchecked push could land *after* its final
+            // drain and strand the job (its requester would block on the
+            // reply channel forever). The `batch-stranded-submit` model in
+            // cfcc-audit finds that interleaving in one schedule.
+            if !self.shutdown.load(Ordering::Relaxed) {
+                jobs.push_back(job);
+                drop(jobs);
+                self.available.notify_all();
+                return;
+            }
+        }
+        let _ = job.reply.send(Err(ServeError::new(
+            ErrorCode::ShuttingDown,
+            "server shutting down",
+        )));
     }
 
     /// Jobs currently waiting (the `stats` queue-depth gauge and the
     /// admission-control depth bound).
     pub fn depth(&self) -> usize {
-        self.jobs.lock().expect("batch queue lock poisoned").len()
+        lock_recover(&self.jobs).len()
     }
 
     /// Stop the batcher loop after the current drain.
     pub fn stop(&self) {
+        // The store must happen while holding the jobs lock. The batcher's
+        // wait loop checks the flag and then releases the lock inside
+        // `Condvar::wait` as one atomic step; storing without the lock can
+        // fire `notify_all` in the window where the batcher has checked
+        // but not yet registered as a waiter — a lost wakeup that parks
+        // the batcher (and the shutdown drain behind it) forever. The
+        // `batch-unlocked-stop` model in cfcc-audit demonstrates exactly
+        // that deadlock.
+        let guard = lock_recover(&self.jobs);
         self.shutdown.store(true, Ordering::Relaxed);
+        drop(guard);
         self.available.notify_all();
     }
 
@@ -139,11 +165,7 @@ impl BatchQueue {
     }
 
     fn drain_queue(&self) -> Vec<SolveJob> {
-        self.jobs
-            .lock()
-            .expect("batch queue lock poisoned")
-            .drain(..)
-            .collect()
+        lock_recover(&self.jobs).drain(..).collect()
     }
 
     /// The batcher thread body: loop until [`BatchQueue::stop`], then
@@ -151,12 +173,9 @@ impl BatchQueue {
     pub fn run_batcher(&self, ctx: &BatchCtx<'_>) {
         loop {
             // Wait for work.
-            let mut guard = self.jobs.lock().expect("batch queue lock poisoned");
+            let mut guard = lock_recover(&self.jobs);
             while guard.is_empty() && !self.shutdown.load(Ordering::Relaxed) {
-                guard = self
-                    .available
-                    .wait(guard)
-                    .expect("batch queue lock poisoned");
+                guard = wait_recover(&self.available, guard);
             }
             if self.shutdown.load(Ordering::Relaxed) {
                 for job in guard.drain(..) {
@@ -222,11 +241,11 @@ impl BatchQueue {
             chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
         let threads = slots.len().min(pool::max_workers());
         pool::run(threads, slots.len(), &|i| {
-            let chunk = slots[i]
-                .lock()
-                .expect("batch slot lock poisoned")
-                .take()
-                .expect("each slot runs exactly once");
+            let Some(chunk) = lock_recover(&slots[i]).take() else {
+                // Unreachable by the pool contract (each index runs once);
+                // an empty slot means there is simply nothing to solve.
+                return;
+            };
             // Panic isolation: a chunk that blows up answers its own jobs
             // with `internal`, evicts the (possibly corrupt) factor, and
             // leaves the batcher and its siblings running.
@@ -416,4 +435,88 @@ fn chunk_stop_hook(
         }
         None
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheEntry;
+    use std::sync::mpsc::channel;
+
+    fn job(reply: Sender<Result<SolveOutcome, ServeError>>) -> SolveJob {
+        SolveJob {
+            key: FactorKey {
+                graph: "g".into(),
+                epoch: 1,
+                grounding: vec![0],
+                backend: "dense-cholesky",
+            },
+            entry: Arc::new(CacheEntry::default()),
+            rhs: DenseMatrix::zeros(2, 1),
+            deadline: None,
+            reply,
+        }
+    }
+
+    #[test]
+    fn submit_after_stop_answers_shutting_down() {
+        // Regression for the stranded-submit race (see `submit`): a job
+        // enqueued after `stop` must get a reply, not wait forever on a
+        // batcher that has already drained and exited.
+        let q = BatchQueue::new(true, Duration::ZERO, 64);
+        q.stop();
+        let (tx, rx) = channel();
+        q.submit(job(tx));
+        let reply = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("submit after stop must answer, not strand the job");
+        match reply {
+            Err(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+            Ok(_) => panic!("job submitted after stop must be rejected"),
+        }
+        assert_eq!(q.depth(), 0, "rejected job must not sit in the queue");
+    }
+
+    #[test]
+    fn stop_wakes_and_exits_idle_batcher() {
+        // Regression for the lost-wakeup race (see `stop`): stopping an
+        // idle batcher must terminate it even though its queue is empty.
+        let q = Arc::new(BatchQueue::new(true, Duration::ZERO, 64));
+        let (tx, rx) = channel();
+        let q2 = Arc::clone(&q);
+        let batcher = std::thread::spawn(move || {
+            let metrics = Metrics::new();
+            let cache = FactorCache::new(2);
+            let ctx = BatchCtx {
+                metrics: &metrics,
+                cache: &cache,
+                fault: FaultPlan::none(),
+            };
+            q2.run_batcher(&ctx);
+            let _ = tx.send(());
+        });
+        // Give the batcher a moment to park on the condvar, then stop.
+        std::thread::sleep(Duration::from_millis(20));
+        q.stop();
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("stop must wake the parked batcher");
+        batcher.join().expect("batcher exits cleanly");
+    }
+
+    #[test]
+    fn depth_survives_a_poisoned_queue_lock() {
+        // `stats` must keep answering after a panic poisons the jobs lock.
+        let q = Arc::new(BatchQueue::new(true, Duration::ZERO, 64));
+        let poisoner = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.jobs.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert_eq!(q.depth(), 0);
+        let (tx, rx) = channel();
+        q.stop();
+        q.submit(job(tx));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+    }
 }

@@ -28,6 +28,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use cfcc_graph::Node;
 use cfcc_linalg::sdd::OwnedFactor;
 
+use crate::poison::lock_recover;
+
 /// Full identity of a cached factorization.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FactorKey {
@@ -75,10 +77,7 @@ impl CacheEntry {
     pub fn trace_or_compute<E>(&self, compute: impl FnOnce() -> Result<f64, E>) -> Result<f64, E> {
         // Memoized values are only written complete, so a poisoned lock
         // (panicking compute closure) can keep its contents.
-        let mut slot = self
-            .trace
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slot = lock_recover(&self.trace);
         if let Some(t) = *slot {
             return Ok(t);
         }
@@ -92,10 +91,7 @@ impl CacheEntry {
         &self,
         compute: impl FnOnce() -> Result<Vec<f64>, E>,
     ) -> Result<Arc<Vec<f64>>, E> {
-        let mut slot = self
-            .centrality
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slot = lock_recover(&self.centrality);
         if let Some(c) = &*slot {
             return Ok(Arc::clone(c));
         }
@@ -161,7 +157,7 @@ impl FactorCache {
     /// `(entry, hit)`.
     pub fn get_or_insert(&self, key: &FactorKey) -> (Arc<CacheEntry>, bool) {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().expect("cache lock poisoned");
+        let mut map = lock_recover(&self.inner);
         if let Some(slot) = map.get_mut(key) {
             slot.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -192,17 +188,14 @@ impl FactorCache {
     /// Drop `key` (a failed factor build must not poison future requests
     /// with an empty entry that counts as a hit).
     pub fn remove(&self, key: &FactorKey) {
-        self.inner.lock().expect("cache lock poisoned").remove(key);
+        lock_recover(&self.inner).remove(key);
     }
 
     /// Proactively drop every entry of `graph` older than `epoch` (called
     /// on graph replacement; LRU aging would get there eventually, but the
     /// factors can be large).
     pub fn purge_stale(&self, graph: &str, epoch: u64) {
-        self.inner
-            .lock()
-            .expect("cache lock poisoned")
-            .retain(|k, _| k.graph != graph || k.epoch >= epoch);
+        lock_recover(&self.inner).retain(|k, _| k.graph != graph || k.epoch >= epoch);
     }
 
     /// Current counters.
@@ -211,7 +204,7 @@ impl FactorCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache lock poisoned").len(),
+            entries: lock_recover(&self.inner).len(),
         }
     }
 }

@@ -31,12 +31,19 @@
 //! drop(handle); // graceful shutdown on drop
 //! ```
 
+#![forbid(unsafe_code)]
+// Production serve code must not panic on an absent value or a poisoned
+// lock: locks recover through `poison::lock_recover`, everything else
+// becomes a protocol error. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod batch;
 pub mod cache;
 pub mod cli;
 pub mod client;
 pub mod fault;
 pub mod metrics;
+pub mod poison;
 pub mod protocol;
 pub mod registry;
 
@@ -897,7 +904,7 @@ fn handle_topk_greedy(
                 .float("gain", it.gain)
                 .float("seconds", it.seconds)
                 .render();
-            let mut s = sink_stream.lock().expect("progress stream lock poisoned");
+            let mut s = poison::lock_recover(&sink_stream);
             if writeln!(s, "{line}").and_then(|_| s.flush()).is_err() {
                 sink_cancel.cancel();
             }

@@ -8,6 +8,8 @@ use std::sync::Mutex;
 use cfcc_linalg::SolveStats;
 use cfcc_util::json::{self, JsonObject};
 
+use crate::poison::lock_recover;
+
 /// Widths at or above this bucket are folded into the last histogram bin.
 const MAX_TRACKED_WIDTH: usize = 128;
 
@@ -59,7 +61,7 @@ impl Metrics {
     pub fn record_batch(&self, jobs: usize, width: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
-        let mut hist = self.occupancy.lock().expect("occupancy lock poisoned");
+        let mut hist = lock_recover(&self.occupancy);
         let w = width.min(MAX_TRACKED_WIDTH);
         if hist.len() <= w {
             hist.resize(w + 1, 0);
@@ -70,7 +72,7 @@ impl Metrics {
     /// Fold the per-solve delta of a factor's cumulative [`SolveStats`]
     /// into the server aggregate.
     pub fn absorb_solve_delta(&self, before: SolveStats, after: SolveStats) {
-        let mut agg = self.solve.lock().expect("solve lock poisoned");
+        let mut agg = lock_recover(&self.solve);
         agg.solves += after.solves - before.solves;
         agg.iterations += after.iterations - before.iterations;
         agg.flops += after.flops - before.flops;
@@ -85,7 +87,7 @@ impl Metrics {
         if batches == 0 {
             return 0.0;
         }
-        let hist = self.occupancy.lock().expect("occupancy lock poisoned");
+        let hist = lock_recover(&self.occupancy);
         let total: u64 = hist.iter().enumerate().map(|(w, &c)| w as u64 * c).sum();
         total as f64 / batches as f64
     }
@@ -99,7 +101,7 @@ impl Metrics {
         uptime_secs: f64,
         graphs: &[(String, u64, usize, usize)],
     ) -> String {
-        let hist = self.occupancy.lock().expect("occupancy lock poisoned");
+        let hist = lock_recover(&self.occupancy);
         let occupancy = json::array(hist.iter().enumerate().filter(|(_, &c)| c > 0).map(
             |(w, &c)| {
                 JsonObject::new()
@@ -109,7 +111,7 @@ impl Metrics {
             },
         ));
         drop(hist);
-        let solve = *self.solve.lock().expect("solve lock poisoned");
+        let solve = *lock_recover(&self.solve);
         let graphs_json = json::array(graphs.iter().map(|(name, epoch, n, m)| {
             JsonObject::new()
                 .str("name", name)

@@ -1,0 +1,30 @@
+//! Poison-tolerant lock helpers for the serve request path.
+//!
+//! A poisoned `std::sync::Mutex` only means *some* thread panicked while
+//! holding the guard — the data inside is still a valid value of its type.
+//! Every lock on the request path protects state that stays meaningful
+//! after an arbitrary interruption (queues of jobs, counters, `Option`
+//! slots), and panic isolation elsewhere (the batcher's `catch_unwind`,
+//! the pool's per-task catch) already converts the *cause* of the poison
+//! into an error reply. Propagating the poison afterwards would turn one
+//! failed request into a crash loop for every later request that touches
+//! the same lock — exactly the cascade the fault-tolerance layer exists to
+//! prevent. So the request path recovers the guard with
+//! [`PoisonError::into_inner`] and moves on.
+//!
+//! `cfcc-lint`'s `no-unwrap` rule bans `.unwrap()` / `.expect(` in these
+//! modules, which is what keeps new code on these helpers.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// [`Mutex::lock`] that recovers from poisoning instead of panicking.
+#[inline]
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers from poisoning instead of panicking.
+#[inline]
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

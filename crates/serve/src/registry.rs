@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use cfcc_graph::traversal::largest_connected_component;
 use cfcc_graph::Graph;
 
+use crate::poison::lock_recover;
 use crate::protocol::{ErrorCode, GraphSource, ServeError};
 
 /// One resident graph: the (LCC-reduced, connected) graph plus its epoch.
@@ -53,7 +54,7 @@ impl GraphRegistry {
                 "graph must have at least 2 connected nodes",
             ));
         }
-        let mut map = self.inner.lock().expect("registry lock poisoned");
+        let mut map = lock_recover(&self.inner);
         let epoch = map.get(name).map_or(1, |e| e.epoch + 1);
         let entry = ResidentGraph {
             graph: Arc::new(graph),
@@ -82,22 +83,17 @@ impl GraphRegistry {
 
     /// Look up a resident graph.
     pub fn get(&self, name: &str) -> Result<ResidentGraph, ServeError> {
-        self.inner
-            .lock()
-            .expect("registry lock poisoned")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| {
-                ServeError::new(
-                    ErrorCode::UnknownGraph,
-                    format!("graph '{name}' not loaded (use load_graph)"),
-                )
-            })
+        lock_recover(&self.inner).get(name).cloned().ok_or_else(|| {
+            ServeError::new(
+                ErrorCode::UnknownGraph,
+                format!("graph '{name}' not loaded (use load_graph)"),
+            )
+        })
     }
 
     /// Snapshot `(name, epoch, n, m)` for `stats`.
     pub fn snapshot(&self) -> Vec<(String, u64, usize, usize)> {
-        let map = self.inner.lock().expect("registry lock poisoned");
+        let map = lock_recover(&self.inner);
         let mut out: Vec<_> = map
             .iter()
             .map(|(k, e)| (k.clone(), e.epoch, e.graph.num_nodes(), e.graph.num_edges()))

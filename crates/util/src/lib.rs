@@ -11,6 +11,8 @@
 //! * [`table`] — fixed-width text tables matching the paper's row formats.
 //! * [`json`] — minimal JSON emission for machine-consumable reports.
 
+#![forbid(unsafe_code)]
+
 pub mod fx;
 pub mod json;
 pub mod stats;

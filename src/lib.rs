@@ -8,6 +8,8 @@
 //! Start with [`core::SolveSession`] — the builder front door to every
 //! solver — or see `cfcc-core`'s crate docs for the full API tour.
 
+#![forbid(unsafe_code)]
+
 pub use cfcc_core as core;
 pub use cfcc_datasets as datasets;
 pub use cfcc_forest as forest;
