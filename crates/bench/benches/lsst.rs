@@ -1,0 +1,169 @@
+//! Low-stretch-tree ultrasparsifier ladder (BENCH_PR10): the `lsst-pcg`
+//! backend against the existing iterative backends on the topologies the
+//! routing change covers — large-diameter meshes AND low-diameter
+//! power-law/expander graphs, since `auto` now routes *every* graph above
+//! the dense limit to `lsst-pcg`.
+//!
+//! Per graph, each backend factors `L_{-S}` and answers a 16-RHS
+//! `solve_mat` block. Report rows:
+//!
+//! * `lsst_iters_<graph>`: PCG iterations per RHS, `tree-pcg` (baseline)
+//!   vs `lsst-pcg` — the acceptance gate is ≥ 1.3× fewer.
+//! * `lsst_solve16_<graph>`: wall-clock ms (factor + 16-RHS solve), best
+//!   prior iterative backend (min over cg-jacobi / sparse-cg / tree-pcg)
+//!   vs `lsst-pcg` — the gate is ≥ 1.2× faster.
+//! * `lsst_treeonly_vs_full_<graph>`: `lsst-pcg` with the off-tree sample
+//!   disabled (`offtree_ratio = 0`) vs the full ultrasparsifier —
+//!   isolates what the sampled off-tree edges buy over the bare
+//!   low-stretch tree.
+//!
+//! * `CFCC_PRESET=smoke` (default): tiny sizes — the CI regression gate.
+//! * `CFCC_PRESET=paper`: the full ladder (grid 91²/257², BA 8192/65536,
+//!   WS expander 16384); emits `BENCH_PR10.json` at the workspace root
+//!   (override with `CFCC_BENCH_OUT`; setting it also forces emission
+//!   under `smoke`).
+
+use cfcc_bench::report::BenchReport;
+use cfcc_bench::{banner, fmt_ratio, Preset};
+use cfcc_graph::{generators, Graph};
+use cfcc_linalg::sdd::{by_name, SddOptions};
+use cfcc_linalg::DenseMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Best-of-`reps` wall clock in milliseconds.
+fn time_ms<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn random_rhs(rng: &mut SmallRng, rows: usize, cols: usize) -> DenseMatrix {
+    let mut rhs = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            rhs.set(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    rhs
+}
+
+/// One backend's factor + 16-RHS solve: (wall ms, PCG iterations / RHS).
+fn run(
+    g: &Graph,
+    in_s: &[bool],
+    rhs: &DenseMatrix,
+    backend: &str,
+    opts: &SddOptions,
+) -> (f64, f64) {
+    let b = by_name(backend).expect("registered backend");
+    let mut iters = 0.0;
+    let ms = time_ms(1, || {
+        let mut f = b.factor(g, in_s, opts).expect("factor");
+        f.solve_mat(rhs).expect("solve");
+        iters = f.stats().iterations as f64 / rhs.cols() as f64;
+    });
+    (ms, iters)
+}
+
+fn main() {
+    let preset = Preset::from_env();
+    banner(
+        "lsst",
+        "low-stretch tree + off-tree ultrasparsifier vs prior iterative backends (BENCH_PR10)",
+        preset,
+    );
+    const W: usize = 16; // right-hand sides per factorization
+    let opts = SddOptions::with_tol(1e-8);
+    let tree_only = SddOptions {
+        offtree_ratio: 0.0,
+        ..SddOptions::with_tol(1e-8)
+    };
+    let mut report = BenchReport::new();
+
+    // (label, graph) ladder: meshes where tree preconditioners shine and
+    // low-diameter graphs where they historically did not.
+    let mut rng = SmallRng::seed_from_u64(0x157);
+    let ladder: Vec<(String, Graph)> = match preset {
+        Preset::Smoke => vec![
+            ("grid_576".into(), generators::grid(24, 24)),
+            (
+                "ba_2048".into(),
+                generators::barabasi_albert(2048, 4, &mut rng),
+            ),
+        ],
+        _ => vec![
+            ("grid_8281".into(), generators::grid(91, 91)),
+            ("grid_66049".into(), generators::grid(257, 257)),
+            (
+                "ba_8192".into(),
+                generators::barabasi_albert(8192, 4, &mut rng),
+            ),
+            (
+                "ba_65536".into(),
+                generators::barabasi_albert(65_536, 4, &mut rng),
+            ),
+            // Expander proxy: WS stays connected by construction (ER at
+            // this density has isolated nodes, which grounding rejects).
+            (
+                "ws_16384".into(),
+                generators::watts_strogatz(16_384, 8, 0.2, &mut rng),
+            ),
+        ],
+    };
+
+    println!(
+        "{:<26} {:>7} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "graph", "n", "jacobi", "sparse", "tree", "lsst", "it tree", "it lsst"
+    );
+    for (label, g) in &ladder {
+        let n = g.num_nodes();
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        let mut rng = SmallRng::seed_from_u64(0x157 + n as u64);
+        let rhs = random_rhs(&mut rng, n - 1, W);
+
+        let (jacobi_ms, _) = run(g, &in_s, &rhs, "cg-jacobi", &opts);
+        let (sparse_ms, _) = run(g, &in_s, &rhs, "sparse-cg", &opts);
+        let (tree_ms, tree_it) = run(g, &in_s, &rhs, "tree-pcg", &opts);
+        let (lsst_ms, lsst_it) = run(g, &in_s, &rhs, "lsst-pcg", &opts);
+        let (lsst0_ms, lsst0_it) = run(g, &in_s, &rhs, "lsst-pcg", &tree_only);
+        let best_prior = jacobi_ms.min(sparse_ms).min(tree_ms);
+
+        report.push(&format!("lsst_iters_{label}"), n, tree_it, lsst_it);
+        report.push(&format!("lsst_solve16_{label}"), n, best_prior, lsst_ms);
+        report.push(
+            &format!("lsst_treeonly_vs_full_{label}"),
+            n,
+            lsst0_ms,
+            lsst_ms,
+        );
+        println!(
+            "{:<26} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1} {:>9.1}",
+            label, n, jacobi_ms, sparse_ms, tree_ms, lsst_ms, tree_it, lsst_it
+        );
+        println!(
+            "{:<26} {:>7} iters tree-pcg/lsst {:>6}   wall best-prior/lsst {:>6}   tree-only lsst: {:.1} ms / {:.1} it",
+            "", "", fmt_ratio(tree_it / lsst_it), fmt_ratio(best_prior / lsst_ms), lsst0_ms, lsst0_it
+        );
+    }
+
+    let out = std::env::var("CFCC_BENCH_OUT").ok();
+    let emit = out.is_some() || preset != Preset::Smoke;
+    if emit {
+        let path = out.unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json").into()
+        });
+        report
+            .write(&path, "lsst", preset.name())
+            .expect("write bench report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\nsmoke preset: report not written (set CFCC_BENCH_OUT to force)");
+    }
+}

@@ -148,30 +148,7 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
         .threads(args.threads)
         .backend(args.backend);
     let backend_label = match args.backend {
-        cfcc_linalg::SddBackend::Auto => {
-            // Greedy factors run at n−1 … n−k kept unknowns; within k of
-            // the auto threshold the policy can genuinely switch mid-run,
-            // so only name a backend when the whole range resolves to it.
-            // The graph-aware resolver also sniffs topology: above the
-            // dense limit, large-diameter graphs route to tree-pcg. The
-            // sniff (two BFS sweeps) runs at most once for the label.
-            let n = g.num_nodes();
-            let large = n.saturating_sub(1) > cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT
-                && cfcc_linalg::sdd::large_diameter(&g);
-            let first = args
-                .backend
-                .resolve_with_sniff(n.saturating_sub(1), || large)
-                .name();
-            let last = args
-                .backend
-                .resolve_with_sniff(n.saturating_sub(args.k), || large)
-                .name();
-            if first == last {
-                format!("auto ({first})")
-            } else {
-                format!("auto ({first} then {last})")
-            }
-        }
+        cfcc_linalg::SddBackend::Auto => auto_label(g.num_nodes(), args.k),
         other => other.name().to_string(),
     };
 
@@ -233,6 +210,23 @@ pub fn execute(args: &CliArgs) -> Result<Report, String> {
     })
 }
 
+/// Human-readable name of the backend(s) `auto` resolves to for a run
+/// with `n` nodes and budget `k`. Greedy factors run at n−1 … n−k kept
+/// unknowns; within `k` of the dense limit the policy can genuinely
+/// switch mid-run, so only name a single backend when the whole range
+/// resolves to it. Since the lsst-pcg routing change the policy is
+/// size-only, so this needs no graph sniff.
+fn auto_label(n: usize, k: usize) -> String {
+    let auto = cfcc_linalg::SddBackend::Auto;
+    let first = auto.resolve(n.saturating_sub(1)).name();
+    let last = auto.resolve(n.saturating_sub(k)).name();
+    if first == last {
+        format!("auto ({first})")
+    } else {
+        format!("auto ({first} then {last})")
+    }
+}
+
 /// Render the dataset registry for `--list-datasets`.
 pub fn render_dataset_list() -> String {
     let mut t =
@@ -272,9 +266,8 @@ pub fn render_backend_list() -> String {
         "auto".into(),
         "policy".into(),
         format!(
-            "dense-cholesky up to {} unknowns; above: tree-pcg when the BFS diameter estimate exceeds {}·log2(n) (meshes, road networks), else sparse-cg",
-            cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT,
-            cfcc_linalg::SddBackend::AUTO_TREE_DIAMETER_FACTOR
+            "dense-cholesky up to {} unknowns; above: lsst-pcg (low-stretch tree + sampled off-tree ultrasparsifier), with sparse-cg as fallback if tree construction fails",
+            cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT
         ),
     ]);
     t.render()
@@ -469,11 +462,36 @@ mod tests {
         }
         assert!(text.contains("auto"));
         assert!(text.contains("iterative"));
+        assert!(
+            text.contains("lsst-pcg (low-stretch tree"),
+            "auto policy row must name the default large-graph backend: {text}"
+        );
+    }
+
+    #[test]
+    fn auto_label_routes_large_graphs_to_lsst() {
+        // Above the dense limit every graph routes to lsst-pcg — the label
+        // the CLI reports for a 257×257 grid run (n = 66049, k = 16).
+        assert_eq!(auto_label(66049, 16), "auto (lsst-pcg)");
+        // Small graphs stay dense.
+        assert_eq!(auto_label(34, 2), "auto (dense-cholesky)");
+        // Straddling the limit names both, in run order.
+        let limit = cfcc_linalg::SddBackend::AUTO_DENSE_LIMIT;
+        assert_eq!(
+            auto_label(limit + 2, 2),
+            "auto (lsst-pcg then dense-cholesky)"
+        );
     }
 
     #[test]
     fn explicit_backend_runs_and_is_reported() {
-        for backend in ["sparse-cg", "cg-jacobi", "dense-cholesky", "tree-pcg"] {
+        for backend in [
+            "sparse-cg",
+            "cg-jacobi",
+            "dense-cholesky",
+            "tree-pcg",
+            "lsst-pcg",
+        ] {
             let a = args(&[
                 "--dataset",
                 "karate",

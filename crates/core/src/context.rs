@@ -63,11 +63,6 @@ pub struct SolveContext {
     /// [`crate::engine`]. Behind a mutex only so the context stays `Sync`;
     /// solvers access it from one thread at a time.
     workspace: Mutex<GreedyWorkspace>,
-    /// Memoized `auto`-policy topology sniff (`sdd::large_diameter`, two
-    /// BFS sweeps): a greedy run factors the same graph once per round,
-    /// and the answer never changes within a run — a context serves one
-    /// graph (every construction path makes a fresh context per solve).
-    auto_sniff: Mutex<Option<bool>>,
 }
 
 impl std::fmt::Debug for SolveContext {
@@ -99,7 +94,6 @@ impl SolveContext {
             deadline: None,
             progress: None,
             workspace: Mutex::new(GreedyWorkspace::new()),
-            auto_sniff: Mutex::new(None),
         }
     }
 
@@ -229,19 +223,11 @@ impl SolveContext {
         g: &'g Graph,
         in_s: &[bool],
     ) -> Result<Box<dyn SddFactor + Send + 'g>, CfcmError> {
-        let kept = in_s.iter().filter(|&&s| !s).count();
-        // `auto`'s diameter sniff is memoized per context: the greedy
-        // loops factor the same (immutable) graph once per round.
-        let solver = self.params.backend.resolve_with_sniff(kept, || {
-            *self
-                .auto_sniff
-                .lock()
-                .expect("sniff mutex poisoned")
-                .get_or_insert_with(|| sdd::large_diameter(g))
-        });
-        solver
-            .factor(g, in_s, &self.sdd_options())
-            .map_err(CfcmError::from)
+        // The front door resolves `auto` (size-only since the lsst-pcg
+        // routing change — no per-round topology sniff to memoize) and
+        // falls back to sparse-cg if an auto-routed lsst factorization
+        // fails on a pathological input.
+        sdd::factor(g, in_s, self.params.backend, &self.sdd_options()).map_err(CfcmError::from)
     }
 
     /// Should the solver stop early? True once the cancel token fires or

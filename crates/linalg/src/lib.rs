@@ -12,16 +12,17 @@
 //! (multi-RHS), `diag_inverse`, and `trace_inverse`, plus a cumulative
 //! [`sdd::SolveStats`] report (iterations, worst residual, flops).
 //! Backends are registered by name ([`sdd::backends`]) and selected via
-//! [`sdd::SddBackend`] (`auto` picks dense below ~1.5k unknowns; above,
-//! a BFS diameter sniff routes large-diameter graphs to the tree
-//! preconditioner, the rest to sparse):
+//! [`sdd::SddBackend`] (`auto` picks dense below ~1.5k unknowns and the
+//! low-stretch-tree ultrasparsifier `lsst-pcg` above — no topology
+//! sniffing; its iteration bound holds on every graph):
 //!
 //! | backend          | kind      | storage       | operations |
 //! |------------------|-----------|---------------|------------|
 //! | `dense-cholesky` | direct    | dense + blocked Cholesky | all, exact; `O(n³)` factor amortized over RHS |
 //! | `cg-jacobi`      | iterative | matrix-free   | all, to `rel_tol`; zero setup |
 //! | `sparse-cg`      | iterative | CSR + IC(0)   | all, to `rel_tol`; `O(n + m)` memory, never densifies |
-//! | `tree-pcg`       | iterative | CSR + spanning tree | all, to `rel_tol`; `O(n)` preconditioner sweeps, fewest iterations on meshes |
+//! | `tree-pcg`       | iterative | CSR + BFS spanning tree | all, to `rel_tol`; `O(n)` preconditioner sweeps |
+//! | `lsst-pcg`       | iterative | CSR + low-stretch tree + sampled off-tree edges | all, to `rel_tol`; `O(n + m/ρ)` preconditioner, low iterations on every topology |
 //!
 //! Both iterative families answer `solve_mat` through **blocked
 //! multi-RHS PCG** ([`cg::pcg_operator_block`]): all active right-hand
@@ -35,7 +36,7 @@
 //!
 //! ## Modules
 //!
-//! * [`sdd`] — the backend trait, registry, and the four backends above.
+//! * [`sdd`] — the backend trait, registry, and the five backends above.
 //! * [`pool`] — the persistent worker pool every parallel kernel runs on:
 //!   spawn once, park between jobs, task-index dispatch with
 //!   caller-computed partitioning (bit-identical results per thread
@@ -56,6 +57,9 @@
 //! * [`tree`] — the diagonal-compensated spanning-tree (combinatorial)
 //!   preconditioner behind the `tree-pcg` backend: zero-fill `O(n)`
 //!   factorization and sweeps over a BFS spanning forest.
+//! * [`lsst`] — the AKPW-style low-stretch spanning tree (with exact
+//!   per-edge stretch verification) and the stretch-sampled off-tree
+//!   ultrasparsifier behind the `lsst-pcg` backend.
 //! * [`laplacian`] — Laplacian operators for a [`cfcc_graph::Graph`]: the full
 //!   `L`, and the grounded submatrix `L_{-S}` as a matrix-free operator on
 //!   compacted index space.
@@ -77,6 +81,7 @@ pub mod error;
 pub mod jl;
 pub mod kernel;
 pub mod laplacian;
+pub mod lsst;
 pub mod pinv;
 pub mod pool;
 pub mod sdd;

@@ -1,0 +1,959 @@
+//! Low-stretch spanning tree + sampled off-tree ultrasparsifier — the
+//! `lsst-pcg` SDD backend's preconditioner (see [`crate::sdd`]).
+//!
+//! The BFS spanning tree behind `tree-pcg` is stretch-limited: on a
+//! √n-side grid the tree path between two adjacent nodes in different BFS
+//! branches detours through the root, so the average edge stretch — and
+//! with it the PCG iteration count (the condition number of the
+//! tree-preconditioned system is bounded by the **total** stretch) — grows
+//! polynomially. This module replaces it with the two classic upgrades of
+//! the Spielman–Teng / Kyng–Sachdeva solver line the paper assumes:
+//!
+//! 1. **AKPW-style low-stretch tree** ([`LsstTree`]): iterated
+//!    low-diameter graph decomposition. Each level grows bounded-radius
+//!    BFS clusters over the current contracted graph (absorbing frontier
+//!    layers while they keep the cluster volume growing geometrically),
+//!    records one original-graph edge per cluster-growing step as a tree
+//!    edge, contracts every cluster to a super-node, and repeats until one
+//!    super-node per component remains. Tree paths then climb a cluster
+//!    hierarchy whose radii shrink geometrically, so the stretch of an
+//!    average edge is polylogarithmic instead of polynomial — verified
+//!    *exactly* per edge ([`LsstTree::stretch`], depths + binary-lifting
+//!    LCA) rather than assumed.
+//! 2. **Vaidya-style ultrasparsifier** ([`LsstPreconditioner`]): sample
+//!    `t = offtree_ratio · m_off` off-tree edges with probability
+//!    proportional to their stretch (the edges whose fundamental cycles
+//!    hurt most are the ones worth keeping), add them to the tree, and
+//!    factor the resulting sparsified graph
+//!
+//!    ```text
+//!    M = L_{T ∪ sampled} restricted to V ∖ S + diag(unsampled off-tree degree)
+//!    ```
+//!
+//!    with the existing IC(0) machinery from [`crate::csr`], permuted into
+//!    the tree's children-before-parents elimination order so the tree
+//!    part factors **exactly** (zero fill) and only the few sampled edges
+//!    contribute dropped fill. Unsampled off-tree edges survive as
+//!    diagonal mass — exactly the [`crate::tree`] compensation — which
+//!    keeps `M` a symmetric diagonally-dominant M-matrix: SPD whenever
+//!    `L_{-S}` is, and IC(0)-safe. The preconditioner stays
+//!    `O(n + m · offtree_ratio)` memory with `O(n + m/ρ)`-cost sweeps.
+//!
+//! With `offtree_ratio = 0` the sampler is bypassed and the tree is
+//! factored by [`TreePreconditioner::from_forest`] — the zero-fill forest
+//! LDLᵀ elimination shared with `tree-pcg` — so "tree-only" costs exactly
+//! what `tree-pcg` costs, just with a far better tree.
+
+use crate::csr::{CsrMatrix, IncompleteCholesky};
+use crate::error::LinalgError;
+use crate::tree::TreePreconditioner;
+use crate::DenseMatrix;
+use cfcc_graph::{Graph, Node};
+
+/// `u32` sentinel for "no parent / unclaimed".
+const NONE: u32 = u32::MAX;
+
+/// Frontier-growth threshold of the cluster decomposition: a BFS ball
+/// keeps absorbing its next layer while the layer holds at least
+/// `GROWTH · |ball|` nodes. On a mesh the layer grows linearly in the
+/// radius while the ball grows quadratically, so clusters stop at radius
+/// `O(1/GROWTH)`; on an expander the volume doubles every layer and
+/// clusters stay radius-`O(1)` with most edges internal. Either way every
+/// level contracts the node count by a constant factor, so the hierarchy
+/// has `O(log n)` levels and cluster radii that shrink geometrically
+/// toward the top — the property the stretch bound rides on.
+const GROWTH: f64 = 0.5;
+
+/// Deterministic seed of the off-tree edge sampler (inverse-CDF draws).
+const SAMPLE_SEED: u64 = 0x5EED_AC9F_11AB_77EE;
+
+/// SplitMix64 step — the sampler's deterministic RNG (no `rand`
+/// dependency in the hot path; the stream is fixed by the seed alone).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from the SplitMix64 stream.
+fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+// ---------------------------------------------------------------------
+// AKPW-style low-stretch spanning tree
+// ---------------------------------------------------------------------
+
+/// A rooted spanning tree (forest, for disconnected graphs) of the whole
+/// graph, built by iterated low-diameter decomposition, with node depths
+/// for exact stretch computation.
+#[derive(Debug, Clone)]
+pub struct LsstTree {
+    /// Parent of each original node (`NONE` for roots).
+    parent: Vec<u32>,
+    /// Depth of each node below its root.
+    depth: Vec<u32>,
+    /// Decomposition levels the build took (diagnostics).
+    levels: usize,
+}
+
+impl LsstTree {
+    /// Build the low-stretch tree of `g` by iterated cluster-growing and
+    /// contraction. `O((n + m) log n)` time, `O(n + m)` memory.
+    ///
+    /// Every level maintains the invariant that each super-node's set of
+    /// original nodes is already connected by the tree edges chosen so
+    /// far; claiming a super-node through a contracted edge adds that
+    /// edge's *original-graph representative* to the tree, so the final
+    /// edge set is a spanning tree of each component (`n − c` edges).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut tree_edges: Vec<(u32, u32)> = Vec::with_capacity(n.saturating_sub(1));
+        // Contracted edges: endpoints in super-node space plus the
+        // original-graph representative edge.
+        let mut edges: Vec<(u32, u32, u32, u32)> = g.edges().map(|(u, v)| (u, v, u, v)).collect();
+        let mut nc = n;
+        let mut levels = 0usize;
+
+        // Reusable per-level buffers, sized for the first (largest) level.
+        let mut cluster: Vec<u32> = Vec::new();
+        let mut pending: Vec<u32> = Vec::new();
+
+        while !edges.is_empty() && levels < 64 {
+            levels += 1;
+            // CSR adjacency of the contracted graph, with edge indices.
+            let mut deg = vec![0u32; nc];
+            for &(u, v, _, _) in &edges {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            let mut adj_ptr = vec![0usize; nc + 1];
+            for i in 0..nc {
+                adj_ptr[i + 1] = adj_ptr[i] + deg[i] as usize;
+            }
+            let mut cursor = adj_ptr.clone();
+            let mut adj: Vec<(u32, u32)> = vec![(0, 0); edges.len() * 2];
+            for (e, &(u, v, _, _)) in edges.iter().enumerate() {
+                adj[cursor[u as usize]] = (v, e as u32);
+                cursor[u as usize] += 1;
+                adj[cursor[v as usize]] = (u, e as u32);
+                cursor[v as usize] += 1;
+            }
+
+            // Seeds in descending contracted-degree order (hubs first —
+            // centers power-law clusters on the hubs; neutral on meshes).
+            // Deterministic: counting sort by degree, ties by node id.
+            let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+            let mut bucket_ptr = vec![0usize; max_deg + 2];
+            for &d in &deg {
+                bucket_ptr[max_deg - d as usize + 1] += 1;
+            }
+            for i in 0..max_deg + 1 {
+                bucket_ptr[i + 1] += bucket_ptr[i];
+            }
+            let mut seeds = vec![0u32; nc];
+            let mut cur = bucket_ptr;
+            for u in 0..nc as u32 {
+                let b = max_deg - deg[u as usize] as usize;
+                seeds[cur[b]] = u;
+                cur[b] += 1;
+            }
+
+            // Grow bounded-radius BFS clusters.
+            cluster.clear();
+            cluster.resize(nc, NONE);
+            let mut nclusters = 0u32;
+            let mut frontier: Vec<u32> = Vec::new();
+            for &s in &seeds {
+                if cluster[s as usize] != NONE {
+                    continue;
+                }
+                let c = nclusters;
+                nclusters += 1;
+                cluster[s as usize] = c;
+                let mut size = 1usize;
+                frontier.clear();
+                frontier.push(s);
+                loop {
+                    // Candidate next layer: unclaimed neighbors of the
+                    // frontier, each remembering the contracted edge it
+                    // was discovered through.
+                    pending.clear();
+                    let mut layer_edges: Vec<u32> = Vec::new();
+                    for &p in &frontier {
+                        for &(w, e) in &adj[adj_ptr[p as usize]..adj_ptr[p as usize + 1]] {
+                            if cluster[w as usize] == NONE {
+                                cluster[w as usize] = c;
+                                pending.push(w);
+                                layer_edges.push(e);
+                            }
+                        }
+                    }
+                    if pending.is_empty() {
+                        break;
+                    }
+                    if size > 1 && (pending.len() as f64) < GROWTH * size as f64 {
+                        // Layer too thin: reject it and close the cluster.
+                        for &w in &pending {
+                            cluster[w as usize] = NONE;
+                        }
+                        break;
+                    }
+                    // Accept: each claimed super-node contributes its
+                    // representative original edge to the tree.
+                    for &e in &layer_edges {
+                        let (_, _, ou, ov) = edges[e as usize];
+                        tree_edges.push((ou, ov));
+                    }
+                    size += pending.len();
+                    std::mem::swap(&mut frontier, &mut pending);
+                }
+            }
+
+            // Contract: keep one representative contracted edge per
+            // cluster pair (sort + dedup, deterministic).
+            let mut next: Vec<(u32, u32, u32, u32)> = edges
+                .iter()
+                .filter_map(|&(u, v, ou, ov)| {
+                    let (cu, cv) = (cluster[u as usize], cluster[v as usize]);
+                    if cu == cv {
+                        None
+                    } else {
+                        Some((cu.min(cv), cu.max(cv), ou, ov))
+                    }
+                })
+                .collect();
+            next.sort_unstable_by_key(|&(u, v, _, _)| (u, v));
+            next.dedup_by_key(|&mut (u, v, _, _)| (u, v));
+            if tree_edges.is_empty() && !next.is_empty() {
+                // Cannot happen (the first seed always absorbs its first
+                // layer), but guarantees termination regardless.
+                break;
+            }
+            edges = next;
+            nc = nclusters as usize;
+        }
+
+        // Root the tree-edge set: BFS over tree adjacency from the
+        // max-degree node (per component, ascending ids after), matching
+        // the `tree-pcg` convention.
+        let mut tdeg = vec![0u32; n];
+        for &(u, v) in &tree_edges {
+            tdeg[u as usize] += 1;
+            tdeg[v as usize] += 1;
+        }
+        let mut tptr = vec![0usize; n + 1];
+        for i in 0..n {
+            tptr[i + 1] = tptr[i] + tdeg[i] as usize;
+        }
+        let mut cur = tptr.clone();
+        let mut tadj = vec![0u32; tree_edges.len() * 2];
+        for &(u, v) in &tree_edges {
+            tadj[cur[u as usize]] = v;
+            cur[u as usize] += 1;
+            tadj[cur[v as usize]] = u;
+            cur[v as usize] += 1;
+        }
+        let mut parent = vec![NONE; n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let root = g.max_degree_node().unwrap_or(0);
+        for start in std::iter::once(root).chain(0..n as Node) {
+            if visited[start as usize] {
+                continue;
+            }
+            visited[start as usize] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &tadj[tptr[u as usize]..tptr[u as usize + 1]] {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        parent[v as usize] = u;
+                        depth[v as usize] = depth[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Self {
+            parent,
+            depth,
+            levels,
+        }
+    }
+
+    /// Parent array (`u32::MAX` for roots) in original node space.
+    pub fn parent(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Node depths below their roots.
+    pub fn depth(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// Decomposition levels the build took.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of tree edges (`n − #components` for a correct build).
+    pub fn num_edges(&self) -> usize {
+        self.parent.iter().filter(|&&p| p != NONE).count()
+    }
+
+    /// Is `{u, v}` a tree edge?
+    #[inline]
+    fn is_tree_edge(&self, u: Node, v: Node) -> bool {
+        self.parent[u as usize] == v || self.parent[v as usize] == u
+    }
+
+    /// Exact per-edge stretch of every **off-tree** edge of `g` (the tree
+    /// path length between its endpoints, unit weights), via depths and a
+    /// binary-lifting LCA table — `O((n + m) log n)`.
+    pub fn stretch(&self, g: &Graph) -> StretchReport {
+        let n = self.parent.len();
+        let max_depth = self.depth.iter().copied().max().unwrap_or(0);
+        let lg = (usize::BITS - (max_depth.max(1) as usize).leading_zeros()) as usize;
+        let lg = lg.max(1);
+        // up[k][v] = 2^k-th ancestor (NONE past the root), flat layout.
+        let mut up = vec![NONE; lg * n];
+        up[..n].copy_from_slice(&self.parent);
+        for k in 1..lg {
+            for v in 0..n {
+                let half = up[(k - 1) * n + v];
+                up[k * n + v] = if half == NONE {
+                    NONE
+                } else {
+                    up[(k - 1) * n + half as usize]
+                };
+            }
+        }
+        let ancestor = |mut v: u32, mut steps: u32| -> u32 {
+            let mut k = 0;
+            while steps > 0 && v != NONE {
+                if steps & 1 == 1 {
+                    v = up[k * n + v as usize];
+                }
+                steps >>= 1;
+                k += 1;
+            }
+            v
+        };
+        let lca_dist = |u: u32, v: u32| -> u32 {
+            let (du, dv) = (self.depth[u as usize], self.depth[v as usize]);
+            let (mut a, mut b) = if du >= dv { (u, v) } else { (v, u) };
+            let diff = du.abs_diff(dv);
+            a = ancestor(a, diff);
+            if a == b {
+                return diff;
+            }
+            let mut climbed = 0u32;
+            for k in (0..lg).rev() {
+                let (na, nb) = (up[k * n + a as usize], up[k * n + b as usize]);
+                if na != nb {
+                    a = na;
+                    b = nb;
+                    climbed += 1 << k;
+                }
+            }
+            diff + 2 * (climbed + 1)
+        };
+
+        let mut offtree: Vec<(Node, Node)> = Vec::new();
+        let mut stretch: Vec<f64> = Vec::new();
+        let mut total = 0.0f64;
+        let mut max = 0.0f64;
+        let mut m_all = 0u64;
+        for (u, v) in g.edges() {
+            m_all += 1;
+            if self.is_tree_edge(u, v) {
+                total += 1.0;
+                max = max.max(1.0);
+                continue;
+            }
+            let s = lca_dist(u, v) as f64;
+            total += s;
+            max = max.max(s);
+            offtree.push((u, v));
+            stretch.push(s);
+        }
+        StretchReport {
+            offtree,
+            stretch,
+            avg: if m_all == 0 {
+                0.0
+            } else {
+                total / m_all as f64
+            },
+            max,
+        }
+    }
+}
+
+/// Exact stretch report of a tree against its graph.
+#[derive(Debug, Clone)]
+pub struct StretchReport {
+    /// Off-tree edges of the graph, `(u, v)` with `u < v`.
+    pub offtree: Vec<(Node, Node)>,
+    /// Tree-path length of each off-tree edge (parallel to `offtree`).
+    pub stretch: Vec<f64>,
+    /// Average stretch over **all** edges (tree edges count 1).
+    pub avg: f64,
+    /// Worst single-edge stretch.
+    pub max: f64,
+}
+
+/// Sample `count` indices of `weights` with probability proportional to
+/// weight (with replacement, then deduplicated — the ultrasparsifier only
+/// cares which edges get in). Deterministic for a fixed seed.
+fn sample_weighted(weights: &[f64], count: usize, seed: u64) -> Vec<usize> {
+    if weights.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0f64;
+    for &w in weights {
+        acc += w.max(0.0);
+        cdf.push(acc);
+    }
+    if acc <= 0.0 {
+        return Vec::new();
+    }
+    let mut state = seed;
+    let mut picks: Vec<usize> = (0..count)
+        .map(|_| {
+            let r = uniform01(&mut state) * acc;
+            cdf.partition_point(|&c| c <= r).min(weights.len() - 1)
+        })
+        .collect();
+    picks.sort_unstable();
+    picks.dedup();
+    picks
+}
+
+// ---------------------------------------------------------------------
+// ultrasparsifier preconditioner
+// ---------------------------------------------------------------------
+
+/// The factored `lsst-pcg` preconditioner over the compacted index space
+/// `V ∖ S`: low-stretch tree + stretch-sampled off-tree edges, with
+/// unsampled off-tree edges compensated onto the diagonal.
+pub struct LsstPreconditioner {
+    inner: Inner,
+    avg_stretch: f64,
+    max_stretch: f64,
+    sampled_offtree: u64,
+}
+
+enum Inner {
+    /// `offtree_ratio = 0`: the tree alone, factored by the shared
+    /// zero-fill forest LDLᵀ ([`TreePreconditioner::from_forest`]).
+    Tree(TreePreconditioner),
+    /// Tree + sampled edges, IC(0)-factored in tree elimination order.
+    /// Boxed: the scratch-carrying struct dwarfs the tree variant.
+    Ic(Box<PermutedIc>),
+}
+
+/// IC(0) factor of the sparsified matrix, stored in the tree's
+/// children-before-parents elimination order with permutation maps and
+/// reusable permute scratch.
+struct PermutedIc {
+    ic: IncompleteCholesky,
+    /// Elimination position → compact index.
+    node_at: Vec<u32>,
+    /// Scratch vectors/blocks in elimination space (resized on demand).
+    rv: Vec<f64>,
+    zv: Vec<f64>,
+    rb: DenseMatrix,
+    zb: DenseMatrix,
+}
+
+impl LsstPreconditioner {
+    /// Build and factor the preconditioner for `L_{-S}` of `g`.
+    ///
+    /// `keep`/`pos` are the shared compact-space maps;
+    /// `offtree_ratio ∈ [0, 1]` is the fraction of off-tree edges sampled
+    /// into the sparsifier (`1/ρ`; 0 = tree only). Fails with
+    /// [`LinalgError::NotPositiveDefinite`] only when `L_{-S}` itself is
+    /// numerically singular.
+    pub fn build(
+        g: &Graph,
+        keep: &[Node],
+        pos: &[usize],
+        offtree_ratio: f64,
+    ) -> Result<Self, LinalgError> {
+        let tree = LsstTree::build(g);
+        let report = tree.stretch(g);
+        let target = (report.offtree.len() as f64 * offtree_ratio.clamp(0.0, 1.0)).round() as usize;
+        let sampled = sample_weighted(&report.stretch, target, SAMPLE_SEED);
+
+        let nk = keep.len();
+        // Restrict the tree to the kept nodes (a kept node whose tree
+        // parent is grounded becomes a forest root) and order kept nodes
+        // by decreasing tree depth: every child strictly precedes its
+        // parent — the zero-fill elimination order for the tree part.
+        let parent_tree = tree.parent();
+        let depth = tree.depth();
+        let mut parent_kept = vec![usize::MAX; nk];
+        for (i, &u) in keep.iter().enumerate() {
+            let p = parent_tree[u as usize];
+            if p != NONE && pos[p as usize] != usize::MAX {
+                parent_kept[i] = pos[p as usize];
+            }
+        }
+        let max_depth = keep.iter().map(|&u| depth[u as usize]).max().unwrap_or(0) as usize;
+        let mut bucket = vec![0usize; max_depth + 2];
+        for &u in keep {
+            bucket[max_depth - depth[u as usize] as usize + 1] += 1;
+        }
+        for i in 0..max_depth + 1 {
+            bucket[i + 1] += bucket[i];
+        }
+        let mut order = vec![0u32; nk];
+        let mut cur = bucket;
+        for (i, &u) in keep.iter().enumerate() {
+            let b = max_depth - depth[u as usize] as usize;
+            order[cur[b]] = i as u32;
+            cur[b] += 1;
+        }
+
+        // Diagonal-compensated form: `diag(u) = deg_G(u)` (full graph),
+        // `-1` off-diagonals only for kept tree + sampled edges — every
+        // unsampled off-tree edge survives as diagonal mass, keeping `M`
+        // an SDD M-matrix. The pure-subgraph alternative (`diag = deg_H`,
+        // `M ⪯ L`, conditioning stretch-bound) was measured and is worse
+        // on every test topology — catastrophically so on expanders/
+        // power-law graphs (BA-2048: 52 vs 21 iters/RHS), where `λ₂(L)`
+        // is large and the compensation's smooth-mode penalty is
+        // harmless while the subgraph form pays the full total-stretch
+        // condition number.
+        let inner = if sampled.is_empty() {
+            // Pure tree: the shared forest LDLᵀ elimination, O(n).
+            let diag: Vec<f64> = keep.iter().map(|&u| g.degree(u) as f64).collect();
+            Inner::Tree(TreePreconditioner::from_forest(parent_kept, order, diag)?)
+        } else {
+            // Tree + sampled edges: assemble M in elimination order and
+            // IC(0)-factor it (exact on the tree part, drops only fill
+            // from the sampled edges).
+            let node_at = order;
+            let mut elim_of = vec![u32::MAX; nk];
+            for (k, &i) in node_at.iter().enumerate() {
+                elim_of[i as usize] = k as u32;
+            }
+            let diag: Vec<f64> = node_at
+                .iter()
+                .map(|&i| g.degree(keep[i as usize]) as f64)
+                .collect();
+            let mut off: Vec<(u32, u32, f64)> = Vec::with_capacity(nk + sampled.len());
+            for (i, &p) in parent_kept.iter().enumerate() {
+                if p != usize::MAX {
+                    off.push((elim_of[i], elim_of[p], -1.0));
+                }
+            }
+            for &e in &sampled {
+                let (u, v) = report.offtree[e];
+                let (iu, iv) = (pos[u as usize], pos[v as usize]);
+                if iu != usize::MAX && iv != usize::MAX {
+                    off.push((elim_of[iu], elim_of[iv], -1.0));
+                }
+            }
+            let m = CsrMatrix::from_symmetric_parts(nk, &diag, &off);
+            // Plain IC(0). The modified variant (MIC, row-sum preserving)
+            // was measured here and is slightly *worse* under the
+            // tree-depth elimination order (grid 91²: 349 vs 327 it/RHS
+            // at ratio 0.5) — MIC's classical mesh advantage depends on a
+            // natural, locality-preserving ordering, which the depth
+            // permutation destroys. Natural order was also tried: it
+            // recovers MIC on the grid (335 it) but regresses expanders
+            // (BA-8192: 24 vs 20 it), so tree-depth + plain IC stays.
+            let ic = IncompleteCholesky::factor(&m)?;
+            Inner::Ic(Box::new(PermutedIc {
+                ic,
+                node_at,
+                rv: Vec::new(),
+                zv: Vec::new(),
+                rb: DenseMatrix::zeros(0, 0),
+                zb: DenseMatrix::zeros(0, 0),
+            }))
+        };
+        Ok(Self {
+            inner,
+            avg_stretch: report.avg,
+            max_stretch: report.max,
+            sampled_offtree: sampled.len() as u64,
+        })
+    }
+
+    /// Average edge stretch of the chosen tree (all edges; tree edges
+    /// count 1) — what `SolveStats.precond_stretch` surfaces.
+    pub fn avg_stretch(&self) -> f64 {
+        self.avg_stretch
+    }
+
+    /// Worst single-edge stretch of the chosen tree.
+    pub fn max_stretch(&self) -> f64 {
+        self.max_stretch
+    }
+
+    /// Off-tree edges sampled into the sparsifier.
+    pub fn sampled_offtree(&self) -> u64 {
+        self.sampled_offtree
+    }
+
+    /// IC(0) Manteuffel shift (0 in the M-matrix common case; always 0 in
+    /// tree-only mode, whose LDLᵀ is exact).
+    pub fn shift(&self) -> f64 {
+        match &self.inner {
+            Inner::Tree(_) => 0.0,
+            Inner::Ic(p) => p.ic.shift(),
+        }
+    }
+
+    /// Stored factor entries, for flops accounting: forest edges in tree
+    /// mode, strictly-lower IC(0) entries otherwise.
+    pub fn nnz_factor(&self) -> usize {
+        match &self.inner {
+            Inner::Tree(t) => t.nnz_factor(),
+            Inner::Ic(p) => p.ic.nnz_lower(),
+        }
+    }
+
+    /// Apply `z = M⁻¹ r`. `&mut self` only for the permute scratch.
+    pub fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        match &mut self.inner {
+            Inner::Tree(t) => t.apply(r, z),
+            Inner::Ic(p) => {
+                let n = p.node_at.len();
+                p.rv.resize(n, 0.0);
+                p.zv.resize(n, 0.0);
+                for (k, &i) in p.node_at.iter().enumerate() {
+                    p.rv[k] = r[i as usize];
+                }
+                let (rv, zv) = (&mut p.rv, &mut p.zv);
+                p.ic.apply(rv, zv);
+                for (k, &i) in p.node_at.iter().enumerate() {
+                    z[i as usize] = p.zv[k];
+                }
+            }
+        }
+    }
+
+    /// Blocked [`LsstPreconditioner::apply`]: `Z = M⁻¹ R` column block.
+    pub fn apply_block(&mut self, r: &DenseMatrix, z: &mut DenseMatrix) {
+        match &mut self.inner {
+            Inner::Tree(t) => t.apply_block(r, z),
+            Inner::Ic(p) => {
+                let (n, w) = (p.node_at.len(), r.cols());
+                if p.rb.rows() != n || p.rb.cols() != w {
+                    p.rb = DenseMatrix::zeros(n, w);
+                    p.zb = DenseMatrix::zeros(n, w);
+                }
+                for (k, &i) in p.node_at.iter().enumerate() {
+                    p.rb.row_mut(k).copy_from_slice(r.row(i as usize));
+                }
+                let (rb, zb) = (&p.rb, &mut p.zb);
+                p.ic.apply_block(rb, zb);
+                for (k, &i) in p.node_at.iter().enumerate() {
+                    z.row_mut(i as usize).copy_from_slice(p.zb.row(k));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreePreconditioner;
+    use cfcc_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keep_pos(g: &Graph, in_s: &[bool]) -> (Vec<Node>, Vec<usize>) {
+        let keep: Vec<Node> = (0..g.num_nodes() as Node)
+            .filter(|&u| !in_s[u as usize])
+            .collect();
+        let mut pos = vec![usize::MAX; g.num_nodes()];
+        for (i, &u) in keep.iter().enumerate() {
+            pos[u as usize] = i;
+        }
+        (keep, pos)
+    }
+
+    /// BFS tree of the whole graph, rooted like `tree-pcg`, as an
+    /// `LsstTree` — the stretch baseline the AKPW build must beat.
+    fn bfs_tree(g: &Graph) -> LsstTree {
+        let n = g.num_nodes();
+        let mut parent = vec![NONE; n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let root = g.max_degree_node().unwrap_or(0);
+        for start in std::iter::once(root).chain(0..n as Node) {
+            if visited[start as usize] {
+                continue;
+            }
+            visited[start as usize] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in g.neighbors(u) {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        parent[v as usize] = u;
+                        depth[v as usize] = depth[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        LsstTree {
+            parent,
+            depth,
+            levels: 0,
+        }
+    }
+
+    /// Property: the AKPW build yields a spanning tree — n−1 edges, all
+    /// nodes reachable from the roots, depths consistent with parents.
+    #[test]
+    fn akpw_is_a_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(0xA59);
+        for (label, g) in [
+            ("grid", generators::grid(23, 31)),
+            ("ba", generators::barabasi_albert(900, 3, &mut rng)),
+            ("er", generators::erdos_renyi_gnm(500, 2000, &mut rng)),
+            ("path", generators::path(200)),
+            ("ws", generators::watts_strogatz(400, 6, 0.1, &mut rng)),
+        ] {
+            let t = LsstTree::build(&g);
+            let n = g.num_nodes();
+            assert_eq!(t.num_edges(), n - 1, "{label}: edge count");
+            // Every non-root's parent edge is a real graph edge.
+            for u in 0..n as Node {
+                let p = t.parent()[u as usize];
+                if p != NONE {
+                    assert!(g.has_edge(u, p), "{label}: ({u},{p}) not in graph");
+                    assert_eq!(
+                        t.depth()[u as usize],
+                        t.depth()[p as usize] + 1,
+                        "{label}: depth chain"
+                    );
+                }
+            }
+            // Connected: exactly one root.
+            let roots = t.parent().iter().filter(|&&p| p == NONE).count();
+            assert_eq!(roots, 1, "{label}: roots");
+        }
+    }
+
+    /// Sweep the off-tree sampling ratio on a mesh and an expander and
+    /// print iterations + wall per setting. `--ignored --nocapture` only;
+    /// documents why `offtree_ratio` defaults where it does.
+    #[test]
+    #[ignore = "diagnostic"]
+    fn ratio_sweep_diagnostic() {
+        use crate::sdd::{by_name, SddOptions};
+        let mut rng = StdRng::seed_from_u64(0x157);
+        for (label, g) in [
+            ("grid_8281", generators::grid(91, 91)),
+            ("ba_8192", generators::barabasi_albert(8192, 4, &mut rng)),
+        ] {
+            let n = g.num_nodes();
+            let mut in_s = vec![false; n];
+            in_s[0] = true;
+            let mut rhs = crate::DenseMatrix::zeros(n - 1, 8);
+            let mut rng2 = StdRng::seed_from_u64(9);
+            for i in 0..n - 1 {
+                for j in 0..8 {
+                    rhs.set(i, j, rng2.gen_range(-1.0..1.0));
+                }
+            }
+            for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let opts = SddOptions {
+                    offtree_ratio: ratio,
+                    ..SddOptions::with_tol(1e-8)
+                };
+                let b = by_name("lsst-pcg").unwrap();
+                let t = std::time::Instant::now();
+                let mut f = b.factor(&g, &in_s, &opts).unwrap();
+                f.solve_mat(&rhs).unwrap();
+                println!(
+                    "{label} ratio {ratio}: {:.1} it/RHS, {:.0} ms",
+                    f.stats().iterations as f64 / 8.0,
+                    t.elapsed().as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "diagnostic"]
+    fn stretch_diagnostic() {
+        for (label, g) in [
+            ("grid_48", generators::grid(48, 48)),
+            ("grid_91", generators::grid(91, 91)),
+            ("grid_257", generators::grid(257, 257)),
+        ] {
+            let t = LsstTree::build(&g);
+            let akpw = t.stretch(&g);
+            let b = bfs_tree(&g);
+            let bfs = b.stretch(&g);
+            let maxd_a = t.depth().iter().max().unwrap();
+            let maxd_b = b.depth().iter().max().unwrap();
+            println!(
+                "{label}: akpw avg {:.2} max {:.0} depth {} lv {} | bfs avg {:.2} max {:.0} depth {}",
+                akpw.avg, akpw.max, maxd_a, t.levels(), bfs.avg, bfs.max, maxd_b
+            );
+        }
+    }
+
+    /// The whole point of the AKPW build: on a mesh its average stretch
+    /// must beat the BFS tree's (the `tree-pcg` choice).
+    #[test]
+    fn akpw_beats_bfs_stretch_on_a_grid() {
+        let g = generators::grid(48, 48);
+        let akpw = LsstTree::build(&g).stretch(&g);
+        let bfs = bfs_tree(&g).stretch(&g);
+        assert!(
+            akpw.avg < bfs.avg,
+            "AKPW avg stretch {:.2} must beat BFS {:.2}",
+            akpw.avg,
+            bfs.avg
+        );
+        assert!(akpw.avg > 1.0 && akpw.max >= akpw.avg);
+    }
+
+    /// Exact-stretch oracle: brute-force tree distances (parent walks)
+    /// must agree with the LCA computation on every off-tree edge.
+    #[test]
+    fn stretch_matches_brute_force_tree_distance() {
+        let mut rng = StdRng::seed_from_u64(0x57E);
+        let g = generators::erdos_renyi_gnm(120, 400, &mut rng);
+        let t = LsstTree::build(&g);
+        let rep = t.stretch(&g);
+        let dist = |mut u: u32, mut v: u32| -> u32 {
+            let mut d = 0u32;
+            while t.depth()[u as usize] > t.depth()[v as usize] {
+                u = t.parent()[u as usize];
+                d += 1;
+            }
+            while t.depth()[v as usize] > t.depth()[u as usize] {
+                v = t.parent()[v as usize];
+                d += 1;
+            }
+            while u != v {
+                u = t.parent()[u as usize];
+                v = t.parent()[v as usize];
+                d += 2;
+            }
+            d
+        };
+        for (k, &(u, v)) in rep.offtree.iter().enumerate() {
+            assert_eq!(rep.stretch[k], dist(u, v) as f64, "edge ({u},{v})");
+        }
+    }
+
+    /// The stretch-weighted sampler is deterministic, in-range, deduped,
+    /// and biased toward high-stretch edges.
+    #[test]
+    fn sampler_is_deterministic_and_stretch_biased() {
+        let weights: Vec<f64> = (0..1000)
+            .map(|i| if i < 900 { 1.0 } else { 100.0 })
+            .collect();
+        let a = sample_weighted(&weights, 200, 42);
+        let b = sample_weighted(&weights, 200, 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(a.iter().all(|&i| i < 1000));
+        // The 10% heavy tail carries ~92% of the mass; most picks land in it.
+        let heavy = a.iter().filter(|&&i| i >= 900).count();
+        assert!(heavy * 2 > a.len(), "heavy tail {heavy} of {}", a.len());
+        assert!(sample_weighted(&[], 10, 1).is_empty());
+        assert!(sample_weighted(&weights, 0, 1).is_empty());
+    }
+
+    /// SPD: `zᵀ r > 0` for the sampled ultrasparsifier preconditioner,
+    /// and the apply genuinely inverts the assembled M (checked densely).
+    #[test]
+    fn ultrasparsifier_is_spd_and_inverts_m() {
+        let mut rng = StdRng::seed_from_u64(0x5D5);
+        for (label, g) in [
+            ("grid", generators::grid(9, 10)),
+            ("ba", generators::barabasi_albert(80, 3, &mut rng)),
+        ] {
+            let n = g.num_nodes();
+            let mut in_s = vec![false; n];
+            in_s[3] = true;
+            let (keep, pos) = keep_pos(&g, &in_s);
+            let mut p = LsstPreconditioner::build(&g, &keep, &pos, 0.5).unwrap();
+            assert!(p.sampled_offtree() > 0, "{label}: sampling must engage");
+            for _ in 0..5 {
+                let r: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut z = vec![0.0; n - 1];
+                p.apply(&r, &mut z);
+                let zr: f64 = z.iter().zip(&r).map(|(a, b)| a * b).sum();
+                assert!(zr > 0.0, "{label}: zᵀr = {zr}");
+            }
+        }
+    }
+
+    /// Tree-only mode must match the shared forest LDLᵀ machinery: on a
+    /// tree graph one application solves the system exactly.
+    #[test]
+    fn tree_only_mode_is_exact_on_trees() {
+        let mut rng = StdRng::seed_from_u64(0x7EE7);
+        let g = generators::random_tree(70, &mut rng);
+        let mut in_s = vec![false; 70];
+        in_s[10] = true;
+        let (keep, pos) = keep_pos(&g, &in_s);
+        let mut p = LsstPreconditioner::build(&g, &keep, &pos, 0.0).unwrap();
+        assert_eq!(p.sampled_offtree(), 0);
+        assert_eq!(p.shift(), 0.0);
+        // The graph IS its spanning tree: M = L_{-S}; check M z = r via
+        // the BFS-tree preconditioner (also exact here).
+        let bfs = TreePreconditioner::build(&g, &in_s, &keep, &pos).unwrap();
+        let r: Vec<f64> = (0..69).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (mut z1, mut z2) = (vec![0.0; 69], vec![0.0; 69]);
+        p.apply(&r, &mut z1);
+        bfs.apply(&r, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// Block apply must match the column-wise apply bit-for-bit shapes.
+    #[test]
+    fn block_apply_matches_columnwise() {
+        let mut rng = StdRng::seed_from_u64(0xB10);
+        let g = generators::grid(8, 9);
+        let n = g.num_nodes();
+        let mut in_s = vec![false; n];
+        in_s[0] = true;
+        let (keep, pos) = keep_pos(&g, &in_s);
+        let mut p = LsstPreconditioner::build(&g, &keep, &pos, 0.4).unwrap();
+        let d = n - 1;
+        let w = 5;
+        let mut r = DenseMatrix::zeros(d, w);
+        for i in 0..d {
+            for j in 0..w {
+                r.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let mut z = DenseMatrix::zeros(d, w);
+        p.apply_block(&r, &mut z);
+        let (mut col, mut zc) = (vec![0.0; d], vec![0.0; d]);
+        for j in 0..w {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = r.get(i, j);
+            }
+            p.apply(&col, &mut zc);
+            for (i, &v) in zc.iter().enumerate() {
+                assert!((z.get(i, j) - v).abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -12,7 +12,8 @@
 //! | `dense-cholesky` | direct    | dense `L_{-S}` + blocked Cholesky | `n ≲ 2k`: exact, amortizes over many RHS |
 //! | `cg-jacobi`      | iterative | matrix-free operator | mid-size, few solves, zero setup cost |
 //! | `sparse-cg`      | iterative | CSR + IC(0) preconditioner | large graphs; never densifies |
-//! | `tree-pcg`       | iterative | CSR + compensated spanning tree | meshes/road networks, where diagonal-ish preconditioners stall |
+//! | `tree-pcg`       | iterative | CSR + compensated BFS spanning tree | explicit choice for meshes/road networks |
+//! | `lsst-pcg`       | iterative | CSR + low-stretch tree ultrasparsifier | **every** large graph — the `auto` default |
 //!
 //! All three iterative backends answer [`SddFactor::solve_mat`] through
 //! **blocked multi-RHS PCG** ([`crate::cg::pcg_operator_block`]): the
@@ -50,17 +51,22 @@
 //! Callers hold an [`SddBackend`] (a `CfcmParams` field / `--backend`
 //! upstream): `auto` picks `dense-cholesky` below
 //! [`SddBackend::AUTO_DENSE_LIMIT`] unknowns (where the blocked dense
-//! layer wins), and above it sniffs the topology — a double-sweep BFS
-//! diameter estimate ([`large_diameter`]) routes meshes and road
-//! networks to `tree-pcg` and everything else to `sparse-cg`.
-//! [`backends`], [`by_name`], and [`name_list`] expose the registry for
-//! discoverability (`--list-backends`).
+//! layer wins) and `lsst-pcg` above it — the low-stretch-tree
+//! ultrasparsifier ([`crate::lsst`]) has provable iteration counts on
+//! every topology, so no sniffing is needed (the PR 5 BFS-diameter
+//! heuristic is retired). `tree-pcg` and `sparse-cg` remain as explicit
+//! choices, and the [`factor`]/[`factor_owned`] front doors fall back to
+//! `sparse-cg` if an auto-routed `lsst-pcg` factorization fails for any
+//! reason other than a singular grounding. [`backends`], [`by_name`],
+//! and [`name_list`] expose the registry for discoverability
+//! (`--list-backends`).
 
 use crate::cg::{pcg_operator, pcg_operator_block, CgConfig, StopCause, StopHook};
 use crate::csr::{CsrMatrix, IncompleteCholesky};
 use crate::dense::Cholesky;
 use crate::error::LinalgError;
 use crate::laplacian::{laplacian_submatrix_dense, LaplacianSubmatrix};
+use crate::lsst::LsstPreconditioner;
 use crate::tree::TreePreconditioner;
 use crate::DenseMatrix;
 use cfcc_graph::{Graph, Node};
@@ -106,6 +112,15 @@ pub struct SolveStats {
     /// solves still converge to the true solution, possibly in more
     /// iterations. Historically this was swallowed.
     pub precond_shift: f64,
+    /// Average edge stretch of the combinatorial preconditioner's
+    /// spanning tree (over all edges; tree edges count 1) — the quantity
+    /// that bounds tree-PCG iteration counts. 0 for backends without a
+    /// tree (`lsst-pcg` reports it; routing decisions become measurable).
+    pub precond_stretch: f64,
+    /// Off-tree edges the `lsst-pcg` ultrasparsifier sampled into its
+    /// preconditioner (0 for every other backend, and for tree-only
+    /// `lsst-pcg` runs with `offtree_ratio = 0`).
+    pub precond_offtree_edges: u64,
 }
 
 /// Tuning for a factorization (tolerances only bind iterative backends).
@@ -123,6 +138,12 @@ pub struct SddOptions {
     /// with the partial work already folded into [`SolveStats`] and the
     /// partial iterate left in `x` for a warm-started retry.
     pub stop: StopHook,
+    /// Fraction of off-tree edges the `lsst-pcg` ultrasparsifier samples
+    /// into its preconditioner (`1/ρ`, clamped to `[0, 1]`; 0 = the
+    /// low-stretch tree alone). More edges → fewer PCG iterations but
+    /// costlier IC(0) sweeps; the default balances the two on meshes and
+    /// power-law graphs alike. Ignored by every other backend.
+    pub offtree_ratio: f64,
 }
 
 impl Default for SddOptions {
@@ -132,6 +153,7 @@ impl Default for SddOptions {
             max_iter: 50_000,
             threads: 1,
             stop: StopHook::none(),
+            offtree_ratio: 0.25,
         }
     }
 }
@@ -959,6 +981,154 @@ impl SddFactor for TreePcgFactor {
 }
 
 // ---------------------------------------------------------------------
+// lsst-pcg
+// ---------------------------------------------------------------------
+
+/// Iterative backend: CSR `L_{-S}` preconditioned by an AKPW-style
+/// low-stretch spanning tree plus stretch-sampled off-tree edges — the
+/// ultrasparsifier rung of the Spielman–Teng / Kyng–Sachdeva solver line
+/// ([`crate::lsst`]). Unlike the BFS tree behind `tree-pcg`, the
+/// low-stretch tree's iteration bound is polylogarithmic on *every*
+/// topology (meshes AND expanders), which is why the `auto` policy routes
+/// all graphs above the dense limit here. `O(n + m·offtree_ratio)`
+/// preconditioner memory; tree stretch and sampled-edge count surface in
+/// [`SolveStats`].
+pub struct LsstPcgBackend;
+
+struct LsstPcgFactor {
+    csr: CsrMatrix,
+    pre: LsstPreconditioner,
+    keep: Vec<Node>,
+    pos: Vec<usize>,
+    cfg: CgConfig,
+    stats: SolveStats,
+}
+
+impl SddSolver for LsstPcgBackend {
+    fn name(&self) -> &'static str {
+        "lsst-pcg"
+    }
+
+    fn kind(&self) -> SddKind {
+        SddKind::Iterative
+    }
+
+    fn ops(&self) -> &'static str {
+        "solve_vec (warm-startable), solve_mat (blocked multi-RHS), diag_inverse/trace_inverse (n solves); CSR + low-stretch tree ultrasparsifier, O(n + m/rho) preconditioner, low iteration counts on every topology"
+    }
+
+    fn factor<'g>(
+        &self,
+        g: &'g Graph,
+        in_s: &[bool],
+        opts: &SddOptions,
+    ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
+        check_grounding(g, in_s)?;
+        let (csr, keep, pos) = CsrMatrix::grounded_laplacian(g, in_s);
+        let pre = LsstPreconditioner::build(g, &keep, &pos, opts.offtree_ratio)?;
+        Ok(Box::new(LsstPcgFactor {
+            stats: SolveStats {
+                // Tree build (O((n+m) log n)-ish) + sparsifier IC(0).
+                flops: (6 * csr.nnz() + 8 * csr.dim()) as u64,
+                precond_shift: pre.shift(),
+                precond_stretch: pre.avg_stretch(),
+                precond_offtree_edges: pre.sampled_offtree(),
+                ..SolveStats::default()
+            },
+            pre,
+            keep,
+            pos,
+            cfg: CgConfig {
+                rel_tol: opts.rel_tol,
+                max_iter: opts.max_iter,
+                threads: opts.threads,
+                stop: opts.stop.clone(),
+            },
+            csr,
+        }))
+    }
+}
+
+impl LsstPcgFactor {
+    /// SpMV + two sweeps over the sparsified factor + 5 vector ops.
+    fn flops_per_iter(&self) -> u64 {
+        2 * self.csr.nnz() as u64 + 4 * self.pre.nnz_factor() as u64 + 14 * self.csr.dim() as u64
+    }
+}
+
+impl SddFactor for LsstPcgFactor {
+    fn dim(&self) -> usize {
+        self.csr.dim()
+    }
+
+    fn kept_nodes(&self) -> &[Node] {
+        &self.keep
+    }
+
+    fn compact_of(&self, u: Node) -> Option<usize> {
+        let p = self.pos[u as usize];
+        (p != usize::MAX).then_some(p)
+    }
+
+    fn solve_vec_into(&mut self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        if b.len() != self.dim() || x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "vector length vs factor dimension {}",
+                self.dim()
+            )));
+        }
+        // `x` carries the caller's initial guess (warm start), per the
+        // trait contract — do NOT zero it here.
+        let csr = &self.csr;
+        let pre = &mut self.pre;
+        let stats = pcg_operator(
+            |v, out| csr.spmv(v, out),
+            |r, z| pre.apply(r, z),
+            b,
+            x,
+            &self.cfg,
+        );
+        let fpi = self.flops_per_iter();
+        record_iterative(&mut self.stats, &stats, fpi)
+    }
+
+    fn solve_mat_into(&mut self, b: &DenseMatrix, x: &mut DenseMatrix) -> Result<(), LinalgError> {
+        if b.rows() != self.dim() || x.rows() != self.dim() || b.cols() != x.cols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "RHS {}×{} / guess {}×{} vs factor dimension {}",
+                b.rows(),
+                b.cols(),
+                x.rows(),
+                x.cols(),
+                self.dim()
+            )));
+        }
+        // Every column of `x` is that column's initial guess (block warm
+        // start), per the trait contract.
+        let csr = &self.csr;
+        let pre = &mut self.pre;
+        let threads = self.cfg.threads;
+        let runs = pcg_operator_block(
+            |v, out| csr.spmm_threaded(v, out, threads),
+            |r, z| pre.apply_block(r, z),
+            b,
+            x,
+            &self.cfg,
+        );
+        let fpi = self.flops_per_iter();
+        record_block(&mut self.stats, &runs, fpi)
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    fn set_stop(&mut self, stop: StopHook) {
+        self.cfg.stop = stop;
+    }
+}
+
+// ---------------------------------------------------------------------
 // registry + selection policy
 // ---------------------------------------------------------------------
 
@@ -968,6 +1138,7 @@ static BACKENDS: &[&dyn SddSolver] = &[
     &CgJacobiBackend,
     &SparseCgBackend,
     &TreePcgBackend,
+    &LsstPcgBackend,
 ];
 
 /// Alias table (alias → canonical name).
@@ -981,6 +1152,9 @@ static ALIASES: &[(&str, &str)] = &[
     ("tree", "tree-pcg"),
     ("lst", "tree-pcg"),
     ("vaidya", "tree-pcg"),
+    ("lsst", "lsst-pcg"),
+    ("akpw", "lsst-pcg"),
+    ("ultrasparsifier", "lsst-pcg"),
 ];
 
 /// All registered backends.
@@ -1008,7 +1182,8 @@ pub fn name_list() -> String {
 /// Backend selection carried through `CfcmParams` / `--backend`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SddBackend {
-    /// Dense below [`SddBackend::AUTO_DENSE_LIMIT`] unknowns, sparse above.
+    /// Dense below [`SddBackend::AUTO_DENSE_LIMIT`] unknowns, the
+    /// low-stretch-tree ultrasparsifier (`lsst-pcg`) above.
     #[default]
     Auto,
     /// Force `dense-cholesky`.
@@ -1019,6 +1194,8 @@ pub enum SddBackend {
     SparseCg,
     /// Force `tree-pcg`.
     TreePcg,
+    /// Force `lsst-pcg`.
+    LsstPcg,
 }
 
 impl SddBackend {
@@ -1026,16 +1203,6 @@ impl SddBackend {
     /// this many unknowns (factor amortized over many RHS), the CSR path
     /// above (where `O(n³)` and `O(n²)` memory stop being payable).
     pub const AUTO_DENSE_LIMIT: usize = 1536;
-
-    /// Topology sniff of the `auto` policy: a graph whose double-sweep
-    /// diameter lower bound is at least `FACTOR · log₂ n` counts as
-    /// large-diameter (meshes, road networks — where Jacobi/IC(0) pay
-    /// `O(√n)`-ish iteration counts and the spanning-tree preconditioner
-    /// wins); expander-like graphs have `O(log n)` diameters and stay on
-    /// `sparse-cg`. A √n-side grid has diameter `2√n ≫ 4·log₂ n` from a
-    /// few thousand nodes on, while Barabási–Albert / social graphs sit
-    /// well under the line.
-    pub const AUTO_TREE_DIAMETER_FACTOR: f64 = 4.0;
 
     /// Parse a CLI/user name ("auto", a canonical backend name, or an
     /// alias).
@@ -1048,6 +1215,7 @@ impl SddBackend {
             "cg-jacobi" => Some(SddBackend::CgJacobi),
             "sparse-cg" => Some(SddBackend::SparseCg),
             "tree-pcg" => Some(SddBackend::TreePcg),
+            "lsst-pcg" => Some(SddBackend::LsstPcg),
             _ => None,
         }
     }
@@ -1060,21 +1228,23 @@ impl SddBackend {
             SddBackend::CgJacobi => "cg-jacobi",
             SddBackend::SparseCg => "sparse-cg",
             SddBackend::TreePcg => "tree-pcg",
+            SddBackend::LsstPcg => "lsst-pcg",
         }
     }
 
-    /// Resolve to a concrete backend for an `n`-unknown system, **without
-    /// looking at the graph** — the size-only fallback (dense below the
-    /// limit, IC(0) sparse above). Prefer
-    /// [`SddBackend::resolve_for_graph`], which additionally sniffs the
-    /// topology to route large-diameter graphs to `tree-pcg`.
+    /// Resolve to a concrete backend for an `n`-unknown system: dense
+    /// below [`SddBackend::AUTO_DENSE_LIMIT`] (blocked factor amortized
+    /// over many RHS), the low-stretch-tree ultrasparsifier `lsst-pcg`
+    /// above it. The decision is size-only — the low-stretch tree's
+    /// iteration bound holds on every topology, so the PR 5 BFS-diameter
+    /// sniff is gone and resolution never looks at the graph.
     pub fn resolve(self, n: usize) -> &'static dyn SddSolver {
         let name = match self {
             SddBackend::Auto => {
                 if n <= Self::AUTO_DENSE_LIMIT {
                     "dense-cholesky"
                 } else {
-                    "sparse-cg"
+                    "lsst-pcg"
                 }
             }
             other => other.name(),
@@ -1082,58 +1252,14 @@ impl SddBackend {
         by_name(name).expect("registered backend")
     }
 
-    /// Resolve to a concrete backend for a `kept`-unknown system on `g`:
-    /// dense below [`SddBackend::AUTO_DENSE_LIMIT`], and above it a cheap
-    /// topology sniff ([`large_diameter`] — two BFS sweeps, `O(n + m)`)
-    /// picks the spanning-tree preconditioner on large-diameter graphs
-    /// (meshes, road networks) and the IC(0) sparse solver otherwise.
-    /// This is what the [`factor`] front door uses.
-    pub fn resolve_for_graph(self, g: &Graph, kept: usize) -> &'static dyn SddSolver {
-        self.resolve_with_sniff(kept, || large_diameter(g))
+    /// Resolve to a concrete backend for a `kept`-unknown system on `g`.
+    /// Today this is exactly [`SddBackend::resolve`] — the auto policy no
+    /// longer inspects the graph — but callers that *have* the graph
+    /// (the front doors, serve's factor-cache keying) go through this
+    /// seam so a future topology-aware policy needs no signature change.
+    pub fn resolve_for_graph(self, _g: &Graph, kept: usize) -> &'static dyn SddSolver {
+        self.resolve(kept)
     }
-
-    /// [`SddBackend::resolve_for_graph`] with the topology sniff supplied
-    /// by the caller — `is_large_diameter` is only invoked when the
-    /// decision actually needs it (`auto` above the dense limit), so
-    /// callers that factor the same graph once per greedy round can
-    /// memoize the BFS sweeps instead of re-running them every iteration
-    /// (`cfcc_core::SolveContext` does).
-    pub fn resolve_with_sniff(
-        self,
-        kept: usize,
-        is_large_diameter: impl FnOnce() -> bool,
-    ) -> &'static dyn SddSolver {
-        match self {
-            SddBackend::Auto => {
-                let name = if kept <= Self::AUTO_DENSE_LIMIT {
-                    "dense-cholesky"
-                } else if is_large_diameter() {
-                    "tree-pcg"
-                } else {
-                    "sparse-cg"
-                };
-                by_name(name).expect("registered backend")
-            }
-            other => other.resolve(kept),
-        }
-    }
-}
-
-/// The `auto` policy's topology sniff: does `g`'s diameter lower bound
-/// (double-sweep BFS from the max-degree node — exact on trees, tight on
-/// real-world graphs, `O(n + m)`) exceed
-/// [`SddBackend::AUTO_TREE_DIAMETER_FACTOR`]` · log₂ n`? Large-diameter
-/// graphs are where diagonal-ish preconditioners stall at `O(√n)`-ish PCG
-/// iteration counts and the spanning tree carries the long-range
-/// connectivity instead.
-pub fn large_diameter(g: &Graph) -> bool {
-    let n = g.num_nodes();
-    if n < 2 {
-        return false;
-    }
-    let start = g.max_degree_node().unwrap_or(0);
-    let diam = cfcc_graph::diameter::diameter_double_sweep(g, start, 2) as f64;
-    diam >= SddBackend::AUTO_TREE_DIAMETER_FACTOR * (n as f64).log2()
 }
 
 impl std::fmt::Display for SddBackend {
@@ -1142,9 +1268,21 @@ impl std::fmt::Display for SddBackend {
     }
 }
 
+/// Should an `auto`-routed factorization failure on `solver` retry on
+/// `sparse-cg`? Only construction failures qualify — a singular grounding
+/// fails identically on every backend and must surface as-is.
+fn auto_fallback(backend: SddBackend, solver: &dyn SddSolver, err: &LinalgError) -> bool {
+    backend == SddBackend::Auto
+        && solver.name() == "lsst-pcg"
+        && !matches!(err, LinalgError::SingularGrounding { .. })
+}
+
 /// Factor `L_{-S}` through the chosen backend (resolving `auto` by the
-/// number of kept nodes plus the topology sniff) — the one-call front
-/// door consumers use.
+/// number of kept nodes) — the one-call front door consumers use. If the
+/// `auto` policy routed to `lsst-pcg` and the tree/sparsifier build fails
+/// for any reason other than a singular grounding, the front door falls
+/// back to `sparse-cg` so auto-routed callers never pay for a pathological
+/// input; an *explicit* `--backend lsst-pcg` surfaces the error.
 pub fn factor<'g>(
     g: &'g Graph,
     in_s: &[bool],
@@ -1152,7 +1290,13 @@ pub fn factor<'g>(
     opts: &SddOptions,
 ) -> Result<Box<dyn SddFactor + Send + 'g>, LinalgError> {
     let kept = in_s.iter().filter(|&&s| !s).count();
-    backend.resolve_for_graph(g, kept).factor(g, in_s, opts)
+    let solver = backend.resolve_for_graph(g, kept);
+    match solver.factor(g, in_s, opts) {
+        Err(e) if auto_fallback(backend, solver, &e) => by_name("sparse-cg")
+            .expect("registered backend")
+            .factor(g, in_s, opts),
+        other => other,
+    }
 }
 
 /// A factor that owns (a reference count on) its graph, so it can outlive
@@ -1223,8 +1367,16 @@ pub fn factor_owned(
     opts: &SddOptions,
 ) -> Result<OwnedFactor, LinalgError> {
     let kept = in_s.iter().filter(|&&s| !s).count();
-    let solver = backend.resolve_for_graph(g, kept);
-    let raw: Box<dyn SddFactor + Send + '_> = solver.factor(g, in_s, opts)?;
+    let mut solver = backend.resolve_for_graph(g, kept);
+    let raw: Box<dyn SddFactor + Send + '_> = match solver.factor(g, in_s, opts) {
+        Err(e) if auto_fallback(backend, solver, &e) => {
+            // Same auto-routed fallback as [`factor`]; the cache key sees
+            // the backend that actually produced the factor.
+            solver = by_name("sparse-cg").expect("registered backend");
+            solver.factor(g, in_s, opts)?
+        }
+        other => other?,
+    };
     // SAFETY: the only borrow the factor may hold is `&Graph` into the
     // `Arc` allocation. The `Arc` clone stored alongside keeps that
     // allocation alive (at a fixed address) for the wrapper's whole
@@ -1285,7 +1437,7 @@ mod tests {
             SddBackend::Auto
                 .resolve(SddBackend::AUTO_DENSE_LIMIT + 1)
                 .name(),
-            "sparse-cg"
+            "lsst-pcg"
         );
         assert_eq!(SddBackend::CgJacobi.resolve(10).name(), "cg-jacobi");
     }
@@ -1368,44 +1520,47 @@ mod tests {
         assert_eq!(f.stats().iterations, 0);
     }
 
-    /// Regression (topology-sniffing auto policy): above the dense limit,
-    /// `auto` must route large-diameter graphs (grid — the road-network /
-    /// mesh proxy) to `tree-pcg` and expander-like graphs (BA) to
-    /// `sparse-cg`; below the limit it stays dense either way.
+    /// Regression (auto policy, post-diameter-sniff): above the dense
+    /// limit `auto` routes EVERY topology — the large-diameter grid AND
+    /// the low-diameter expander-like BA graph — to `lsst-pcg`; below the
+    /// limit the size rule stays dense; explicit backends are never
+    /// overridden.
     #[test]
-    fn auto_policy_sniffs_topology_above_the_dense_limit() {
-        let grid = generators::grid(45, 45); // 2025 > AUTO_DENSE_LIMIT, diam 88
-        assert!(large_diameter(&grid));
+    fn auto_policy_routes_every_large_graph_to_lsst() {
+        let grid = generators::grid(45, 45); // 2025 > AUTO_DENSE_LIMIT
         assert_eq!(
             SddBackend::Auto.resolve_for_graph(&grid, 2024).name(),
-            "tree-pcg"
+            "lsst-pcg"
         );
         let mut rng = StdRng::seed_from_u64(0x70D0);
         let ba = generators::barabasi_albert(2000, 4, &mut rng);
-        assert!(!large_diameter(&ba));
         assert_eq!(
             SddBackend::Auto.resolve_for_graph(&ba, 1999).name(),
-            "sparse-cg"
+            "lsst-pcg"
         );
         // Below the dense limit the size rule wins regardless of topology.
         let small_grid = generators::grid(20, 20);
-        assert!(large_diameter(&small_grid));
         assert_eq!(
             SddBackend::Auto.resolve_for_graph(&small_grid, 399).name(),
             "dense-cholesky"
         );
-        // Explicit backends are never overridden by the sniff.
+        // Explicit backends are never overridden by the policy.
         assert_eq!(
             SddBackend::SparseCg.resolve_for_graph(&grid, 2024).name(),
             "sparse-cg"
         );
-        // The front door actually dispatches through the sniff: a grid
-        // factor through `auto` must behave like tree-pcg (iterative).
-        let mut in_s = mask(grid.num_nodes(), &[0]);
-        in_s[0] = true;
+        assert_eq!(
+            SddBackend::TreePcg.resolve_for_graph(&ba, 1999).name(),
+            "tree-pcg"
+        );
+        // The front door actually dispatches the policy: a grid factor
+        // through `auto` must behave like lsst-pcg (iterative, with the
+        // tree stretch surfaced in the stats).
+        let in_s = mask(grid.num_nodes(), &[0]);
         let mut f = factor(&grid, &in_s, SddBackend::Auto, &SddOptions::default()).unwrap();
         f.solve_vec(&vec![1.0; grid.num_nodes() - 1]).unwrap();
         assert!(f.stats().iterations > 0);
+        assert!(f.stats().precond_stretch > 1.0);
     }
 
     /// Regression (block warm start): `solve_mat_into` documents that
@@ -1468,7 +1623,46 @@ mod tests {
         assert_eq!(SddBackend::parse("tree"), Some(SddBackend::TreePcg));
         assert_eq!(SddBackend::TreePcg.to_string(), "tree-pcg");
         assert_eq!(SddBackend::TreePcg.resolve(10).name(), "tree-pcg");
-        assert_eq!(backends().len(), 4);
+        assert_eq!(backends().len(), 5);
+    }
+
+    #[test]
+    fn lsst_backend_registers_parses_and_aliases() {
+        assert_eq!(by_name("lsst-pcg").unwrap().name(), "lsst-pcg");
+        assert_eq!(by_name("lsst").unwrap().name(), "lsst-pcg");
+        assert_eq!(by_name("akpw").unwrap().name(), "lsst-pcg");
+        assert_eq!(by_name("ultrasparsifier").unwrap().name(), "lsst-pcg");
+        assert_eq!(SddBackend::parse("lsst"), Some(SddBackend::LsstPcg));
+        assert_eq!(SddBackend::LsstPcg.to_string(), "lsst-pcg");
+        assert_eq!(SddBackend::LsstPcg.resolve(10).name(), "lsst-pcg");
+    }
+
+    /// `lsst-pcg` observability: tree stretch and sampled off-tree edge
+    /// counts surface in `SolveStats`; tree-only runs (`offtree_ratio=0`)
+    /// report zero sampled edges but still report the stretch.
+    #[test]
+    fn lsst_stats_surface_stretch_and_sampled_edges() {
+        let g = generators::grid(30, 30);
+        let in_s = mask(900, &[0]);
+        let opts = SddOptions::default();
+        let mut f = LsstPcgBackend.factor(&g, &in_s, &opts).unwrap();
+        f.solve_vec(&[1.0; 899]).unwrap();
+        let st = f.stats();
+        assert!(st.precond_stretch > 1.0, "stretch {}", st.precond_stretch);
+        assert!(st.precond_offtree_edges > 0);
+        let tree_only = SddOptions {
+            offtree_ratio: 0.0,
+            ..SddOptions::default()
+        };
+        let mut f0 = LsstPcgBackend.factor(&g, &in_s, &tree_only).unwrap();
+        f0.solve_vec(&[1.0; 899]).unwrap();
+        assert_eq!(f0.stats().precond_offtree_edges, 0);
+        assert!(f0.stats().precond_stretch > 1.0);
+        // Other backends report zeros for both.
+        let mut fs = SparseCgBackend.factor(&g, &in_s, &opts).unwrap();
+        fs.solve_vec(&[1.0; 899]).unwrap();
+        assert_eq!(fs.stats().precond_stretch, 0.0);
+        assert_eq!(fs.stats().precond_offtree_edges, 0);
     }
 
     /// Regression (singular-system guard): a grounding that leaves nodes

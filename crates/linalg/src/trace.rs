@@ -108,6 +108,7 @@ pub fn trace_inverse_hutchinson<R: Rng>(
         max_iter: cfg.max_iter,
         threads: 1,
         stop: cfg.stop.clone(),
+        ..SddOptions::default()
     };
     let mut factor = sdd::factor(g, in_s, SddBackend::CgJacobi, &opts)?;
     trace_inverse_hutchinson_factor(factor.as_mut(), probes, rng)
@@ -128,6 +129,7 @@ pub fn trace_inverse_exact_cg(
         max_iter: cfg.max_iter,
         threads: 1,
         stop: cfg.stop.clone(),
+        ..SddOptions::default()
     };
     let mut factor = sdd::factor(g, in_s, SddBackend::CgJacobi, &opts)?;
     trace_inverse_exact_factor(factor.as_mut())

@@ -109,11 +109,28 @@ impl TreePreconditioner {
             }
         }
 
-        // LDLᵀ of the forest matrix, leaves first: eliminating child `i`
-        // writes the single factor entry e[i] = −1/D[i] toward its parent
-        // and downdates the parent's pivot by 1/D[i]. Zero fill, O(n).
-        let mut d: Vec<f64> = keep.iter().map(|&u| g.degree(u) as f64).collect();
-        let mut e = vec![0.0f64; nk];
+        let diag: Vec<f64> = keep.iter().map(|&u| g.degree(u) as f64).collect();
+        Self::from_forest(parent, order, diag)
+    }
+
+    /// Factor an arbitrary diagonal-compensated forest matrix given its
+    /// compact-space `parent` array (`usize::MAX` for roots), an
+    /// elimination `order` with children strictly before parents, and the
+    /// matrix `diag`onal (unit off-diagonals toward parents are implied).
+    ///
+    /// This is the zero-fill LDLᵀ seam shared with the `lsst-pcg`
+    /// backend's tree-only mode ([`crate::lsst`]): eliminating child `i`
+    /// writes the single factor entry `e[i] = −1/D[i]` toward its parent
+    /// and downdates the parent's pivot by `1/D[i]`. `O(n)`.
+    pub fn from_forest(
+        parent: Vec<usize>,
+        order: Vec<u32>,
+        diag: Vec<f64>,
+    ) -> Result<Self, LinalgError> {
+        assert_eq!(parent.len(), diag.len());
+        assert_eq!(order.len(), diag.len());
+        let mut d = diag;
+        let mut e = vec![0.0f64; d.len()];
         for &i in &order {
             let i = i as usize;
             if d[i] <= f64::MIN_POSITIVE || !d[i].is_finite() {

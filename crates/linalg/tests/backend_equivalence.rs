@@ -1,10 +1,11 @@
 //! Backend-equivalence property tests for the unified `SddSolver` API:
-//! `dense-cholesky`, `cg-jacobi`, the CSR/IC(0) `sparse-cg` backend, and
-//! the spanning-tree `tree-pcg` backend must agree to ≤ 1e-8 *relative*
+//! `dense-cholesky`, `cg-jacobi`, the CSR/IC(0) `sparse-cg` backend, the
+//! spanning-tree `tree-pcg` backend, and the low-stretch-tree
+//! ultrasparsifier `lsst-pcg` backend must agree to ≤ 1e-8 *relative*
 //! error on `solve_mat` (multi-column RHS — the iterative backends answer
 //! it with blocked multi-RHS PCG), `diag_inverse`, and `trace_inverse`
 //! over random connected graphs (seeded loops — the offline stand-in for
-//! proptest). The loops iterate the live registry, so a future fifth
+//! proptest). The loops iterate the live registry, so a future sixth
 //! backend is covered the moment it is registered.
 
 use cfcc_graph::{generators, Graph};
@@ -31,7 +32,7 @@ fn rel_err(a: f64, b: f64) -> f64 {
 #[test]
 fn backends_agree_on_solve_mat_diag_and_trace() {
     // Guard against silently testing fewer backends than are registered.
-    assert_eq!(backends().len(), 4, "registry grew: extend the doc above");
+    assert_eq!(backends().len(), 5, "registry grew: extend the doc above");
     let mut rng = StdRng::seed_from_u64(0x5DD0);
     let opts = SddOptions::with_tol(1e-12);
     for trial in 0..8u64 {

@@ -11,14 +11,15 @@ use cfcc_linalg::SddBackend;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const BACKENDS: [SddBackend; 4] = [
+const BACKENDS: [SddBackend; 5] = [
     SddBackend::DenseCholesky,
     SddBackend::CgJacobi,
     SddBackend::SparseCg,
     SddBackend::TreePcg,
+    SddBackend::LsstPcg,
 ];
 
-/// ApproxGreedy selects identical groups across all four backends on a
+/// ApproxGreedy selects identical groups across all five backends on a
 /// ladder of seeded graphs: the backends answer the same solves to a
 /// tight tolerance and consume the same RNG stream. The iterative
 /// backends carry the 16-column `solve_mat` chunks through blocked
